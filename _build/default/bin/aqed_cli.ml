@@ -1,0 +1,272 @@
+(* Command-line front end for the A-QED library.
+
+     aqed_cli list                         enumerate designs and bugs
+     aqed_cli check -d fifo -b fifo_clock_gate -c fc [-k 14]
+     aqed_cli sim -d aes -n 5              quick transaction-level run
+     aqed_cli sat file.cnf                 solve a DIMACS instance *)
+
+module M = Accel.Memctrl
+
+type design = {
+  name : string;
+  description : string;
+  bugs : string list;
+  build : ?bug:string -> unit -> Aqed.Iface.t;
+  build_rb : ?bug:string -> unit -> Aqed.Iface.t;
+  tau : int;
+  spec : (Rtl.Ir.signal -> Rtl.Ir.signal) option;
+  shared : (Aqed.Iface.t -> Rtl.Ir.signal) option;
+  golden_one : int -> int;   (* per-transaction reference for sim *)
+  sim_extra : (string * int) list;
+}
+
+let memctrl_design cfg =
+  let bugs =
+    List.filter (fun b -> M.bug_config b = cfg) M.all_bugs
+    |> List.map M.bug_name
+  in
+  let parse_bug = function
+    | None -> None
+    | Some name -> (
+        match List.find_opt (fun b -> M.bug_name b = name) M.all_bugs with
+        | Some b when M.bug_config b = cfg -> Some b
+        | Some _ | None ->
+          failwith (Printf.sprintf "no bug %s in configuration %s" name
+                      (M.config_name cfg)))
+  in
+  {
+    name = "memctrl-" ^ M.config_name cfg;
+    description =
+      Printf.sprintf "memory-controller unit, %s configuration"
+        (M.config_name cfg);
+    bugs;
+    build = (fun ?bug () -> M.build ?bug:(parse_bug bug) cfg ());
+    build_rb =
+      (fun ?bug () -> M.build ?bug:(parse_bug bug) ~assume_enabled:true cfg ());
+    tau = M.tau cfg;
+    spec = Some (M.spec_rtl cfg);
+    shared = None;
+    golden_one =
+      (fun d ->
+        match M.golden cfg [ d ] with [ o ] -> o | _ -> 0);
+    sim_extra = [ ("clock_enable", 1) ];
+  }
+
+let aes_design =
+  let parse_bug = function
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some v when String.length s = 2 && s.[0] = 'v' && v >= 1 && v <= 4 ->
+          Some v
+        | Some _ | None -> failwith "AES bugs are v1, v2, v3, v4")
+  in
+  {
+    name = "aes";
+    description = "abstracted AES encryption (HLS flow, shared key)";
+    bugs = [ "v1"; "v2"; "v3"; "v4" ];
+    build = (fun ?bug () -> Accel.Aes.build ?version:(parse_bug bug) ());
+    build_rb = (fun ?bug () -> Accel.Aes.build ?version:(parse_bug bug) ());
+    tau = Accel.Aes.tau;
+    spec = None;
+    shared = Some Accel.Aes.shared_key;
+    golden_one = (fun d -> Accel.Aes.reference ~block:d ~key:0);
+    sim_extra = [ ("key", 0) ];
+  }
+
+let simple_design name description ~build ~tau ~golden_one =
+  let parse_bug = function
+    | None -> false
+    | Some "bug" -> true
+    | Some other -> failwith (Printf.sprintf "unknown bug %s (use: bug)" other)
+  in
+  {
+    name;
+    description;
+    bugs = [ "bug" ];
+    build = (fun ?bug () -> build ~bug:(parse_bug bug) ());
+    build_rb = (fun ?bug () -> build ~bug:(parse_bug bug) ());
+    tau;
+    spec = None;
+    shared = None;
+    golden_one;
+    sim_extra = [];
+  }
+
+let designs =
+  [
+    memctrl_design M.Fifo_mode;
+    memctrl_design M.Double_buffer;
+    memctrl_design M.Line_buffer;
+    aes_design;
+    simple_design "gsm" "abstracted GSM LPC kernel (HLS flow)"
+      ~build:(fun ~bug () -> Accel.Gsm.build ~bug ())
+      ~tau:Accel.Gsm.tau ~golden_one:Accel.Gsm.reference;
+    simple_design "dataflow" "credit-based dataflow pipeline"
+      ~build:(fun ~bug () -> Accel.Dataflow.build ~bug ())
+      ~tau:Accel.Dataflow.tau ~golden_one:Accel.Dataflow.reference;
+    simple_design "optflow" "optical-flow window gradient"
+      ~build:(fun ~bug () -> Accel.Optflow.build ~bug ())
+      ~tau:Accel.Optflow.tau ~golden_one:Accel.Optflow.reference;
+    simple_design "simd" "2-lane batch accelerator (cross-lane bug)"
+      ~build:(fun ~bug () -> Accel.Simd.build ~bug ())
+      ~tau:Accel.Simd.tau ~golden_one:Accel.Simd.reference_batch;
+    simple_design "fig2" "the paper's Fig. 2 motivating example"
+      ~build:(fun ~bug () -> Accel.Fig2.build ~bug ())
+      ~tau:8 ~golden_one:Accel.Fig2.f;
+  ]
+
+let find_design name =
+  match List.find_opt (fun d -> d.name = name) designs with
+  | Some d -> d
+  | None ->
+    failwith
+      (Printf.sprintf "unknown design %s (see `aqed_cli list`)" name)
+
+(* ---- commands ---- *)
+
+let cmd_list () =
+  print_endline "designs:";
+  List.iter
+    (fun d ->
+      Printf.printf "  %-22s %s\n" d.name d.description;
+      Printf.printf "  %-22s bugs: %s\n" "" (String.concat ", " d.bugs))
+    designs;
+  0
+
+let cmd_check design_name bug check depth =
+  let d = find_design design_name in
+  let report =
+    match String.lowercase_ascii check with
+    | "fc" ->
+      Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
+        (fun () -> d.build ?bug ())
+    | "rb" ->
+      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau
+        (fun () -> d.build_rb ?bug ())
+    | "sac" -> (
+        match d.spec with
+        | Some spec ->
+          Aqed.Check.single_action ~max_depth:depth ~spec
+            (fun () -> d.build ?bug ())
+        | None -> failwith "this design has no registered SAC spec")
+    | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
+  in
+  Format.printf "%a@." Aqed.Check.pp_report report;
+  (match report.Aqed.Check.verdict with
+   | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
+   | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
+  if Aqed.Check.found_bug report then 1 else 0
+
+let cmd_sim design_name bug count =
+  let d = find_design design_name in
+  let iface = d.build ?bug () in
+  let h = Aqed.Harness.create iface in
+  List.iter
+    (fun (n, v) ->
+      try Rtl.Sim.set_input_int (Aqed.Harness.sim h) n v
+      with Not_found -> ())
+    d.sim_extra;
+  let w = Rtl.Ir.width iface.Aqed.Iface.in_data in
+  let rng = Testbench.Prng.create 99 in
+  let inputs =
+    List.init count (fun _ -> Testbench.Prng.below rng (1 lsl min w 20))
+  in
+  let outs =
+    Aqed.Harness.run h (List.map (fun v -> Aqed.Harness.txn v) inputs)
+  in
+  let ok = ref true in
+  List.iteri
+    (fun i input ->
+      let got = List.nth_opt outs i in
+      let want = d.golden_one input in
+      let mark =
+        match got with
+        | Some g when g = want -> "ok"
+        | Some _ -> ok := false; "MISMATCH"
+        | None -> ok := false; "MISSING"
+      in
+      Printf.printf "  in=%-6d out=%-8s golden=%-6d %s\n" input
+        (match got with Some g -> string_of_int g | None -> "-")
+        want mark)
+    inputs;
+  if !ok then 0 else 1
+
+let cmd_sat certify path =
+  let cnf = Sat.Dimacs.parse_file path in
+  let t0 = Unix.gettimeofday () in
+  let result, model = Sat.Dimacs.solve cnf in
+  (match result with
+   | Sat.Solver.Sat ->
+     print_endline "s SATISFIABLE";
+     let b = Buffer.create 256 in
+     Buffer.add_string b "v ";
+     for v = 1 to cnf.Sat.Dimacs.nvars do
+       Buffer.add_string b (string_of_int (if model.(v) then v else -v));
+       Buffer.add_char b ' '
+     done;
+     Buffer.add_char b '0';
+     print_endline (Buffer.contents b)
+   | Sat.Solver.Unsat ->
+     print_endline "s UNSATISFIABLE";
+     if certify then begin
+       match Sat.Rup.check_solver_run cnf with
+       | Sat.Rup.Valid -> print_endline "c proof: VALID (RUP-checked)"
+       | Sat.Rup.Invalid i -> Printf.printf "c proof: INVALID at step %d\n" i
+       | Sat.Rup.Incomplete -> print_endline "c proof: incomplete"
+     end);
+  Printf.printf "c %.3fs\n" (Unix.gettimeofday () -. t0);
+  0
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let design_arg =
+  Arg.(required & opt (some string) None & info [ "d"; "design" ] ~doc:"Design name (see list).")
+
+let bug_arg =
+  Arg.(value & opt (some string) None & info [ "b"; "bug" ] ~doc:"Bug to inject (see list).")
+
+let depth_arg =
+  Arg.(value & opt int 14 & info [ "k"; "depth" ] ~doc:"BMC bound (frames).")
+
+let check_arg =
+  Arg.(value & opt string "fc" & info [ "c"; "check" ] ~doc:"Check: fc, rb or sac.")
+
+let count_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of random transactions.")
+
+let wrap f = try f () with Failure msg -> prerr_endline ("error: " ^ msg); 2
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List designs and their injectable bugs")
+    Term.(const (fun () -> wrap cmd_list) $ const ())
+
+let check_cmd =
+  let run d b c k = wrap (fun () -> cmd_check d b c k) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run an A-QED check (exit code 1 when a bug is found)")
+    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg)
+
+let sim_cmd =
+  let run d b n = wrap (fun () -> cmd_sim d b n) in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Simulate random transactions against the golden model")
+    Term.(const run $ design_arg $ bug_arg $ count_arg)
+
+let sat_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
+  let certify =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Re-solve with proof logging and RUP-check the UNSAT certificate.")
+  in
+  Cmd.v (Cmd.info "sat" ~doc:"Solve a DIMACS CNF with the built-in CDCL solver")
+    Term.(const (fun cert p -> wrap (fun () -> cmd_sat cert p)) $ certify $ path)
+
+let () =
+  let info =
+    Cmd.info "aqed_cli" ~version:"1.0"
+      ~doc:"A-QED pre-silicon verification of hardware accelerators"
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; sim_cmd; sat_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_rtl.ml: Aqed Bmc Format List Printf Rtl

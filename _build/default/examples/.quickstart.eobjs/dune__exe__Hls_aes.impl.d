@@ -1,0 +1,1 @@
+examples/hls_aes.ml: Accel Aqed Format Hls List Printf Rtl

@@ -1,0 +1,1 @@
+examples/memctrl_verify.ml: Accel Aqed Bmc Format List Printf Rtl Testbench

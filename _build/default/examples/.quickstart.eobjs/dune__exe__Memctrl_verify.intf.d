@@ -1,0 +1,1 @@
+examples/memctrl_verify.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aqed Bmc Format Hls List Printf Rtl

@@ -1,0 +1,1 @@
+examples/responsiveness.ml: Accel Aqed Bmc Format List Printf

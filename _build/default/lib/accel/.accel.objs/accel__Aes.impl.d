@@ -1,0 +1,1 @@
+lib/accel/aes.ml: Hls List Option Printf

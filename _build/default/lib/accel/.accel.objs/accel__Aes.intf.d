@@ -1,0 +1,1 @@
+lib/accel/aes.mli: Aqed Hls Rtl

@@ -1,0 +1,1 @@
+lib/accel/dataflow.ml: Aqed Bitvec Rtl

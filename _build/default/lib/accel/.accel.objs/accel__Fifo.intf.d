@@ -1,0 +1,1 @@
+lib/accel/fifo.mli: Rtl

@@ -1,0 +1,1 @@
+lib/accel/fig2.ml: Aqed Array List Printf Rtl

@@ -1,0 +1,1 @@
+lib/accel/fig2.mli: Aqed

@@ -1,0 +1,1 @@
+lib/accel/gsm.ml: Hls

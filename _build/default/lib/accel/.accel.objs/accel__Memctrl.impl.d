@@ -1,0 +1,1 @@
+lib/accel/memctrl.ml: Aqed Array Bitvec List Printf Rtl

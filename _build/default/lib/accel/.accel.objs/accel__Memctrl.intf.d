@@ -1,0 +1,1 @@
+lib/accel/memctrl.mli: Aqed Rtl

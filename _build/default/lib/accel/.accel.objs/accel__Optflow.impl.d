@@ -1,0 +1,1 @@
+lib/accel/optflow.ml: Aqed Rtl

@@ -1,0 +1,1 @@
+lib/accel/simd.ml: Aqed Array Printf Rtl

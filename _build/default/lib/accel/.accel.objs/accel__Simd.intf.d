@@ -1,0 +1,1 @@
+lib/accel/simd.mli: Aqed

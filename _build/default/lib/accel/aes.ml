@@ -1,0 +1,58 @@
+(* An 8-bit, 2-round SPN standing in for AES: XOR round key, nibble S-box
+   substitution and a nibble swap per round — abstracted exactly as the
+   paper abstracts its AES design for BMC scalability. Each round is a
+   single fused binding so the schedule stays 3 stages deep and FC
+   counterexamples remain short. *)
+
+let sbox =
+  (* A 4-bit bijective S-box (the PRESENT cipher S-box). *)
+  [ 0xc; 0x5; 0x6; 0xb; 0x9; 0x0; 0xa; 0xd; 0x3; 0xe; 0xf; 0x8; 0x4; 0x7; 0x1; 0x2 ]
+
+let round_constant = [ 0x35; 0x71 ]
+
+let program =
+  let open Hls.Ast in
+  let lo e = Slice { e; hi = 3; lo = 0 } in
+  let hi e = Slice { e; hi = 7; lo = 4 } in
+  let sub_nib e = Table { index = e; values = sbox; width = 4 } in
+  (* One SPN round: substitute both nibbles of (state ^ round_key) and swap
+     them (the 8-bit analogue of ShiftRows). *)
+  let round state key =
+    Cat (sub_nib (lo (Bin (Xor, state, key))),
+         sub_nib (hi (Bin (Xor, state, key))))
+  in
+  let rc i = Lit { value = List.nth round_constant i; width = 8 } in
+  {
+    name = "aes8";
+    params = [ ("block", 8); ("key", 8) ];
+    lets =
+      [
+        (* Round 1. *)
+        ("r0", round (Var "block") (Var "key"));
+        (* Round 2 fused with the final key whitening, so the schedule is
+           two stages deep and counterexamples stay short. *)
+        ("ct",
+         Bin (Xor,
+              round (Var "r0") (Bin (Xor, Var "key", rc 0)),
+              Bin (Xor, Var "key", rc 1)));
+      ];
+    result = "ct";
+  }
+
+let reference ~block ~key =
+  Hls.Interp.run program [ ("block", block); ("key", key) ]
+
+let version_bug = function
+  | 1 -> Hls.Codegen.Stale_operand "block"
+  | 2 -> Hls.Codegen.Early_valid
+  | 3 -> Hls.Codegen.Result_overwrite
+  | 4 -> Hls.Codegen.Stale_operand "key"
+  | n -> invalid_arg (Printf.sprintf "Aes.version_bug: no version %d" n)
+
+let build ?version () =
+  let bug = Option.map version_bug version in
+  Hls.Codegen.to_rtl ?bug ~shared:[ "key" ] program
+
+let shared_key iface = Hls.Codegen.shared_signal iface "key"
+
+let tau = Hls.Codegen.recommended_tau program

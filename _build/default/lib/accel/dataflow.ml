@@ -1,0 +1,72 @@
+module Ir = Rtl.Ir
+
+let data_width = 8
+let capacity = 3
+let tau = 12
+
+let reference x = (2 * x) land ((1 lsl data_width) - 1)
+
+let build ?(bug = false) () =
+  let c = Ir.create (if bug then "dataflow_buggy" else "dataflow") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+
+  (* Credit-based admission: one credit per in-flight transaction. The bug
+     grants one credit more than the pipeline can hold. *)
+  let credits_init = if bug then capacity + 1 else capacity in
+  let cw = 3 in
+  let credits =
+    Ir.reg c "credits" ~init:(Bitvec.create ~width:cw credits_init)
+  in
+  let in_ready = Ir.ugt credits (Ir.constant c ~width:cw 0) in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  (* Stage A: one register; computes 2x and pushes into the FIFO next
+     cycle. *)
+  let a_full = Ir.reg0 c "a_full" 1 in
+  let a_data = Ir.reg0 c "a_data" data_width in
+
+  (* Inter-stage FIFO, depth 1 (power-of-two constraint: depth 1 means a
+     single slot). *)
+  let fifo_full = Ir.reg0 c "f_full" 1 in
+  let fifo_data = Ir.reg0 c "f_data" data_width in
+
+  (* Result stage. *)
+  let r_full = Ir.reg0 c "r_full" 1 in
+  let r_data = Ir.reg0 c "r_data" data_width in
+
+  let out_valid = r_full in
+  let out_fire = Ir.logand out_valid out_ready in
+
+  (* FIFO -> result stage when the result register frees up. *)
+  let move_fr = Ir.and_list c [ fifo_full; Ir.logor (Ir.lognot r_full) out_fire ] in
+  (* Stage A -> FIFO when the slot frees up. The push is *unchecked*: if
+     the slot is still full (possible only with the extra bogus credit) the
+     element is silently lost — stage A frees anyway. *)
+  let fifo_free = Ir.logor (Ir.lognot fifo_full) move_fr in
+  let push_af = Ir.logand a_full (if bug then Ir.vdd c else fifo_free) in
+
+  let doubled = Ir.sll a_data 1 in
+  Ir.connect c r_data (Ir.mux move_fr fifo_data r_data);
+  Ir.connect c r_full
+    (Ir.mux move_fr (Ir.vdd c) (Ir.mux out_fire (Ir.gnd c) r_full));
+  Ir.connect c fifo_data
+    (Ir.mux (Ir.logand push_af fifo_free) doubled fifo_data);
+  Ir.connect c fifo_full
+    (Ir.mux (Ir.logand push_af fifo_free) (Ir.vdd c)
+       (Ir.mux move_fr (Ir.gnd c) fifo_full));
+  Ir.connect c a_data (Ir.mux in_fire in_data a_data);
+  Ir.connect c a_full
+    (Ir.mux in_fire (Ir.vdd c) (Ir.mux push_af (Ir.gnd c) a_full));
+
+  let cone = Ir.constant c ~width:cw 1 in
+  Ir.connect c credits
+    (Ir.mux (Ir.logand in_fire out_fire) credits
+       (Ir.mux in_fire (Ir.sub credits cone)
+          (Ir.mux out_fire (Ir.add credits cone) credits)));
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data:r_data
+    ~out_ready ()

@@ -1,0 +1,25 @@
+(** Custom dataflow design (Table 2, [Chi 19] class) — RB bug study.
+
+    A two-stage dataflow pipeline: stage A doubles the sample and forwards
+    it through an inter-stage FIFO to stage B, which presents results under
+    ready/valid. Admission is governed by a credit counter sized to the
+    pipeline's real capacity (stage register + FIFO + result register).
+
+    The injected bug is the classic incorrect-FIFO-sizing defect: the credit
+    counter is initialized one above the actual capacity, so under host
+    backpressure a fourth transaction is admitted, stage A pushes into a
+    full FIFO and the element evaporates — that input's output never
+    appears, which is precisely a Response-Bound violation (Def. 3 part 2),
+    not an FC one. *)
+
+val data_width : int
+
+val reference : int -> int
+(** The per-sample function (doubling, modulo width). *)
+
+val capacity : int
+(** True in-flight capacity of the pipeline. *)
+
+val build : ?bug:bool -> unit -> Aqed.Iface.t
+
+val tau : int

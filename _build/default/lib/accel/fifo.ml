@@ -1,0 +1,62 @@
+module Ir = Rtl.Ir
+
+type t = {
+  push_ready : Ir.signal;
+  pop_valid : Ir.signal;
+  head : Ir.signal;
+  count : Ir.signal;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let create c name ~depth ~width ?enable ?(ungated_pop = false)
+    ?(advertise_extra = false) ~push ~push_data ~pop () =
+  if depth <= 0 || depth land (depth - 1) <> 0 then
+    invalid_arg "Fifo.create: depth must be a positive power of two";
+  let aw = max 1 (log2 depth) in
+  let cw = aw + 1 in
+  let en = match enable with Some e -> e | None -> Ir.vdd c in
+  let slots =
+    Array.init depth (fun i -> Ir.reg0 c (Printf.sprintf "%s_slot%d" name i) width)
+  in
+  let rd = Ir.reg0 c (name ^ "_rd") aw in
+  let wr = Ir.reg0 c (name ^ "_wr") aw in
+  let count = Ir.reg0 c (name ^ "_count") cw in
+
+  let full = Ir.eq_const count depth in
+  let empty = Ir.eq_const count 0 in
+  let push_ready =
+    if advertise_extra then Ir.vdd c else Ir.lognot full
+  in
+  let pop_valid = Ir.lognot empty in
+
+  let do_push = Ir.and_list c [ en; push; Ir.lognot full ] in
+  let pop_enable = if ungated_pop then Ir.vdd c else en in
+  let do_pop = Ir.and_list c [ pop_enable; pop; pop_valid ] in
+
+  (* Slot storage: write at [wr] on push. *)
+  Array.iteri
+    (fun i s ->
+      let here = Ir.logand do_push (Ir.eq_const wr i) in
+      Ir.connect c s (Ir.mux here push_data s))
+    slots;
+
+  let bump ptr cond =
+    let next = Ir.add ptr (Ir.constant c ~width:aw 1) in
+    Ir.mux cond next ptr
+  in
+  Ir.connect c wr (bump wr do_push);
+  Ir.connect c rd (bump rd do_pop);
+
+  let count_up = Ir.add count (Ir.constant c ~width:cw 1) in
+  let count_dn = Ir.sub count (Ir.constant c ~width:cw 1) in
+  let next_count =
+    Ir.mux
+      (Ir.logand do_push do_pop)
+      count
+      (Ir.mux do_push count_up (Ir.mux do_pop count_dn count))
+  in
+  Ir.connect c count next_count;
+
+  let head = Ir.mux_n rd (Array.to_list slots) in
+  { push_ready; pop_valid; head; count }

@@ -1,0 +1,38 @@
+(** Parametric synchronous FIFO component.
+
+    The queueing building block shared by the accelerator designs (input
+    buffers, inter-stage channels, reorder stages). Depth must be a power of
+    two. Push and pop may occur in the same cycle. For bug-injection studies
+    the constructor accepts deliberate defects: a capacity lie
+    ([advertise_extra]) that makes [full] report space when there is none
+    (the classic "incorrect FIFO sizing" bug of Table 2), and [ungated]
+    which disconnects an external enable from the pop path (the Fig. 2
+    clock-enable bug). *)
+
+type t = {
+  push_ready : Rtl.Ir.signal;   (** not full *)
+  pop_valid : Rtl.Ir.signal;    (** not empty *)
+  head : Rtl.Ir.signal;         (** data at the head (valid when [pop_valid]) *)
+  count : Rtl.Ir.signal;        (** current occupancy *)
+}
+
+val create :
+  Rtl.Ir.circuit ->
+  string ->
+  depth:int ->
+  width:int ->
+  ?enable:Rtl.Ir.signal ->
+  ?ungated_pop:bool ->
+  ?advertise_extra:bool ->
+  push:Rtl.Ir.signal ->
+  push_data:Rtl.Ir.signal ->
+  pop:Rtl.Ir.signal ->
+  unit -> t
+(** [push] and [pop] are request signals; an actual push happens when
+    [push && push_ready] (a pop when [pop && pop_valid]), so callers may
+    present requests unconditionally.
+
+    [enable]: when given and low, the FIFO holds all state (clock gating).
+    [ungated_pop]: {e bug} — the pop path ignores [enable].
+    [advertise_extra]: {e bug} — [push_ready] stays high at full occupancy,
+    so a push at full silently drops the element. *)

@@ -1,0 +1,89 @@
+module Ir = Rtl.Ir
+
+let data_width = 3
+let latency = 1
+let n_units = 4
+
+let f x =
+  let w = data_width in
+  let mask = (1 lsl w) - 1 in
+  ((x + 3) lxor (x lsr 1)) land mask
+
+(* The same function as combinational RTL. *)
+let f_rtl c x =
+  let three = Ir.constant c ~width:data_width 3 in
+  Ir.logxor (Ir.add x three) (Ir.srl x 1)
+
+(* Each buffer is a single-slot queue (full flag + datum): enough to tell
+   the paper's story — Buffer 4 must be non-empty, on its service turn,
+   with its unit idle, when the design is paused — while keeping the state
+   space BMC-friendly. *)
+let build ?(bug = false) () =
+  let c = Ir.create (if bug then "fig2_buggy" else "fig2") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+  let ce = Ir.input c "clock_enable" 1 in
+
+  let in_turn = Ir.reg0 c "in_turn" 2 in    (* which buffer fills next *)
+  let svc_turn = Ir.reg0 c "svc_turn" 2 in  (* which buffer is serviced *)
+  let out_turn = Ir.reg0 c "out_turn" 2 in  (* which unit emits next *)
+
+  let buf_full = Array.init n_units (fun i -> Ir.reg0 c (Printf.sprintf "buf%d_full" i) 1) in
+  let buf_data = Array.init n_units (fun i -> Ir.reg0 c (Printf.sprintf "buf%d_data" i) data_width) in
+  let occupied = Array.init n_units (fun i -> Ir.reg0 c (Printf.sprintf "u%d_busy" i) 1) in
+  let operand = Array.init n_units (fun i -> Ir.reg0 c (Printf.sprintf "u%d_op" i) data_width) in
+
+  (* Input side: the buffer pointed at by in_turn accepts when empty. *)
+  let in_ready =
+    Ir.logand ce
+      (Ir.mux_n in_turn
+         (Array.to_list (Array.map Ir.lognot buf_full)))
+  in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  (* Service: on its turn, a full buffer shifts into its idle unit. The bug
+     unhooks clock_enable from Buffer 4's (index 3) shift-out: on a paused
+     cycle the buffer empties while the properly gated unit refuses the
+     load — the element evaporates. *)
+  let svc_request i =
+    let base =
+      Ir.and_list c
+        [ Ir.eq_const svc_turn i; buf_full.(i); Ir.lognot occupied.(i) ]
+    in
+    if bug && i = 3 then base else Ir.logand ce base
+  in
+  let load i = Ir.logand (svc_request i) ce in
+
+  (* Output side: units emit in round-robin arrival order. With unit
+     latency 1 a loaded unit is ready on the next cycle. *)
+  let done_ i = occupied.(i) in
+  let out_here i = Ir.logand (Ir.eq_const out_turn i) (done_ i) in
+  let out_valid = Ir.logand ce (Ir.or_list c (List.init n_units out_here)) in
+  let out_data = Ir.mux_n out_turn (List.init n_units (fun i -> f_rtl c operand.(i))) in
+  let out_fire = Ir.logand out_valid out_ready in
+
+  (* Register updates. *)
+  for i = 0 to n_units - 1 do
+    let fill = Ir.and_list c [ in_fire; Ir.eq_const in_turn i ] in
+    Ir.connect c buf_data.(i) (Ir.mux fill in_data buf_data.(i));
+    Ir.connect c buf_full.(i)
+      (Ir.mux fill (Ir.vdd c)
+         (Ir.mux (svc_request i) (Ir.gnd c) buf_full.(i)));
+    let emit = Ir.logand out_fire (Ir.eq_const out_turn i) in
+    Ir.connect c occupied.(i)
+      (Ir.mux (load i) (Ir.vdd c) (Ir.mux emit (Ir.gnd c) occupied.(i)));
+    Ir.connect c operand.(i) (Ir.mux (load i) buf_data.(i) operand.(i))
+  done;
+
+  let bump2 r cond =
+    Ir.connect c r (Ir.mux cond (Ir.add r (Ir.constant c ~width:2 1)) r)
+  in
+  bump2 in_turn in_fire;
+  bump2 svc_turn ce;
+  bump2 out_turn out_fire;
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data
+    ~out_ready ()

@@ -1,0 +1,29 @@
+(** The paper's motivating example (Sec. II.A, Fig. 2).
+
+    Four input buffers feed four execution units computing [f(x)]; an
+    accelerator controller distributes arriving inputs round-robin over the
+    buffers, services the buffers round-robin (one shift per turn when the
+    unit is free), and emits results in arrival order. A host-controlled
+    [clock_enable] input pauses the whole design.
+
+    The injected bug is exactly the paper's: [clock_enable] is disconnected
+    from Buffer 4's shift-out path, so on a paused cycle that happens to be
+    Buffer 4's turn the head element is shifted out while the (disabled)
+    execution unit fails to capture it — the element is lost and all of
+    Buffer 4's later results are off by one. Triggering it requires pausing
+    precisely when Buffer 4 is non-empty, on its turn, with its unit idle —
+    the "difficult corner-case scenario" A-QED finds in a few cycles. *)
+
+val data_width : int
+(** Width of data elements (4 bits in this abstracted version). *)
+
+val f : int -> int
+(** The execution units' function, as computed by the reference model. *)
+
+val build : ?bug:bool -> unit -> Aqed.Iface.t
+(** A fresh instance; [bug] (default false) injects the clock-enable bug.
+    Besides the standard LCA inputs the circuit has a 1-bit [clock_enable]
+    primary input. *)
+
+val latency : int
+(** Execution-unit latency in cycles. *)

@@ -1,0 +1,33 @@
+let program =
+  let open Hls.Ast in
+  (* Pre-emphasis-style mixing followed by a x3 scale, fused into one
+     binding to keep the schedule at 3 stages. *)
+  let mix = Bin (Xor, Var "a", Shr (Var "a", 3)) in
+  {
+    name = "gsm_lpc";
+    params = [ ("x", 8) ];
+    lets =
+      [
+        (* Offset compensation. *)
+        ("a", Bin (Add, Var "x", Lit { value = 0x55; width = 8 }));
+        (* Mixing and fixed-coefficient scale (x3). *)
+        ("b", Bin (Add, mix, Shl (mix, 1)));
+        (* Saturate to the positive half-range. *)
+        ("sat",
+         Cond (Bin (Lt, Var "b", Lit { value = 0x80; width = 8 }),
+               Var "b",
+               Bin (Sub, Lit { value = 0xff; width = 8 }, Var "b")));
+      ];
+    result = "sat";
+  }
+
+let reference x = Hls.Interp.run program [ ("x", x) ]
+
+let build ?(bug = false) () =
+  (* The Table 2 GSM bug class: an FC violation in the generated control
+     path — out_valid is raised one stage early, exposing the previous
+     transaction's result register. *)
+  let bug = if bug then Some Hls.Codegen.Early_valid else None in
+  Hls.Codegen.to_rtl ?bug program
+
+let tau = Hls.Codegen.recommended_tau program

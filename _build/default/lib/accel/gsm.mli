@@ -1,0 +1,17 @@
+(** Abstracted GSM LPC kernel (Table 2, CHStone [Hara 09] class).
+
+    A saturating short-term-analysis step on 8-bit samples: offset
+    compensation, pre-emphasis-style XOR/shift mixing, a small multiply and
+    final saturation — representative of the integer DSP pipeline of the
+    CHStone GSM benchmark, abstracted to BMC-friendly widths. The buggy
+    variant raises out_valid one pipeline stage early, exposing the previous
+    transaction's result (the FC bug class of Table 2's GSM row). *)
+
+val program : Hls.Ast.func
+
+val reference : int -> int
+(** Golden model over the 8-bit input. *)
+
+val build : ?bug:bool -> unit -> Aqed.Iface.t
+
+val tau : int

@@ -1,0 +1,66 @@
+module Ir = Rtl.Ir
+
+let pixel_width = 4
+let data_width = 3 * pixel_width
+let out_width = pixel_width + 1
+let tau = 8
+
+let reference packed =
+  let mask = (1 lsl pixel_width) - 1 in
+  let p0 = packed land mask in
+  let p2 = (packed lsr (2 * pixel_width)) land mask in
+  abs (p2 - p0)
+
+let build ?(bug = false) () =
+  let c = Ir.create (if bug then "optflow_buggy" else "optflow") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+  let pw = pixel_width in
+  let ow = out_width in
+  let p k = Ir.select in_data ~hi:(((k + 1) * pw) - 1) ~lo:(k * pw) in
+
+  let busy = Ir.reg0 c "of_busy" 1 in
+  let stage = Ir.reg0 c "of_stage" 1 in
+  let p0 = Ir.reg0 c "of_p0" pw in
+  let p2 = Ir.reg0 c "of_p2" pw in
+  let diff = Ir.reg0 c "of_diff" ow in
+  let result = Ir.reg0 c "of_result" ow in
+  let done_ = Ir.reg0 c "of_done" 1 in
+
+  let in_ready = Ir.and_list c [ Ir.lognot busy; Ir.lognot done_ ] in
+  let in_fire = Ir.logand in_valid in_ready in
+  Ir.connect c p0 (Ir.mux in_fire (p 0) p0);
+  Ir.connect c p2 (Ir.mux in_fire (p 2) p2);
+
+  (* Stage 0: signed difference p2 - p0 (in ow bits, two's complement). *)
+  let stage0_fire = Ir.and_list c [ busy; Ir.eq_const stage 0 ] in
+  let sdiff = Ir.sub (Ir.zero_extend p2 ow) (Ir.zero_extend p0 ow) in
+  Ir.connect c diff (Ir.mux stage0_fire sdiff diff);
+
+  (* Stage 1: absolute value. *)
+  let stage1_fire = Ir.and_list c [ busy; Ir.eq_const stage 1 ] in
+  let absval = Ir.mux (Ir.msb diff) (Ir.neg diff) diff in
+  Ir.connect c result (Ir.mux stage1_fire absval result);
+
+  Ir.connect c stage
+    (Ir.mux in_fire (Ir.gnd c) (Ir.mux stage0_fire (Ir.vdd c) stage));
+  Ir.connect c busy
+    (Ir.mux in_fire (Ir.vdd c) (Ir.mux stage1_fire (Ir.gnd c) busy));
+
+  let out_valid = done_ in
+  let out_fire = Ir.logand out_valid out_ready in
+  let done_clear =
+    if bug then
+      (* Cleared as soon as the result is presented, ready or not: one
+         cycle of backpressure and the output is gone. *)
+      out_valid
+    else out_fire
+  in
+  Ir.connect c done_
+    (Ir.mux stage1_fire (Ir.vdd c) (Ir.mux done_clear (Ir.gnd c) done_));
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data:result
+    ~out_ready ()

@@ -1,0 +1,69 @@
+module Ir = Rtl.Ir
+
+let lanes = 2
+let lane_width = 4
+let data_width = lanes * lane_width
+let tau = 6
+
+let reference x = ((2 * x) + 1) land ((1 lsl lane_width) - 1)
+
+let reference_batch packed =
+  let mask = (1 lsl lane_width) - 1 in
+  let lane k = (packed lsr (k * lane_width)) land mask in
+  (reference (lane 1) lsl lane_width) lor reference (lane 0)
+
+let build ?(bug = false) () =
+  let c = Ir.create (if bug then "simd_buggy" else "simd") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+  let lane k =
+    Ir.select in_data ~hi:(((k + 1) * lane_width) - 1) ~lo:(k * lane_width)
+  in
+
+  let busy = Ir.reg0 c "sd_busy" 1 in
+  let stage = Ir.reg0 c "sd_stage" 1 in
+  let result_valid = Ir.reg0 c "sd_rvalid" 1 in
+  let scratch = Array.init lanes (fun k -> Ir.reg0 c (Printf.sprintf "sd_sc%d" k) lane_width) in
+  let result = Array.init lanes (fun k -> Ir.reg0 c (Printf.sprintf "sd_r%d" k) lane_width) in
+  let toggle = Ir.reg0 c "sd_toggle" 1 in
+
+  let in_ready = Ir.and_list c [ Ir.lognot busy; Ir.lognot result_valid ] in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  (* Stage 0: scratch_k <- 2 * lane_k. The bug gates lane 1's write enable
+     with the hidden toggle, leaving a stale scratch every second batch. *)
+  Array.iteri
+    (fun k r ->
+      let doubled = Ir.sll (lane k) 1 in
+      let en =
+        if bug && k = 1 then Ir.logand in_fire (Ir.lognot toggle)
+        else in_fire
+      in
+      Ir.connect c r (Ir.mux en doubled r))
+    scratch;
+  Ir.connect c toggle (Ir.mux in_fire (Ir.lognot toggle) toggle);
+
+  (* Stage 1: result_k <- scratch_k + 1. *)
+  let stage1_fire = Ir.and_list c [ busy; Ir.eq_const stage 0 ] in
+  Array.iteri
+    (fun k r ->
+      let v = Ir.add scratch.(k) (Ir.constant c ~width:lane_width 1) in
+      Ir.connect c r (Ir.mux stage1_fire v r))
+    result;
+
+  Ir.connect c stage (Ir.mux in_fire (Ir.gnd c) (Ir.mux stage1_fire (Ir.vdd c) stage));
+  let finishing = Ir.logand busy (Ir.eq_const stage 1) in
+  Ir.connect c busy
+    (Ir.mux in_fire (Ir.vdd c) (Ir.mux finishing (Ir.gnd c) busy));
+
+  let out_valid = result_valid in
+  let out_fire = Ir.logand out_valid out_ready in
+  Ir.connect c result_valid
+    (Ir.mux finishing (Ir.vdd c) (Ir.mux out_fire (Ir.gnd c) result_valid));
+
+  let out_data = Ir.concat result.(1) result.(0) in
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data
+    ~out_ready ()

@@ -1,0 +1,28 @@
+(** A two-lane SIMD accelerator — the multiple-input-batch case of
+    Sec. IV.B.
+
+    Each transaction carries a batch of two 4-bit operands packed into
+    [in_data]; the output packs the two results ([2*x + 1] per lane,
+    modulo 16), computed over two internal cycles through per-lane scratch
+    registers.
+
+    The injected bug is a cross-lane write-enable defect: a hidden toggle
+    flips every transaction, and when set, lane 1's scratch register keeps
+    its previous value — so lane 1's result is stale on every second batch.
+    With the batch-aware FC monitor BMC can even place the original and the
+    duplicate in the {e same} batch (equal data in both lanes, differing
+    results), yielding the shortest possible counterexample. *)
+
+val lanes : int
+val lane_width : int
+val data_width : int
+
+val reference : int -> int
+(** Per-lane operation on a lane value. *)
+
+val reference_batch : int -> int
+(** Whole-batch golden output for a packed input. *)
+
+val build : ?bug:bool -> unit -> Aqed.Iface.t
+
+val tau : int

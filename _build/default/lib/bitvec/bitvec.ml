@@ -1,0 +1,394 @@
+(* Bitvectors are stored as little-endian arrays of 32-bit limbs. The top
+   limb is kept masked so that structural equality of the representation
+   coincides with value equality. 32-bit limbs keep products of two limbs
+   inside OCaml's 63-bit native int. *)
+
+let limb_bits = 32
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { width : int; limbs : int array }
+
+let limb_count width = (width + limb_bits - 1) / limb_bits
+
+(* Mask of valid bits in the top limb of a vector of [width] bits. *)
+let top_mask width =
+  let r = width mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let normalize v =
+  let n = Array.length v.limbs in
+  if n > 0 then
+    v.limbs.(n - 1) <- v.limbs.(n - 1) land top_mask v.width;
+  v
+
+let make_raw width = { width; limbs = Array.make (limb_count width) 0 }
+
+let check_width width =
+  if width <= 0 then invalid_arg "Bitvec: width must be positive"
+
+let create ~width n =
+  check_width width;
+  if n < 0 then invalid_arg "Bitvec.create: negative value";
+  let v = make_raw width in
+  let rec fill i n =
+    if n <> 0 && i < Array.length v.limbs then begin
+      v.limbs.(i) <- n land limb_mask;
+      fill (i + 1) (n lsr limb_bits)
+    end
+  in
+  fill 0 n;
+  normalize v
+
+let zero width = check_width width; make_raw width
+let one width = create ~width 1
+
+let ones width =
+  check_width width;
+  let v = make_raw width in
+  Array.fill v.limbs 0 (Array.length v.limbs) limb_mask;
+  normalize v
+
+let of_bool b = create ~width:1 (if b then 1 else 0)
+
+let width v = v.width
+
+let bit v i =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec.bit: index out of range";
+  v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+let of_bits bits =
+  match bits with
+  | [] -> invalid_arg "Bitvec.of_bits: empty list"
+  | _ ->
+    let v = make_raw (List.length bits) in
+    List.iteri
+      (fun i b ->
+        if b then
+          v.limbs.(i / limb_bits) <-
+            v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+      bits;
+    v
+
+let to_bits v = List.init v.width (bit v)
+
+let to_int v =
+  let n = Array.length v.limbs in
+  let rec go i acc =
+    if i < 0 then acc
+    else if i * limb_bits >= 62 && v.limbs.(i) <> 0 then
+      failwith "Bitvec.to_int: value does not fit in an int"
+    else go (i - 1) ((acc lsl limb_bits) lor v.limbs.(i))
+  in
+  if v.width > 62 then go (n - 1) 0
+  else
+    (* Fast path: all limbs fit. *)
+    let rec fold i acc =
+      if i < 0 then acc else fold (i - 1) ((acc lsl limb_bits) lor v.limbs.(i))
+    in
+    fold (n - 1) 0
+
+let msb v = bit v (v.width - 1)
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+
+let is_ones v =
+  let n = Array.length v.limbs in
+  let rec go i =
+    if i >= n then true
+    else
+      let expect = if i = n - 1 then top_mask v.width else limb_mask in
+      v.limbs.(i) = expect && go (i + 1)
+  in
+  go 0
+
+let equal a b = a.width = b.width && a.limbs = b.limbs
+
+let compare a b =
+  if a.width <> b.width then Int.compare a.width b.width
+  else
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int.compare a.limbs.(i) b.limbs.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a.limbs - 1)
+
+let hash v = Hashtbl.hash (v.width, v.limbs)
+
+let same_width name a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)"
+                   name a.width b.width)
+
+let ult a b = same_width "ult" a b; compare a b < 0
+let ule a b = same_width "ule" a b; compare a b <= 0
+
+let slt a b =
+  same_width "slt" a b;
+  match msb a, msb b with
+  | true, false -> true
+  | false, true -> false
+  | _ -> compare a b < 0
+
+let sle a b = slt a b || equal a b
+
+let map2 name f a b =
+  same_width name a b;
+  let v = make_raw a.width in
+  Array.iteri (fun i la -> v.limbs.(i) <- f la b.limbs.(i)) a.limbs;
+  normalize v
+
+let logand a b = map2 "logand" (land) a b
+let logor a b = map2 "logor" (lor) a b
+let logxor a b = map2 "logxor" (lxor) a b
+
+let lognot a =
+  let v = make_raw a.width in
+  Array.iteri (fun i l -> v.limbs.(i) <- lnot l land limb_mask) a.limbs;
+  normalize v
+
+let reduce_and = is_ones
+let reduce_or v = not (is_zero v)
+
+let reduce_xor v =
+  let parity = ref 0 in
+  Array.iter
+    (fun l ->
+      let rec pop l acc = if l = 0 then acc else pop (l lsr 1) (acc lxor (l land 1)) in
+      parity := !parity lxor pop l 0)
+    v.limbs;
+  !parity = 1
+
+let add a b =
+  same_width "add" a b;
+  let v = make_raw a.width in
+  let carry = ref 0 in
+  Array.iteri
+    (fun i la ->
+      let s = la + b.limbs.(i) + !carry in
+      v.limbs.(i) <- s land limb_mask;
+      carry := s lsr limb_bits)
+    a.limbs;
+  normalize v
+
+let neg a = add (lognot a) (one a.width)
+let sub a b = same_width "sub" a b; add a (neg b)
+let succ a = add a (one a.width)
+
+let mul a b =
+  same_width "mul" a b;
+  let n = Array.length a.limbs in
+  let acc = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to n - 1 - i do
+        let p = (a.limbs.(i) * b.limbs.(j)) + acc.(i + j) + !carry in
+        acc.(i + j) <- p land limb_mask;
+        carry := p lsr limb_bits
+      done
+    end
+  done;
+  let v = make_raw a.width in
+  Array.blit acc 0 v.limbs 0 n;
+  normalize v
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
+  if k >= a.width then zero a.width
+  else
+    let v = make_raw a.width in
+    for i = a.width - 1 downto k do
+      if bit a (i - k) then
+        v.limbs.(i / limb_bits) <-
+          v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    normalize v
+
+let shift_right_logical a k =
+  if k < 0 then invalid_arg "Bitvec.shift_right_logical: negative shift";
+  if k >= a.width then zero a.width
+  else
+    let v = make_raw a.width in
+    for i = 0 to a.width - 1 - k do
+      if bit a (i + k) then
+        v.limbs.(i / limb_bits) <-
+          v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    v
+
+let shift_right_arith a k =
+  if k < 0 then invalid_arg "Bitvec.shift_right_arith: negative shift";
+  let sign = msb a in
+  let k = min k a.width in
+  let v = make_raw a.width in
+  for i = 0 to a.width - 1 do
+    let src = i + k in
+    let b = if src >= a.width then sign else bit a src in
+    if b then
+      v.limbs.(i / limb_bits) <-
+        v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  normalize v
+
+(* Long division, one result bit at a time, MSB first. Slow but only used in
+   the simulator on narrow vectors. *)
+let divmod a b =
+  same_width "divmod" a b;
+  if is_zero b then (ones a.width, a)
+  else begin
+    let w = a.width in
+    let q = ref (zero w) and r = ref (zero w) in
+    for i = w - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit a i then r := logor !r (one w);
+      if ule b !r then begin
+        r := sub !r b;
+        q := logor !q (shift_left (one w) i)
+      end
+    done;
+    (!q, !r)
+  end
+
+let udiv a b = fst (divmod a b)
+let urem a b = snd (divmod a b)
+
+let concat hi lo =
+  let w = hi.width + lo.width in
+  let v = make_raw w in
+  for i = 0 to lo.width - 1 do
+    if bit lo i then
+      v.limbs.(i / limb_bits) <- v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  for i = 0 to hi.width - 1 do
+    if bit hi i then begin
+      let j = i + lo.width in
+      v.limbs.(j / limb_bits) <- v.limbs.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+    end
+  done;
+  v
+
+let extract a ~hi ~lo =
+  if lo < 0 || hi >= a.width || hi < lo then
+    invalid_arg "Bitvec.extract: bad bounds";
+  let w = hi - lo + 1 in
+  let v = make_raw w in
+  for i = 0 to w - 1 do
+    if bit a (i + lo) then
+      v.limbs.(i / limb_bits) <- v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  v
+
+let zero_extend a w =
+  if w < a.width then invalid_arg "Bitvec.zero_extend: narrower target";
+  if w = a.width then a
+  else
+    let v = make_raw w in
+    Array.blit a.limbs 0 v.limbs 0 (Array.length a.limbs);
+    v
+
+let sign_extend a w =
+  if w < a.width then invalid_arg "Bitvec.sign_extend: narrower target";
+  if w = a.width || not (msb a) then zero_extend a w
+  else
+    let v = zero_extend a w in
+    let v' = make_raw w in
+    Array.blit v.limbs 0 v'.limbs 0 (Array.length v.limbs);
+    for i = a.width to w - 1 do
+      v'.limbs.(i / limb_bits) <-
+        v'.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    normalize v'
+
+let set_bit a i b =
+  if i < 0 || i >= a.width then invalid_arg "Bitvec.set_bit: index out of range";
+  let v = { width = a.width; limbs = Array.copy a.limbs } in
+  let mask = 1 lsl (i mod limb_bits) in
+  if b then v.limbs.(i / limb_bits) <- v.limbs.(i / limb_bits) lor mask
+  else v.limbs.(i / limb_bits) <- v.limbs.(i / limb_bits) land lnot mask;
+  v
+
+let to_signed_int v =
+  if not (msb v) then to_int v
+  else begin
+    let mag = neg v in
+    let m = to_int mag in
+    if m = 0 then
+      (* Most negative value of this width. *)
+      if v.width > 62 then failwith "Bitvec.to_signed_int: out of range"
+      else -(1 lsl (v.width - 1))
+    else -m
+  end
+
+let to_binary_string v =
+  let b = Buffer.create (v.width + 2) in
+  Buffer.add_string b "0b";
+  for i = v.width - 1 downto 0 do
+    Buffer.add_char b (if bit v i then '1' else '0')
+  done;
+  Buffer.contents b
+
+let to_hex_string v =
+  let digits = (v.width + 3) / 4 in
+  let b = Buffer.create (digits + 8) in
+  Buffer.add_string b "0x";
+  for d = digits - 1 downto 0 do
+    let nibble = ref 0 in
+    for k = 3 downto 0 do
+      let i = (d * 4) + k in
+      nibble := (!nibble lsl 1) lor (if i < v.width && bit v i then 1 else 0)
+    done;
+    Buffer.add_char b "0123456789abcdef".[!nibble]
+  done;
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int v.width);
+  Buffer.contents b
+
+let pp fmt v = Format.pp_print_string fmt (to_hex_string v)
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Bitvec.of_string: %S" s) in
+  let parse_width suffix = match int_of_string_opt suffix with
+    | Some w when w > 0 -> w
+    | Some _ | None -> fail ()
+  in
+  if String.length s > 2 && s.[0] = '0' && s.[1] = 'b' then begin
+    let digits = String.sub s 2 (String.length s - 2) in
+    let w = String.length digits in
+    let v = ref (zero w) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '1' -> v := set_bit !v (w - 1 - i) true
+        | '0' -> ()
+        | _ -> fail ())
+      digits;
+    !v
+  end
+  else
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some colon ->
+      let body = String.sub s 0 colon in
+      let w = parse_width (String.sub s (colon + 1) (String.length s - colon - 1)) in
+      if String.length body > 2 && body.[0] = '0' && body.[1] = 'x' then begin
+        let digits = String.sub body 2 (String.length body - 2) in
+        let v = ref (zero w) in
+        String.iter
+          (fun c ->
+            let d =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail ()
+            in
+            v := add (shift_left !v 4) (create ~width:w d))
+          digits;
+        !v
+      end
+      else
+        match int_of_string_opt body with
+        | Some n when n >= 0 -> create ~width:w n
+        | Some _ | None -> fail ()

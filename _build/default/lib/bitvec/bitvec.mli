@@ -1,0 +1,130 @@
+(** Fixed-width bitvectors.
+
+    A [Bitvec.t] is an immutable bitvector of a fixed positive width. All
+    arithmetic is modulo [2^width]; binary operations require both operands
+    to have the same width and raise [Invalid_argument] otherwise. This module
+    is the value domain of the RTL simulator and of counterexample traces. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : width:int -> int -> t
+(** [create ~width n] is the bitvector of [width] bits holding [n] modulo
+    [2^width]. [n] must be non-negative. Raises [Invalid_argument] if
+    [width <= 0]. *)
+
+val zero : int -> t
+(** [zero width] is the all-zeros vector of [width] bits. *)
+
+val one : int -> t
+(** [one width] is the vector of value 1. *)
+
+val ones : int -> t
+(** [ones width] is the all-ones vector of [width] bits. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1, [false] is 0. *)
+
+val of_bits : bool list -> t
+(** [of_bits bits] builds a vector from a list of bits, least significant
+    first. The width is the list length; the list must be non-empty. *)
+
+val of_string : string -> t
+(** Parses ["0b1010"], ["0x1f:8"] (hex with explicit width suffix) or
+    ["13:6"] (decimal with width). Binary literals take their width from the
+    digit count. Raises [Invalid_argument] on malformed input. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = least significant). Raises [Invalid_argument]
+    if [i] is out of range. *)
+
+val to_int : t -> int
+(** Value as a non-negative OCaml int. Raises [Failure] if the value does not
+    fit in 62 bits. *)
+
+val to_signed_int : t -> int
+(** Two's-complement interpretation. Raises [Failure] if out of int range. *)
+
+val to_bits : t -> bool list
+(** Bits, least significant first. *)
+
+val is_zero : t -> bool
+val is_ones : t -> bool
+
+val to_binary_string : t -> string
+(** E.g. ["0b0101"], full width, most significant bit first. *)
+
+val to_hex_string : t -> string
+(** E.g. ["0x05:4"] — hex digits covering the width plus a width suffix. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the hex form. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Value and width equality. *)
+
+val compare : t -> t -> int
+(** Unsigned comparison; vectors of smaller width sort first. *)
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+
+(** {1 Bitwise operations} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val reduce_and : t -> bool
+val reduce_or : t -> bool
+val reduce_xor : t -> bool
+
+(** {1 Arithmetic (modulo [2^width])} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val udiv : t -> t -> t
+(** Unsigned division; division by zero yields all-ones (SMT-LIB style). *)
+
+val urem : t -> t -> t
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+
+val succ : t -> t
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat hi lo] — [hi] occupies the most significant bits. *)
+
+val extract : t -> hi:int -> lo:int -> t
+(** [extract v ~hi ~lo] is bits [lo..hi] inclusive as a vector of width
+    [hi - lo + 1]. Raises [Invalid_argument] on bad bounds. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] widens [v] to width [w >= width v] with zero fill. *)
+
+val sign_extend : t -> int -> t
+
+val set_bit : t -> int -> bool -> t
+(** Functional single-bit update. *)
+
+val hash : t -> int

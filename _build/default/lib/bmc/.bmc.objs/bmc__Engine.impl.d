@@ -1,0 +1,1 @@
+lib/bmc/engine.ml: Array Bitvec Format List Logic Printf Rtl Sat Trace Unix

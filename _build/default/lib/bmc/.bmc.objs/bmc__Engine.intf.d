@@ -1,0 +1,1 @@
+lib/bmc/engine.mli: Format Rtl Sat Trace

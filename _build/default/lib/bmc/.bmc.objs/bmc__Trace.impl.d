@@ -1,0 +1,1 @@
+lib/bmc/trace.ml: Bitvec Format List Rtl String

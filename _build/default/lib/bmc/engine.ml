@@ -1,0 +1,247 @@
+module Aig = Logic.Aig
+module Tseitin = Logic.Tseitin
+module Solver = Sat.Solver
+
+type outcome =
+  | Cex of Trace.t
+  | Bounded_ok of int
+  | Proved of int
+
+type report = {
+  outcome : outcome;
+  frames_explored : int;
+  wall_time : float;
+  solver_stats : Solver.stats;
+  aig_nodes : int;
+}
+
+let pp_outcome fmt = function
+  | Cex t -> Format.fprintf fmt "counterexample at depth %d" (Trace.length t)
+  | Bounded_ok k -> Format.fprintf fmt "no counterexample up to depth %d" k
+  | Proved k -> Format.fprintf fmt "proved by %d-induction" k
+
+(* The transition relation of a circuit, shared by all frames: one AIG with
+   the property cone, assumption cones and latch next-state cones. *)
+type relation = {
+  aig : Aig.t;
+  bad : Aig.lit;                                  (* NOT property *)
+  assume_lits : Aig.lit list;
+  latches : Rtl.Blast.latch list;
+  input_sigs : (Rtl.Ir.signal * Aig.lit array) list;
+}
+
+let build_relation circuit ~prop =
+  if Rtl.Ir.width prop <> 1 then
+    invalid_arg "Bmc: property must be a 1-bit signal";
+  let blast = Rtl.Blast.create circuit in
+  let bad = Aig.not_ (Rtl.Blast.lit1 blast prop) in
+  let assume_lits = List.map (Rtl.Blast.lit1 blast) (Rtl.Ir.assumes circuit) in
+  Rtl.Blast.finalize blast;
+  {
+    aig = Rtl.Blast.aig blast;
+    bad;
+    assume_lits;
+    latches = Rtl.Blast.latches blast;
+    input_sigs = Rtl.Blast.input_bits blast;
+  }
+
+(* One frame: a Tseitin instantiation of the relation with the latch inputs
+   bound to the reset constants (frame 0), to the previous frame's
+   next-state values (constants fold through), or left free (induction). *)
+type binding =
+  | Bind_init
+  | Bind_prev of Tseitin.env
+  | Bind_free
+
+let make_frame solver rel binding =
+  let env = Tseitin.create solver rel.aig in
+  List.iter
+    (fun (l : Rtl.Blast.latch) ->
+      Array.iteri
+        (fun i cur ->
+          match binding with
+          | Bind_init -> Tseitin.bind_const env cur (Bitvec.bit l.init i)
+          | Bind_prev prev -> (
+              match Tseitin.value_of prev l.next.(i) with
+              | Tseitin.Cst b -> Tseitin.bind_const env cur b
+              | Tseitin.Lit s -> Tseitin.bind env cur s)
+          | Bind_free -> ())
+        l.cur)
+    rel.latches;
+  List.iter (fun a -> Tseitin.assert_true env a) rel.assume_lits;
+  env
+
+let extract_trace solver rel envs ~prop_name ~trace_regs =
+  let read_bit env l =
+    match Tseitin.value_of env l with
+    | Tseitin.Cst b -> b
+    | Tseitin.Lit s -> Solver.lit_value solver s
+  in
+  let read_bits env bits =
+    Bitvec.of_bits (Array.to_list (Array.map (read_bit env) bits))
+  in
+  let sig_name s =
+    match Rtl.Ir.signal_name s with Some n -> n | None -> "?"
+  in
+  let frames =
+    List.map
+      (fun env ->
+        let inputs =
+          List.map
+            (fun (s, bits) -> (sig_name s, read_bits env bits))
+            rel.input_sigs
+        in
+        let regs =
+          if not trace_regs then []
+          else
+            List.map
+              (fun (l : Rtl.Blast.latch) ->
+                (sig_name l.reg, read_bits env l.cur))
+              rel.latches
+        in
+        { Trace.inputs; regs })
+      envs
+  in
+  { Trace.property = prop_name; frames }
+
+let prop_name circuit prop =
+  let by_output =
+    List.find_opt (fun (_, s) -> s == prop) (Rtl.Ir.outputs circuit)
+  in
+  match by_output with
+  | Some (n, _) -> n
+  | None -> Printf.sprintf "%s#prop" (Rtl.Ir.circuit_name circuit)
+
+(* Outcome of asking for a violation in one frame. *)
+type frame_answer = Violated | Clean
+
+let query_frame solver env bad =
+  match Tseitin.value_of env bad with
+  | Tseitin.Cst false -> Clean
+  | Tseitin.Cst true -> Violated
+  | Tseitin.Lit bad_lit -> (
+      match Solver.solve ~assumptions:[ bad_lit ] solver with
+      | Solver.Sat -> Violated
+      | Solver.Unsat ->
+        (* Exclude this frame's violation from future searches. *)
+        Solver.add_clause solver [ -bad_lit ];
+        Clean)
+
+let export_aiger circuit ~prop oc =
+  let rel = build_relation circuit ~prop in
+  let inputs =
+    List.concat_map
+      (fun (_, bits) -> Array.to_list bits)
+      rel.input_sigs
+  in
+  let latches =
+    List.concat_map
+      (fun (l : Rtl.Blast.latch) ->
+        List.init (Array.length l.cur) (fun i ->
+            (l.cur.(i), l.next.(i), Bitvec.bit l.init i)))
+      rel.latches
+  in
+  let outputs =
+    List.mapi
+      (fun i a -> (Some (Printf.sprintf "constraint_%d" i), a))
+      rel.assume_lits
+  in
+  Logic.Aiger.write oc
+    {
+      Logic.Aiger.aig = rel.aig;
+      inputs;
+      latches;
+      outputs;
+      bad = [ rel.bad ];
+    }
+
+let check ?(max_depth = 64) ?(trace_regs = true) circuit ~prop =
+  let t0 = Unix.gettimeofday () in
+  let rel = build_relation circuit ~prop in
+  let solver = Solver.create () in
+  let name = prop_name circuit prop in
+  let finish outcome depth =
+    {
+      outcome;
+      frames_explored = depth;
+      wall_time = Unix.gettimeofday () -. t0;
+      solver_stats = Solver.stats solver;
+      aig_nodes = Aig.nb_nodes rel.aig;
+    }
+  in
+  let rec go envs_rev depth =
+    if depth > max_depth then finish (Bounded_ok max_depth) max_depth
+    else begin
+      let binding =
+        match envs_rev with [] -> Bind_init | prev :: _ -> Bind_prev prev
+      in
+      let env = make_frame solver rel binding in
+      let envs_rev = env :: envs_rev in
+      match query_frame solver env rel.bad with
+      | Violated ->
+        let trace =
+          extract_trace solver rel (List.rev envs_rev) ~prop_name:name
+            ~trace_regs
+        in
+        finish (Cex trace) depth
+      | Clean -> go envs_rev (depth + 1)
+    end
+  in
+  go [] 1
+
+(* Simple k-induction step: frames 0..k from a free start state, property
+   assumed in frames 0..k-1, violated in frame k. UNSAT means any reachable
+   violation must occur within depth k, which the base case has excluded. *)
+let induction_step rel k =
+  let solver = Solver.create () in
+  let rec frames i prev acc =
+    if i > k then List.rev acc
+    else begin
+      let binding = match prev with None -> Bind_free | Some e -> Bind_prev e in
+      let env = make_frame solver rel binding in
+      frames (i + 1) (Some env) (env :: acc)
+    end
+  in
+  let envs = frames 0 None [] in
+  List.iteri
+    (fun i env ->
+      if i < k then Tseitin.assert_false env rel.bad
+      else Tseitin.assert_true env rel.bad)
+    envs;
+  Solver.solve solver = Solver.Unsat
+
+let prove ?(max_depth = 64) circuit ~prop =
+  let t0 = Unix.gettimeofday () in
+  let rel = build_relation circuit ~prop in
+  let solver = Solver.create () in
+  let name = prop_name circuit prop in
+  let finish outcome depth =
+    {
+      outcome;
+      frames_explored = depth;
+      wall_time = Unix.gettimeofday () -. t0;
+      solver_stats = Solver.stats solver;
+      aig_nodes = Aig.nb_nodes rel.aig;
+    }
+  in
+  let rec go envs_rev depth =
+    if depth > max_depth then finish (Bounded_ok max_depth) max_depth
+    else begin
+      let binding =
+        match envs_rev with [] -> Bind_init | prev :: _ -> Bind_prev prev
+      in
+      let env = make_frame solver rel binding in
+      let envs_rev = env :: envs_rev in
+      match query_frame solver env rel.bad with
+      | Violated ->
+        let trace =
+          extract_trace solver rel (List.rev envs_rev) ~prop_name:name
+            ~trace_regs:true
+        in
+        finish (Cex trace) depth
+      | Clean ->
+        if induction_step rel depth then finish (Proved depth) depth
+        else go envs_rev (depth + 1)
+    end
+  in
+  go [] 1

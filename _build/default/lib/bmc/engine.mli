@@ -1,0 +1,56 @@
+(** Bounded model checking of {!Rtl.Ir} circuits.
+
+    The engine bit-blasts the circuit to an AIG transition relation, unrolls
+    it frame by frame into one incrementally-growing SAT instance, and asks
+    for a violation of the property at the newest frame under the circuit's
+    assumptions (applied in every frame). This is classic SAT-based BMC
+    (Clarke et al., 2001) — the decision procedure the paper delegates to a
+    commercial tool.
+
+    The property is a 1-bit signal expected to hold in {e every} cycle
+    (a safety property / invariant), as in the A-QED checks
+    [dup_done -> fc_check] and the RB property. *)
+
+type outcome =
+  | Cex of Trace.t
+      (** A violating input sequence; its length is the BMC depth at which
+          the bug was found (the minimum, since depths are tried in order). *)
+  | Bounded_ok of int
+      (** No violation within the given bound. *)
+  | Proved of int
+      (** Established by k-induction at the reported depth ({!prove} only). *)
+
+type report = {
+  outcome : outcome;
+  frames_explored : int;
+  wall_time : float;     (** seconds *)
+  solver_stats : Sat.Solver.stats;
+  aig_nodes : int;
+}
+
+val check :
+  ?max_depth:int -> ?trace_regs:bool -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
+  report
+(** Searches depths 1, 2, ... [max_depth] (default 64) for a counterexample.
+    [trace_regs] (default true) includes reconstructed register values in the
+    trace. The property signal must be 1 bit wide and belong to the circuit. *)
+
+val prove :
+  ?max_depth:int -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> report
+(** Interleaves the bounded search with simple k-induction: if no
+    counterexample exists at depth [k] and the inductive step at [k] is
+    unsatisfiable, the property is reported [Proved]. Sound; incomplete
+    (no unique-state constraints), so [Bounded_ok] may be returned at the
+    bound even for true properties. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val export_aiger : Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> out_channel -> unit
+(** Writes the bit-blasted transition relation as ASCII AIGER with a single
+    bad-state property ([not prop]), the format of the hardware
+    model-checking competition — so the exact BMC problems this engine
+    solves can be cross-checked with external tools (ABC, aigbmc...).
+    Circuit assumptions become constraint outputs named ["constraint_<i>"]
+    in the symbol table (AIGER 1.9 constraint semantics are not encoded
+    structurally; external tools must be told to treat them as invariants,
+    or the circuit should carry no assumptions). *)

@@ -1,0 +1,1 @@
+lib/core/check.ml: Bmc Fc_monitor Format Iface Option Rb_monitor Rtl Sac_monitor Sat

@@ -1,0 +1,1 @@
+lib/core/check.mli: Bmc Format Iface Rtl Sat

@@ -1,0 +1,1 @@
+lib/core/fc_monitor.mli: Iface Rtl

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Iface List Rtl

@@ -1,0 +1,1 @@
+lib/core/iface.ml: Printf Rtl

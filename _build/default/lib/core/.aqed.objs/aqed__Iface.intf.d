@@ -1,0 +1,1 @@
+lib/core/iface.mli: Rtl

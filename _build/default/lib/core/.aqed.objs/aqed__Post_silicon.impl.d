@@ -1,0 +1,1 @@
+lib/core/post_silicon.ml: Hashtbl Iface Int64 List Rtl

@@ -1,0 +1,1 @@
+lib/core/post_silicon.mli: Iface

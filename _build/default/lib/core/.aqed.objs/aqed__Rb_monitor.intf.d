@@ -1,0 +1,1 @@
+lib/core/rb_monitor.mli: Iface Rtl

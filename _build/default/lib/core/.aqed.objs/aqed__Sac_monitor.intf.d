@@ -1,0 +1,1 @@
+lib/core/sac_monitor.mli: Iface Rtl

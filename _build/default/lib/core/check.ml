@@ -1,0 +1,109 @@
+module Ir = Rtl.Ir
+
+type verdict =
+  | Bug of Bmc.Trace.t
+  | No_bug_up_to of int
+  | Proved of int
+
+type report = {
+  check : string;
+  verdict : verdict;
+  wall_time : float;
+  bmc_frames : int;
+  aig_nodes : int;
+  solver_stats : Sat.Solver.stats;
+}
+
+let run_bmc name ~max_depth ~induction circuit prop =
+  let bmc_report =
+    if induction then Bmc.Engine.prove ~max_depth circuit ~prop
+    else Bmc.Engine.check ~max_depth circuit ~prop
+  in
+  let verdict =
+    match bmc_report.Bmc.Engine.outcome with
+    | Bmc.Engine.Cex t -> Bug t
+    | Bmc.Engine.Bounded_ok k -> No_bug_up_to k
+    | Bmc.Engine.Proved k -> Proved k
+  in
+  {
+    check = name;
+    verdict;
+    wall_time = bmc_report.Bmc.Engine.wall_time;
+    bmc_frames = bmc_report.Bmc.Engine.frames_explored;
+    aig_nodes = bmc_report.Bmc.Engine.aig_nodes;
+    solver_stats = bmc_report.Bmc.Engine.solver_stats;
+  }
+
+(* Smallest counter width that cannot wrap within the BMC bound (or reach
+   the RB thresholds): saturating/stream counters stay faithful as long as
+   2^w exceeds every value they can see. *)
+let rec bits_for n = if n <= 1 then 1 else 1 + bits_for ((n + 1) / 2)
+
+let auto_cnt_width cnt_width ~max_depth ~floor =
+  match cnt_width with
+  | Some w -> w
+  | None -> max 2 (bits_for (max (max_depth + 2) (floor + 2)))
+
+let functional_consistency ?(max_depth = 32) ?cnt_width ?shared ?lanes
+    ?(induction = false) build =
+  let cnt_width = auto_cnt_width cnt_width ~max_depth ~floor:0 in
+  let iface = build () in
+  let shared_sig = Option.map (fun f -> f iface) shared in
+  let monitor =
+    match lanes with
+    | None -> Fc_monitor.add ~cnt_width ?shared:shared_sig iface
+    | Some lanes -> Fc_monitor.add_batch ~cnt_width ?shared:shared_sig ~lanes iface
+  in
+  run_bmc "FC" ~max_depth ~induction iface.Iface.circuit monitor.Fc_monitor.prop
+
+let response_bound ?(max_depth = 32) ?cnt_width ~tau ?in_min
+    ?starvation_bound ?(induction = false) build =
+  let floor =
+    max tau (match starvation_bound with Some b -> b | None -> tau)
+  in
+  let cnt_width = auto_cnt_width cnt_width ~max_depth ~floor in
+  let iface = build () in
+  let monitor = Rb_monitor.add ~cnt_width ~tau ?in_min ?starvation_bound iface in
+  let prop =
+    Ir.logand monitor.Rb_monitor.response_prop
+      monitor.Rb_monitor.starvation_prop
+  in
+  run_bmc "RB" ~max_depth ~induction iface.Iface.circuit prop
+
+let single_action ?(max_depth = 32) ~spec ?(induction = false) build =
+  let iface = build () in
+  let monitor = Sac_monitor.add ~spec iface in
+  run_bmc "SAC" ~max_depth ~induction iface.Iface.circuit
+    monitor.Sac_monitor.prop
+
+let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
+
+let trace_length r =
+  match r.verdict with
+  | Bug t -> Some (Bmc.Trace.length t)
+  | No_bug_up_to _ | Proved _ -> None
+
+let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
+    ?(induction = false) build =
+  let fc = functional_consistency ?max_depth ?cnt_width ?shared ~induction build in
+  if found_bug fc then [ fc ]
+  else begin
+    let rb = response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction build in
+    if found_bug rb then [ fc; rb ]
+    else
+      match spec with
+      | None -> [ fc; rb ]
+      | Some spec -> [ fc; rb; single_action ?max_depth ~spec ~induction build ]
+  end
+
+let pp_report fmt r =
+  (match r.verdict with
+   | Bug t ->
+     Format.fprintf fmt "%s: BUG (%d-cycle counterexample, %.3fs)" r.check
+       (Bmc.Trace.length t) r.wall_time
+   | No_bug_up_to k ->
+     Format.fprintf fmt "%s: clean up to depth %d (%.3fs)" r.check k
+       r.wall_time
+   | Proved k ->
+     Format.fprintf fmt "%s: proved by %d-induction (%.3fs)" r.check k
+       r.wall_time)

@@ -1,0 +1,77 @@
+(** The A-QED entry points: wrap a design with a monitor and run BMC.
+
+    Because the monitors instrument the design's circuit, every check takes
+    a {e builder} — a function producing a fresh {!Iface.t} — mirroring the
+    paper's flow where HLS regenerates the A-QED module per run. A check
+    needs no specification (FC), or only the response bound τ (RB), or only
+    a per-operation input/output function (SAC); per Proposition 1 the three
+    together establish total correctness for strongly-connected designs. *)
+
+type verdict =
+  | Bug of Bmc.Trace.t
+      (** Counterexample found; its length is the paper's "trace (clock
+          cycles)" metric. *)
+  | No_bug_up_to of int
+      (** Clean within the BMC bound. *)
+  | Proved of int
+      (** Property established by k-induction. *)
+
+type report = {
+  check : string;           (** ["FC"], ["RB"] or ["SAC"] *)
+  verdict : verdict;
+  wall_time : float;        (** seconds *)
+  bmc_frames : int;
+  aig_nodes : int;
+  solver_stats : Sat.Solver.stats;
+}
+
+val functional_consistency :
+  ?max_depth:int ->
+  ?cnt_width:int ->
+  ?shared:(Iface.t -> Rtl.Ir.signal) ->
+  ?lanes:int ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> report
+(** The specification-free A-QED check (Def. 2 / Fig. 4): searches for an
+    input sequence where a repeated (action, data) yields a different
+    output. [shared] selects a batch-shared operand (see {!Fc_monitor.add});
+    [lanes] switches to the multiple-input-batch monitor of Sec. IV.B
+    ({!Fc_monitor.add_batch}). [induction] (default false) additionally
+    attempts a k-induction proof, so clean designs can report [Proved]. *)
+
+val response_bound :
+  ?max_depth:int ->
+  ?cnt_width:int ->
+  tau:int ->
+  ?in_min:int ->
+  ?starvation_bound:int ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> report
+(** The RB check (Def. 3 / Sec. IV.C): both the response property and the
+    no-starvation property are checked (as their conjunction). *)
+
+val single_action :
+  ?max_depth:int ->
+  spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> report
+(** The SAC check (Def. 7) against a combinational [spec]. *)
+
+val verify :
+  ?max_depth:int ->
+  ?cnt_width:int ->
+  tau:int ->
+  ?in_min:int ->
+  ?shared:(Iface.t -> Rtl.Ir.signal) ->
+  ?spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> report list
+(** The full A-QED flow: FC, then RB, then SAC when a [spec] is provided.
+    Stops at the first [Bug] (reports up to that point are returned,
+    bug last), since the paper's flow debugs one counterexample at a time. *)
+
+val found_bug : report -> bool
+val trace_length : report -> int option
+(** Counterexample length in cycles, when a bug was found. *)
+
+val pp_report : Format.formatter -> report -> unit

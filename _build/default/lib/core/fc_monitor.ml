@@ -1,0 +1,220 @@
+module Ir = Rtl.Ir
+
+type t = {
+  prop : Ir.signal;
+  orig_taken : Ir.signal;
+  dup_taken : Ir.signal;
+  orig_done : Ir.signal;
+  dup_done : Ir.signal;
+  in_count : Ir.signal;
+  out_count : Ir.signal;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+(* Slice [s] into [lanes] equal fields and select field [sel]. *)
+let lane_mux lanes sel s =
+  let w = Rtl.Ir.width s / lanes in
+  Rtl.Ir.mux_n sel
+    (List.init lanes (fun k ->
+         Rtl.Ir.select s ~hi:(((k + 1) * w) - 1) ~lo:(k * w)))
+
+let add ?(cnt_width = 8) ?shared iface =
+  let c = iface.Iface.circuit in
+  let in_fire = Iface.in_fire iface in
+  let out_fire = Iface.out_fire iface in
+  let ad = Iface.ad iface in
+
+  (* Stream positions of captured inputs and outputs. *)
+  let in_cnt = Util.counter c "aqed_in_cnt" ~width:cnt_width ~incr:in_fire in
+  let out_cnt = Util.counter c "aqed_out_cnt" ~width:cnt_width ~incr:out_fire in
+
+  (* BMC-controlled labeling marks. *)
+  let orig_mark = Ir.input c "aqed_orig_mark" 1 in
+  let dup_mark = Ir.input c "aqed_dup_mark" 1 in
+
+  (* take_orig: label the captured input of this cycle as the original. *)
+  let orig_taken_r = Ir.reg0 c "aqed_orig_taken" 1 in
+  let dup_taken_r = Ir.reg0 c "aqed_dup_taken" 1 in
+  let take_orig =
+    Ir.and_list c [ in_fire; orig_mark; Ir.lognot orig_taken_r ]
+  in
+  (* The duplicate must be a strictly later captured input (the original's
+     registered flag gates it), carrying the same (action, data). *)
+  let take_dup =
+    Ir.and_list c [ in_fire; dup_mark; orig_taken_r; Ir.lognot dup_taken_r ]
+  in
+  Ir.connect c orig_taken_r (Ir.logor orig_taken_r take_orig);
+  Ir.connect c dup_taken_r (Ir.logor dup_taken_r take_dup);
+
+  let orig_ad = Util.latch_when c "aqed_orig_ad" ~capture:take_orig ad in
+  let orig_idx = Util.latch_when c "aqed_orig_idx" ~capture:take_orig in_cnt in
+  let dup_idx = Util.latch_when c "aqed_dup_idx" ~capture:take_dup in_cnt in
+
+  (* Environment constraint: the duplicate replays the original input. *)
+  Ir.assume c (Ir.implies take_dup (Ir.eq ad orig_ad));
+
+  (* Batch customization: a shared operand (e.g. the AES key) must match
+     between the two labeled inputs but is not itself compared. *)
+  (match shared with
+   | None -> ()
+   | Some s ->
+     let orig_shared = Util.latch_when c "aqed_orig_shared" ~capture:take_orig s in
+     Ir.assume c (Ir.implies take_dup (Ir.eq s orig_shared)));
+
+  (* Output snooping. The original's output is the [orig_idx]-th captured
+     output; [orig_active]/[orig_idx_now] cover the same-cycle case of
+     zero-latency designs. *)
+  let orig_active = Ir.logor orig_taken_r take_orig in
+  let orig_idx_now = Ir.mux take_orig in_cnt orig_idx in
+  let orig_out_fire =
+    Ir.and_list c [ out_fire; orig_active; Ir.eq out_cnt orig_idx_now ]
+  in
+  let orig_done_r = Ir.reg0 c "aqed_orig_done" 1 in
+  Ir.connect c orig_done_r (Ir.logor orig_done_r orig_out_fire);
+  let orig_out =
+    Util.latch_when c "aqed_orig_out"
+      ~capture:(Ir.logand orig_out_fire (Ir.lognot orig_done_r))
+      iface.Iface.out_data
+  in
+
+  let dup_active = Ir.logor dup_taken_r take_dup in
+  let dup_idx_now = Ir.mux take_dup in_cnt dup_idx in
+  let dup_done_r = Ir.reg0 c "aqed_dup_done" 1 in
+  let dup_out_fire =
+    Ir.and_list c
+      [ out_fire; dup_active; Ir.eq out_cnt dup_idx_now;
+        Ir.lognot dup_done_r ]
+  in
+  Ir.connect c dup_done_r (Ir.logor dup_done_r dup_out_fire);
+
+  (* The property. When the duplicate's output is captured, the original's
+     output must already be recorded (stream order) and must match. *)
+  let fc_check =
+    Ir.logand orig_done_r (Ir.eq iface.Iface.out_data orig_out)
+  in
+  let prop = Ir.implies dup_out_fire fc_check in
+  {
+    prop;
+    orig_taken = orig_taken_r;
+    dup_taken = dup_taken_r;
+    orig_done = orig_done_r;
+    dup_done = dup_done_r;
+    in_count = in_cnt;
+    out_count = out_cnt;
+  }
+
+let add_batch ?(cnt_width = 8) ?shared ~lanes iface =
+  if lanes < 2 || lanes land (lanes - 1) <> 0 then
+    invalid_arg "Fc_monitor.add_batch: lanes must be a power of two >= 2";
+  let c = iface.Iface.circuit in
+  let din_w = Ir.width iface.Iface.in_data in
+  let dout_w = Ir.width iface.Iface.out_data in
+  if din_w mod lanes <> 0 || dout_w mod lanes <> 0 then
+    invalid_arg "Fc_monitor.add_batch: lane count must divide both widths";
+  let lw = log2 lanes in
+  let in_fire = Iface.in_fire iface in
+  let out_fire = Iface.out_fire iface in
+
+  let in_cnt = Util.counter c "aqed_in_cnt" ~width:cnt_width ~incr:in_fire in
+  let out_cnt = Util.counter c "aqed_out_cnt" ~width:cnt_width ~incr:out_fire in
+
+  let orig_mark = Ir.input c "aqed_orig_mark" 1 in
+  let dup_mark = Ir.input c "aqed_dup_mark" 1 in
+  let orig_lane = Ir.input c "aqed_orig_lane" lw in
+  let dup_lane = Ir.input c "aqed_dup_lane" lw in
+
+  let orig_taken_r = Ir.reg0 c "aqed_orig_taken" 1 in
+  let dup_taken_r = Ir.reg0 c "aqed_dup_taken" 1 in
+  let take_orig =
+    Ir.and_list c [ in_fire; orig_mark; Ir.lognot orig_taken_r ]
+  in
+  (* The duplicate may share the original\'s batch (same cycle, different
+     lane) or be captured later. *)
+  let take_dup =
+    Ir.and_list c
+      [ in_fire; dup_mark;
+        Ir.logor orig_taken_r take_orig;
+        Ir.lognot dup_taken_r ]
+  in
+  Ir.connect c orig_taken_r (Ir.logor orig_taken_r take_orig);
+  Ir.connect c dup_taken_r (Ir.logor dup_taken_r take_dup);
+
+  let in_lane sel = lane_mux lanes sel iface.Iface.in_data in
+  let out_lane sel = lane_mux lanes sel iface.Iface.out_data in
+
+  let orig_data =
+    Util.latch_when c "aqed_orig_data" ~capture:take_orig (in_lane orig_lane)
+  in
+  let orig_idx = Util.latch_when c "aqed_orig_idx" ~capture:take_orig in_cnt in
+  let orig_lane_r =
+    Util.latch_when c "aqed_orig_lane_r" ~capture:take_orig orig_lane
+  in
+  let dup_idx = Util.latch_when c "aqed_dup_idx" ~capture:take_dup in_cnt in
+  let dup_lane_r =
+    Util.latch_when c "aqed_dup_lane_r" ~capture:take_dup dup_lane
+  in
+
+  (* Same-batch duplicates must name a different lane with equal data; the
+     replayed data must equal the original\'s in either case. *)
+  Ir.assume c
+    (Ir.implies (Ir.logand take_dup take_orig)
+       (Ir.lognot (Ir.eq dup_lane orig_lane)));
+  let orig_data_now = Ir.mux take_orig (in_lane orig_lane) orig_data in
+  Ir.assume c (Ir.implies take_dup (Ir.eq (in_lane dup_lane) orig_data_now));
+
+  (match shared with
+   | None -> ()
+   | Some s ->
+     let orig_shared =
+       Util.latch_when c "aqed_orig_shared" ~capture:take_orig s
+     in
+     let now = Ir.mux take_orig s orig_shared in
+     Ir.assume c (Ir.implies take_dup (Ir.eq s now)));
+
+  (* Output side. The original\'s result is lane [orig_lane_r] of output
+     batch [orig_idx]; likewise for the duplicate. When both sit in the
+     same batch the comparison happens combinationally in that cycle. *)
+  let orig_active = Ir.logor orig_taken_r take_orig in
+  let orig_idx_now = Ir.mux take_orig in_cnt orig_idx in
+  let orig_lane_now = Ir.mux take_orig orig_lane orig_lane_r in
+  let orig_out_fire =
+    Ir.and_list c [ out_fire; orig_active; Ir.eq out_cnt orig_idx_now ]
+  in
+  let orig_done_r = Ir.reg0 c "aqed_orig_done" 1 in
+  Ir.connect c orig_done_r (Ir.logor orig_done_r orig_out_fire);
+  let orig_out =
+    Util.latch_when c "aqed_orig_out"
+      ~capture:(Ir.logand orig_out_fire (Ir.lognot orig_done_r))
+      (out_lane orig_lane_now)
+  in
+
+  let dup_active = Ir.logor dup_taken_r take_dup in
+  let dup_idx_now = Ir.mux take_dup in_cnt dup_idx in
+  let dup_lane_now = Ir.mux take_dup dup_lane dup_lane_r in
+  let dup_done_r = Ir.reg0 c "aqed_dup_done" 1 in
+  let dup_out_fire =
+    Ir.and_list c
+      [ out_fire; dup_active; Ir.eq out_cnt dup_idx_now;
+        Ir.lognot dup_done_r ]
+  in
+  Ir.connect c dup_done_r (Ir.logor dup_done_r dup_out_fire);
+
+  let orig_value_now =
+    Ir.mux orig_out_fire (out_lane orig_lane_now) orig_out
+  in
+  let fc_check =
+    Ir.logand
+      (Ir.logor orig_done_r orig_out_fire)
+      (Ir.eq (out_lane dup_lane_now) orig_value_now)
+  in
+  let prop = Ir.implies dup_out_fire fc_check in
+  {
+    prop;
+    orig_taken = orig_taken_r;
+    dup_taken = dup_taken_r;
+    orig_done = orig_done_r;
+    dup_done = dup_done_r;
+    in_count = in_cnt;
+    out_count = out_cnt;
+  }

@@ -1,0 +1,70 @@
+module Ir = Rtl.Ir
+module Sim = Rtl.Sim
+
+type t = {
+  iface : Iface.t;
+  sim : Sim.t;
+  mutable last_cycles : int;
+}
+
+type txn = {
+  action : int option;
+  data : int;
+}
+
+let txn ?action data = { action; data }
+
+let create iface =
+  { iface; sim = Sim.create iface.Iface.circuit; last_cycles = 0 }
+
+let sim t = t.sim
+
+let run ?(host_ready = fun _ -> true) ?(max_cycles = 1000) t txns =
+  let iface = t.iface in
+  let sim = t.sim in
+  let outputs = ref [] in
+  let remaining = ref txns in
+  let sent = ref 0 in
+  let received = ref 0 in
+  let cycles = ref 0 in
+  let total = List.length txns in
+  while (!received < total || !remaining <> []) && !cycles < max_cycles do
+    (* Drive this cycle's inputs. *)
+    (match !remaining with
+     | [] -> Sim.set_input_int sim "in_valid" 0
+     | tx :: _ ->
+       Sim.set_input_int sim "in_valid" 1;
+       Sim.set_input_int sim "in_data" tx.data;
+       (match tx.action, iface.Iface.in_action with
+        | Some a, Some _ -> Sim.set_input_int sim "in_action" a
+        | None, None -> ()
+        | Some _, None ->
+          invalid_arg "Harness.run: transaction has an action but the design has no action port"
+        | None, Some _ ->
+          invalid_arg "Harness.run: design has an action port but the transaction has none"));
+    Sim.set_input_int sim "out_ready" (if host_ready !cycles then 1 else 0);
+    (* Observe the handshake before the clock edge. *)
+    let in_fire =
+      (match !remaining with [] -> false | _ :: _ -> true)
+      && Sim.peek_int sim iface.Iface.in_ready = 1
+    in
+    let out_fire =
+      Sim.peek_int sim iface.Iface.out_valid = 1 && host_ready !cycles
+    in
+    if out_fire then begin
+      outputs := Sim.peek_int sim iface.Iface.out_data :: !outputs;
+      incr received
+    end;
+    Sim.step sim;
+    if in_fire then begin
+      (match !remaining with
+       | _ :: rest -> remaining := rest
+       | [] -> ());
+      incr sent
+    end;
+    incr cycles
+  done;
+  t.last_cycles <- !cycles;
+  List.rev !outputs
+
+let run_cycles t = t.last_cycles

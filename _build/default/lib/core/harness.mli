@@ -1,0 +1,36 @@
+(** Transaction-level simulation driving of an {!Iface.t} design.
+
+    Wraps the cycle-accurate simulator with the ready/valid protocol: feed
+    (action, data) transactions, let the harness respect the handshake, and
+    collect the captured outputs. Used by the examples, the conventional
+    testbench flow, and the tests that cross-validate the A-QED monitors
+    against simulation. *)
+
+type t
+
+type txn = {
+  action : int option;  (** must be [Some _] iff the design has an action port *)
+  data : int;
+}
+
+val txn : ?action:int -> int -> txn
+
+val create : Iface.t -> t
+(** The interface's host-side signals must be the primary inputs declared by
+    {!Iface.standard_inputs} (names [in_valid]/[in_action]/[in_data]/
+    [out_ready]). *)
+
+val sim : t -> Rtl.Sim.t
+
+val run :
+  ?host_ready:(int -> bool) ->
+  ?max_cycles:int ->
+  t -> txn list -> int list
+(** Presents the transactions in order (holding each until the design takes
+    it), with the host's [out_ready] following [host_ready cycle] (default:
+    always ready), and returns the captured outputs (as ints) once all
+    transactions are consumed and the output count matches the input count,
+    or when [max_cycles] (default 1000) elapses — whichever comes first. *)
+
+val run_cycles : t -> int
+(** Cycles consumed by the last {!run}. *)

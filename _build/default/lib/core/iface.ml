@@ -1,0 +1,44 @@
+module Ir = Rtl.Ir
+
+type t = {
+  circuit : Ir.circuit;
+  in_valid : Ir.signal;
+  in_action : Ir.signal option;
+  in_data : Ir.signal;
+  in_ready : Ir.signal;
+  out_valid : Ir.signal;
+  out_data : Ir.signal;
+  out_ready : Ir.signal;
+}
+
+let make circuit ?in_action ~in_valid ~in_data ~in_ready ~out_valid ~out_data
+    ~out_ready () =
+  let check1 name s =
+    if Ir.width s <> 1 then
+      invalid_arg (Printf.sprintf "Iface.make: %s must be 1 bit" name)
+  in
+  check1 "in_valid" in_valid;
+  check1 "in_ready" in_ready;
+  check1 "out_valid" out_valid;
+  check1 "out_ready" out_ready;
+  { circuit; in_valid; in_action; in_data; in_ready; out_valid; out_data;
+    out_ready }
+
+let in_fire t = Ir.logand t.in_valid t.in_ready
+let out_fire t = Ir.logand t.out_valid t.out_ready
+
+let ad t =
+  match t.in_action with
+  | None -> t.in_data
+  | Some a -> Ir.concat a t.in_data
+
+let standard_inputs circuit ?action_width ~data_width () =
+  let in_valid = Ir.input circuit "in_valid" 1 in
+  let in_action =
+    match action_width with
+    | None -> None
+    | Some w -> Some (Ir.input circuit "in_action" w)
+  in
+  let in_data = Ir.input circuit "in_data" data_width in
+  let out_ready = Ir.input circuit "out_ready" 1 in
+  (in_valid, in_action, in_data, out_ready)

@@ -1,0 +1,56 @@
+(** The loosely-coupled-accelerator (LCA) interface contract.
+
+    A design under A-QED exposes the ready/valid handshake of Sec. II/III:
+    the host presents an (action, data) pair with [in_valid] (action absent
+    means a single-function accelerator, every valid input being the one
+    action); the design asserts [in_ready] when it can capture an input. An
+    input is {e captured} on a cycle where both are high. Symmetrically the
+    design presents [out_data] under [out_valid], and the host's [out_ready]
+    is the paper's host-ready signal [rdh]; an output is captured when both
+    are high. The k-th captured input corresponds to the k-th captured
+    output (non-interfering streaming execution).
+
+    The circuit is left open on purpose: the A-QED monitors add their own
+    registers, constraints and properties to it before BMC. *)
+
+type t = {
+  circuit : Rtl.Ir.circuit;
+  in_valid : Rtl.Ir.signal;            (** 1 bit, primary input (host) *)
+  in_action : Rtl.Ir.signal option;    (** primary input; [None] for single-function designs *)
+  in_data : Rtl.Ir.signal;             (** primary input *)
+  in_ready : Rtl.Ir.signal;            (** 1 bit, produced by the design *)
+  out_valid : Rtl.Ir.signal;           (** 1 bit, produced by the design *)
+  out_data : Rtl.Ir.signal;            (** produced by the design *)
+  out_ready : Rtl.Ir.signal;           (** 1 bit, primary input (host ready, rdh) *)
+}
+
+val make :
+  Rtl.Ir.circuit ->
+  ?in_action:Rtl.Ir.signal ->
+  in_valid:Rtl.Ir.signal ->
+  in_data:Rtl.Ir.signal ->
+  in_ready:Rtl.Ir.signal ->
+  out_valid:Rtl.Ir.signal ->
+  out_data:Rtl.Ir.signal ->
+  out_ready:Rtl.Ir.signal ->
+  unit -> t
+(** Checks the 1-bit signals are 1 bit wide and all signals belong to the
+    circuit; raises [Invalid_argument] otherwise. *)
+
+val in_fire : t -> Rtl.Ir.signal
+(** [in_valid && in_ready] — an input is captured this cycle. *)
+
+val out_fire : t -> Rtl.Ir.signal
+(** [out_valid && out_ready] — an output is captured this cycle. *)
+
+val ad : t -> Rtl.Ir.signal
+(** The (action, data) pair as one vector: [in_action @ in_data], or just
+    [in_data] when there is no action field. *)
+
+val standard_inputs :
+  Rtl.Ir.circuit -> ?action_width:int -> data_width:int -> unit ->
+  Rtl.Ir.signal * Rtl.Ir.signal option * Rtl.Ir.signal * Rtl.Ir.signal
+(** Declares the conventional host-side inputs
+    [(in_valid, in_action, in_data, out_ready)] named ["in_valid"],
+    ["in_action"], ["in_data"], ["out_ready"] — the signal names every
+    example and testbench uses. *)

@@ -1,0 +1,236 @@
+type ('s, 'a, 'd, 'o) t = {
+  init : 's;
+  rdin : 's -> bool;
+  a_nop : 'a;
+  o_nop : 'o;
+  trans : 's -> 'a * 'd * bool -> 's;
+  out : 's -> 'o;
+}
+
+type ('a, 'd) input = {
+  action : 'a;
+  data : 'd;
+  rdh : bool;
+}
+
+let input ?(rdh = true) action data = { action; data; rdh }
+
+let run m ins =
+  let rec go s acc = function
+    | [] -> List.rev acc
+    | i :: rest ->
+      let s' = m.trans s (i.action, i.data, i.rdh) in
+      go s' (s' :: acc) rest
+  in
+  go m.init [] ins
+
+(* One pass computing both captured sequences. At step i (consuming in_i
+   from state s_(i-1)): the input is captured iff its action is valid and
+   rdin(s_(i-1)); the output visible in s_(i-1) is captured iff it is not
+   o_nop and the host is ready this step (rdh in_i) — the handshake reading
+   of Def. 2, where the transition may then clear the output. *)
+let captured m ins =
+  let rec go s cin cout = function
+    | [] -> (List.rev cin, List.rev cout)
+    | i :: rest ->
+      let captured_in = i.action <> m.a_nop && m.rdin s in
+      let o = m.out s in
+      let s' = m.trans s (i.action, i.data, i.rdh) in
+      let cin = if captured_in then (i.action, i.data) :: cin else cin in
+      let cout = if o <> m.o_nop && i.rdh then o :: cout else cout in
+      go s' cin cout rest
+  in
+  go m.init [] [] ins
+
+let captured_inputs m ins = fst (captured m ins)
+let captured_outputs m ins = snd (captured m ins)
+
+(* Enumerate every input sequence of length <= depth over the alphabets,
+   calling [f] on each; stops early when [f] returns [Some _]. *)
+let enumerate ~actions ~data ~depth f =
+  let symbols =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun d -> [ input ~rdh:true a d; input ~rdh:false a d ])
+          data)
+      actions
+  in
+  let rec go prefix_rev len =
+    if len > depth then None
+    else
+      match f (List.rev prefix_rev) with
+      | Some r -> Some r
+      | None ->
+        if len = depth then None
+        else
+          let rec try_symbols = function
+            | [] -> None
+            | sym :: rest ->
+              (match go (sym :: prefix_rev) (len + 1) with
+               | Some r -> Some r
+               | None -> try_symbols rest)
+          in
+          try_symbols symbols
+  in
+  go [] 0
+
+type ('a, 'd) fc_witness = {
+  sequence : ('a, 'd) input list;
+  index_orig : int;
+  index_dup : int;
+}
+
+(* A sequence violates FC when two captured inputs agree on (action, data)
+   but the captured outputs at the same positions differ. Positions beyond
+   the produced outputs are not compared (that is RB's concern). *)
+let fc_violation m ins =
+  let cin, cout = captured m ins in
+  let cin = Array.of_list cin and cout = Array.of_list cout in
+  let n = min (Array.length cin) (Array.length cout) in
+  let rec find i j =
+    if i >= n then None
+    else if j >= n then find (i + 1) (i + 2)
+    else if cin.(i) = cin.(j) && cout.(i) <> cout.(j) then
+      Some { sequence = ins; index_orig = i; index_dup = j }
+    else find i (j + 1)
+  in
+  find 0 1
+
+let check_fc ~actions ~data ~depth m =
+  enumerate ~actions ~data ~depth (fc_violation m)
+
+let check_rb ~actions ~data ~depth ~bound m =
+  let violates ins =
+    match ins with
+    | [] -> None
+    | _ ->
+      (* Part 1: rdin must recur while the host cooperates. If in the last
+         bound+1 steps the host was ready (rdh) throughout yet rdin never
+         held, the accelerator starves the host. (Without the rdh fairness
+         condition any blocking accelerator would be condemned by a host
+         that never drains outputs.) *)
+      let states = Array.of_list (m.init :: run m ins) in
+      let inputs = Array.of_list ins in
+      let n = Array.length inputs in
+      let tail_starved =
+        n > bound
+        &&
+        let ok = ref true in
+        for i = n - (bound + 1) to n - 1 do
+          if not inputs.(i).rdh || m.rdin states.(i) then ok := false
+        done;
+        !ok
+      in
+      if tail_starved then Some ins
+      else begin
+        (* Part 2: count captured inputs/outputs; if the suffix contains at
+           least [bound] host-ready steps after the k-th captured input and
+           the k-th output is still missing, responsiveness is violated. *)
+        let cin, cout = captured m ins in
+        let missing = List.length cin - List.length cout in
+        if missing <= 0 then None
+        else begin
+          (* Locate the step of the (|cout|+1)-th captured input, then count
+             host-ready steps after it. *)
+          let target = List.length cout + 1 in
+          let rec step s seen i = function
+            | [] -> None
+            | inp :: rest ->
+              let captured_in = inp.action <> m.a_nop && m.rdin s in
+              let s' = m.trans s (inp.action, inp.data, inp.rdh) in
+              let seen = if captured_in then seen + 1 else seen in
+              if seen >= target then Some i
+              else step s' seen (i + 1) rest
+          in
+          match step m.init 0 0 ins with
+          | None -> None
+          | Some pos ->
+            let rdh_after =
+              List.filteri (fun i inp -> i >= pos && inp.rdh) ins
+              |> List.length
+            in
+            if rdh_after >= bound then Some ins else None
+        end
+      end
+  in
+  enumerate ~actions ~data ~depth violates
+
+let check_sac ~actions ~data ~flush ~spec m =
+  let nop_flood = List.init flush (fun _ -> input m.a_nop (List.hd data)) in
+  let try_pair a d =
+    if a = m.a_nop then None
+    else
+      let ins = input ~rdh:false a d :: nop_flood in
+      match captured_outputs m ins with
+      | o :: _ -> if o = spec a d then None else Some (a, d)
+      | [] -> Some (a, d)  (* no output within the flush window *)
+  in
+  let rec over_actions = function
+    | [] -> None
+    | a :: rest ->
+      let rec over_data = function
+        | [] -> over_actions rest
+        | d :: ds ->
+          (match try_pair a d with Some p -> Some p | None -> over_data ds)
+      in
+      over_data data
+  in
+  over_actions actions
+
+let check_total ~actions ~data ~depth ~spec m =
+  let violates ins =
+    let cin, cout = captured m ins in
+    let rec cmp cin cout =
+      match cin, cout with
+      | _, [] -> None
+      | [], _ :: _ -> Some ins  (* output with no corresponding input *)
+      | (a, d) :: cin', o :: cout' ->
+        if o <> spec a d then Some ins else cmp cin' cout'
+    in
+    cmp cin cout
+  in
+  enumerate ~actions ~data ~depth violates
+
+let strongly_connected ~actions ~data m =
+  let symbols =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun d -> [ (a, d, true); (a, d, false) ])
+          data)
+      actions
+  in
+  let succs s = List.map (fun sym -> m.trans s sym) symbols in
+  (* All states reachable from [from]. *)
+  let reach from =
+    let seen = Hashtbl.create 64 in
+    let rec go frontier =
+      match frontier with
+      | [] -> seen
+      | s :: rest ->
+        if Hashtbl.mem seen s then go rest
+        else begin
+          Hashtbl.add seen s ();
+          go (succs s @ rest)
+        end
+    in
+    go [ from ]
+  in
+  let reachable = reach m.init in
+  (* Reverse reachability to init over the reachable subgraph. *)
+  let coreach = Hashtbl.create 64 in
+  Hashtbl.add coreach m.init ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun s () ->
+        if not (Hashtbl.mem coreach s) then
+          if List.exists (Hashtbl.mem coreach) (succs s) then begin
+            Hashtbl.add coreach s ();
+            changed := true
+          end)
+      reachable
+  done;
+  Hashtbl.fold (fun s () ok -> ok && Hashtbl.mem coreach s) reachable true

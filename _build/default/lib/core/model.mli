@@ -1,0 +1,100 @@
+(** Executable formalization of the paper's accelerator model (Sec. III).
+
+    An accelerator is a finite transition system (Def. 1): from a state it
+    consumes an input — an (action, data, host-ready) triple — and moves to a
+    new state; each state exposes an output and an input-ready flag. The
+    ready/valid protocol defines which inputs and outputs are {e captured}
+    (Sec. III): an input is captured when its action is not the no-op and the
+    accelerator was input-ready; an output is captured when it differs from
+    the no-output value and the host was ready.
+
+    The paper leaves the step-level pairing of [rdh] with outputs informal;
+    we fix the natural handshake reading: consuming input [in_i] in state
+    [s_(i-1)] yields state [s_i], the input is captured iff
+    [a(in_i) <> a_nop && rdin s_(i-1)], and the output visible {e before}
+    the transition, [F s_(i-1)], is captured iff it differs from [o_nop]
+    and [rdh in_i] holds — so a transition may clear an output in the very
+    step the host consumes it, exactly like an RTL ready/valid handshake.
+
+    The checkers below decide FC (Def. 2), RB (Def. 3), SAC (Def. 7) and
+    total correctness (Def. 6) by {e bounded exhaustive} enumeration over
+    finite action/data alphabets — feasible for the small reference machines
+    used in tests, and the executable ground truth against which the
+    RTL-level A-QED monitors are validated. Proposition 1 (FC + RB + SAC +
+    strong connectedness entails total correctness) is exercised as a
+    property test over random machines. *)
+
+type ('s, 'a, 'd, 'o) t = {
+  init : 's;
+  rdin : 's -> bool;                      (** input-ready predicate *)
+  a_nop : 'a;                             (** the distinguished no-op action *)
+  o_nop : 'o;                             (** the distinguished no-output *)
+  trans : 's -> 'a * 'd * bool -> 's;     (** transition function T *)
+  out : 's -> 'o;                         (** output function F *)
+}
+
+type ('a, 'd) input = {
+  action : 'a;
+  data : 'd;
+  rdh : bool;                             (** host-ready *)
+}
+
+val input : ?rdh:bool -> 'a -> 'd -> ('a, 'd) input
+(** [input a d] with [rdh] defaulting to [true]. *)
+
+val run : ('s, 'a, 'd, 'o) t -> ('a, 'd) input list -> 's list
+(** The induced state sequence [s_1 .. s_k] (excluding the initial state). *)
+
+val captured_inputs :
+  ('s, 'a, 'd, 'o) t -> ('a, 'd) input list -> ('a * 'd) list
+(** [C_in(init, ins)] — the captured (action, data) pairs, in order. *)
+
+val captured_outputs : ('s, 'a, 'd, 'o) t -> ('a, 'd) input list -> 'o list
+(** [C_out(init, ins)] — the captured outputs, in order. *)
+
+(** {1 Property checkers (bounded exhaustive)}
+
+    Each checker enumerates every input sequence up to [depth] built from
+    the given action/data alphabets (with both host-ready values), so cost
+    is [(2*|actions|*|data|)^depth]; keep alphabets and depths small. *)
+
+type ('a, 'd) fc_witness = {
+  sequence : ('a, 'd) input list;
+  index_orig : int;           (** position in the captured-input sequence *)
+  index_dup : int;
+}
+
+val check_fc :
+  actions:'a list -> data:'d list -> depth:int ->
+  ('s, 'a, 'd, 'o) t -> ('a, 'd) fc_witness option
+(** [None] when functionally consistent up to [depth]; otherwise a witness
+    sequence whose captured inputs at [index_orig] and [index_dup] agree on
+    (action, data) but whose corresponding captured outputs differ. *)
+
+val check_rb :
+  actions:'a list -> data:'d list -> depth:int -> bound:int ->
+  ('s, 'a, 'd, 'o) t -> ('a, 'd) input list option
+(** Checks responsiveness with bound [bound] (Def. 3) up to [depth]: both
+    that [rdin] recurs within [bound] steps, and that after a captured input
+    the corresponding output appears within [bound] host-ready cycles.
+    Returns a violating prefix if one exists. *)
+
+val check_sac :
+  actions:'a list -> data:'d list -> flush:int ->
+  spec:('a -> 'd -> 'o) -> ('s, 'a, 'd, 'o) t -> ('a * 'd) option
+(** Single-action correctness (Def. 7): for every non-nop (action, data), a
+    single valid input from reset followed by up to [flush] no-op inputs must
+    yield exactly the spec output as the first captured output. Returns a
+    failing pair if any. *)
+
+val check_total :
+  actions:'a list -> data:'d list -> depth:int ->
+  spec:('a -> 'd -> 'o) -> ('s, 'a, 'd, 'o) t -> ('a, 'd) input list option
+(** Functional correctness w.r.t. [spec] (Def. 5) up to [depth]: every
+    captured output must equal [spec] of its captured input. *)
+
+val strongly_connected :
+  actions:'a list -> data:'d list -> ('s, 'a, 'd, 'o) t -> bool
+(** Def. 8, decided by reachability over the finite state graph: from every
+    reachable state some input sequence leads back to [init]. The state type
+    must support structural equality/hashing. *)

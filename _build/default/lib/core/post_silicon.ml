@@ -1,0 +1,109 @@
+module Ir = Rtl.Ir
+module Sim = Rtl.Sim
+
+type report = {
+  transactions : int;
+  duplicates_checked : int;
+  mismatch : mismatch option;
+  cycles : int;
+}
+
+and mismatch = {
+  data : int;
+  first_output : int;
+  dup_output : int;
+  at_transaction : int;
+}
+
+(* Local splitmix-style generator so the core library does not depend on
+   the testbench package. *)
+let mix seed =
+  let state = ref (Int64.of_int (seed * 2 + 1)) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.shift_right_logical z 2) mod bound
+
+let has_input circuit name =
+  List.exists (fun s -> Ir.signal_name s = Some name) (Ir.inputs circuit)
+
+let run ?(seed = 1) ?(transactions = 200) ?(dup_every = 3)
+    ?(pause_probability = 0.1) ?(backpressure_probability = 0.1)
+    ?(extra = []) build =
+  let iface = build () in
+  let c = iface.Iface.circuit in
+  let sim = Sim.create c in
+  let rand = mix seed in
+  let chance p = rand 1_000_000 < int_of_float (p *. 1_000_000.) in
+  let width = Ir.width iface.Iface.in_data in
+  let mask = (1 lsl min width 24) - 1 in
+  let has_ce = has_input c "clock_enable" in
+  List.iter
+    (fun (nm, v) -> if has_input c nm then Sim.set_input_int sim nm v)
+    extra;
+
+  (* First-observed output per operand: the online FC reference. *)
+  let first_out : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let history = ref [] in         (* operands already completed *)
+  let mismatch = ref None in
+  let done_txns = ref 0 in
+  let dups = ref 0 in
+  let cycles = ref 0 in
+  let budget = 200 * transactions in
+
+  while !mismatch = None && !done_txns < transactions && !cycles < budget do
+    (* Choose the next operand: every [dup_every]-th completed transaction
+       replays a random earlier one. *)
+    let is_dup =
+      !history <> [] && (!done_txns + 1) mod dup_every = 0
+    in
+    let data =
+      if is_dup then
+        List.nth !history (rand (List.length !history))
+      else rand (mask + 1)
+    in
+    (* Drive the transaction to completion (capture + output). *)
+    let sent = ref false and received = ref None in
+    while
+      !mismatch = None && !received = None && !cycles < budget
+    do
+      if has_ce then
+        Sim.set_input_int sim "clock_enable" (if chance pause_probability then 0 else 1);
+      let ready = not (chance backpressure_probability) in
+      Sim.set_input_int sim "out_ready" (if ready then 1 else 0);
+      Sim.set_input_int sim "in_valid" (if !sent then 0 else 1);
+      if not !sent then Sim.set_input_int sim "in_data" data;
+      let in_fire =
+        (not !sent) && Sim.peek_int sim iface.Iface.in_ready = 1
+      in
+      let out_fire = Sim.peek_int sim iface.Iface.out_valid = 1 && ready in
+      if out_fire then received := Some (Sim.peek_int sim iface.Iface.out_data);
+      Sim.step sim;
+      incr cycles;
+      if in_fire then sent := true
+    done;
+    (match !received with
+     | None -> ()  (* budget exhausted; reported as fewer transactions *)
+     | Some out ->
+       incr done_txns;
+       (match Hashtbl.find_opt first_out data with
+        | None ->
+          Hashtbl.add first_out data out;
+          history := data :: !history
+        | Some first ->
+          incr dups;
+          if first <> out then
+            mismatch :=
+              Some
+                { data; first_output = first; dup_output = out;
+                  at_transaction = !done_txns }))
+  done;
+  {
+    transactions = !done_txns;
+    duplicates_checked = !dups;
+    mismatch = !mismatch;
+    cycles = !cycles;
+  }

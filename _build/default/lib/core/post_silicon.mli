@@ -1,0 +1,45 @@
+(** Post-silicon / runtime QED self-checking (the paper's future-work
+    direction 5, and A-QED's QED heritage [Lin 15]).
+
+    After tape-out there is no BMC — but functional consistency can still be
+    checked {e online}: run the accelerator on (random) traffic, remember
+    the first output observed for each operand, and re-issue duplicates of
+    earlier inputs; any output disagreement is an FC violation caught on
+    the running design, with no golden model. This trades A-QED's
+    exhaustiveness for speed and applicability to silicon: it only catches
+    inconsistencies the traffic happens to trigger, which is exactly the
+    pre- vs post-silicon trade-off the QED line of work explores.
+
+    Here the "silicon" is the cycle-accurate simulator; the checker drives
+    the ready/valid interface like a host would. *)
+
+type report = {
+  transactions : int;       (** transactions completed *)
+  duplicates_checked : int; (** how many were consistency-checked replays *)
+  mismatch : mismatch option;
+  cycles : int;             (** total cycles simulated *)
+}
+
+and mismatch = {
+  data : int;               (** the operand that exposed the bug *)
+  first_output : int;
+  dup_output : int;
+  at_transaction : int;
+}
+
+val run :
+  ?seed:int ->
+  ?transactions:int ->
+  ?dup_every:int ->
+  ?pause_probability:float ->
+  ?backpressure_probability:float ->
+  ?extra:(string * int) list ->
+  (unit -> Iface.t) -> report
+(** [run build] drives [transactions] (default 200) random transactions,
+    replaying an earlier operand every [dup_every] (default 3) transactions
+    and stopping at the first inconsistency. [pause_probability] toggles a
+    [clock_enable] input (if the design has one) low for a cycle;
+    [backpressure_probability] deasserts the host-ready signal — both
+    default to 0.1, since stress at the handshake corners is where QED
+    checks earn their keep. [extra] pins additional primary inputs (e.g. an
+    AES key). Deterministic for a fixed [seed]. *)

@@ -1,0 +1,72 @@
+module Ir = Rtl.Ir
+
+type t = {
+  response_prop : Ir.signal;
+  starvation_prop : Ir.signal;
+  tracked : Ir.signal;
+  cnt_rdh : Ir.signal;
+  cnt_in : Ir.signal;
+}
+
+let add ?(cnt_width = 8) ~tau ?(in_min = 1) ?starvation_bound iface =
+  let starvation_bound = match starvation_bound with Some b -> b | None -> tau in
+  if tau < 1 then invalid_arg "Rb_monitor.add: tau must be >= 1";
+  if 1 lsl cnt_width <= max tau starvation_bound then
+    invalid_arg "Rb_monitor.add: cnt_width too small for the bounds";
+  let c = iface.Iface.circuit in
+  let in_fire = Iface.in_fire iface in
+  let out_fire = Iface.out_fire iface in
+  let rdh = iface.Iface.out_ready in
+
+  let out_cnt =
+    Util.counter c "aqed_rb_out_cnt" ~width:cnt_width ~incr:out_fire
+  in
+  let in_cnt = Util.counter c "aqed_rb_in_cnt" ~width:cnt_width ~incr:in_fire in
+
+  (* Track one symbolically chosen captured input I. *)
+  let track_mark = Ir.input c "aqed_track_mark" 1 in
+  let tracked_r = Ir.reg0 c "aqed_tracked" 1 in
+  let take = Ir.and_list c [ in_fire; track_mark; Ir.lognot tracked_r ] in
+  Ir.connect c tracked_r (Ir.logor tracked_r take);
+  let track_idx = Util.latch_when c "aqed_track_idx" ~capture:take in_cnt in
+
+  (* Host-ready cycles and captured inputs observed since (and including)
+     the tracking cycle; saturating so long waits cannot wrap to zero. *)
+  let active = Ir.logor tracked_r take in
+  let cnt_rdh =
+    Util.saturating_counter c "aqed_cnt_rdh" ~width:cnt_width
+      ~incr:(Ir.logand active rdh)
+  in
+  let cnt_in =
+    Util.saturating_counter c "aqed_cnt_in" ~width:cnt_width
+      ~incr:(Ir.logand active in_fire)
+  in
+
+  (* I's output is the [track_idx]-th captured output: it has been produced
+     once out_cnt exceeds track_idx. *)
+  let rdy_out = Ir.logand tracked_r (Ir.ugt out_cnt track_idx) in
+  let pre =
+    Ir.and_list c
+      [ tracked_r;
+        Ir.uge cnt_rdh (Ir.constant c ~width:cnt_width tau);
+        Ir.uge cnt_in (Ir.constant c ~width:cnt_width in_min) ]
+  in
+  let response_prop = Ir.implies pre rdy_out in
+
+  (* Part (1): input-ready must recur within starvation_bound cycles, while
+     the host cooperates — only cycles where the host is ready to drain
+     outputs count (otherwise any blocking design would be condemned by a
+     host that never takes results). Reset whenever the design is ready or
+     the host is not. *)
+  let stall_run =
+    Ir.reg_fb c "aqed_stall_run" ~init:(Bitvec.zero cnt_width) (fun r ->
+        let bumped = Ir.add r (Ir.constant c ~width:cnt_width 1) in
+        let maxed = Ir.eq r (Ir.const c (Bitvec.ones cnt_width)) in
+        let held = Ir.mux maxed r bumped in
+        let reset = Ir.logor iface.Iface.in_ready (Ir.lognot rdh) in
+        Ir.mux reset (Ir.constant c ~width:cnt_width 0) held)
+  in
+  let starvation_prop =
+    Ir.ule stall_run (Ir.constant c ~width:cnt_width starvation_bound)
+  in
+  { response_prop; starvation_prop; tracked = tracked_r; cnt_rdh; cnt_in }

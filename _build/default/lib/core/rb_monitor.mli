@@ -1,0 +1,39 @@
+(** The A-QED response-bound monitor (Sec. IV.C).
+
+    Two safety properties, matching the two halves of Def. 3:
+
+    - {b response}: a free mark [aqed_track_mark] labels one captured input
+      I. Counters then track how many cycles the host has been ready to
+      accept an output ([cnt_rdh]) and how many inputs have been captured
+      ([cnt_in]) since I. The property
+
+      {v (cnt_rdh >= tau) /\ (cnt_in >= in_min) -> rdy_out v}
+
+      requires I's output to have appeared once the design was given [tau]
+      host-ready cycles and [in_min] captured inputs ([in_min] covers
+      designs that need several inputs before producing any output).
+
+    - {b no starvation}: [in_ready] may not stay low for more than
+      [starvation_bound] consecutive cycles (part (1) of Def. 3).
+
+    A counterexample to either is a responsiveness bug — e.g. a deadlock
+    from an undersized FIFO or a lost handshake. *)
+
+type t = {
+  response_prop : Rtl.Ir.signal;
+  starvation_prop : Rtl.Ir.signal;
+  tracked : Rtl.Ir.signal;       (** diagnostic: an input is being tracked *)
+  cnt_rdh : Rtl.Ir.signal;
+  cnt_in : Rtl.Ir.signal;
+}
+
+val add :
+  ?cnt_width:int ->
+  tau:int ->
+  ?in_min:int ->
+  ?starvation_bound:int ->
+  Iface.t -> t
+(** [tau] is the design's declared worst-case latency in host-ready cycles —
+    the only design parameter A-QED requires (Sec. III.C). [in_min] defaults
+    to 1; [starvation_bound] defaults to [tau]; [cnt_width] (default 8) must
+    satisfy [2^cnt_width > max (tau, bmc_depth)]. *)

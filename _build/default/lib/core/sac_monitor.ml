@@ -1,0 +1,33 @@
+module Ir = Rtl.Ir
+
+type t = {
+  prop : Ir.signal;
+  first_taken : Ir.signal;
+}
+
+let add ~spec iface =
+  let c = iface.Iface.circuit in
+  let in_fire = Iface.in_fire iface in
+  let out_fire = Iface.out_fire iface in
+  let ad = Iface.ad iface in
+
+  let first_taken_r = Ir.reg0 c "aqed_sac_taken" 1 in
+  let take = Ir.logand in_fire (Ir.lognot first_taken_r) in
+  Ir.connect c first_taken_r (Ir.logor first_taken_r take);
+  let first_ad = Util.latch_when c "aqed_sac_ad" ~capture:take ad in
+  let first_ad_now = Ir.mux take ad first_ad in
+
+  let seen_out_r = Ir.reg0 c "aqed_sac_out_seen" 1 in
+  let first_out_fire =
+    Ir.and_list c
+      [ out_fire; Ir.logor first_taken_r take; Ir.lognot seen_out_r ]
+  in
+  Ir.connect c seen_out_r (Ir.logor seen_out_r first_out_fire);
+
+  let expected = spec first_ad_now in
+  if Ir.width expected <> Ir.width iface.Iface.out_data then
+    invalid_arg "Sac_monitor.add: spec output width mismatch";
+  let prop =
+    Ir.implies first_out_fire (Ir.eq iface.Iface.out_data expected)
+  in
+  { prop; first_taken = first_taken_r }

@@ -1,0 +1,22 @@
+(** The single-action-correctness monitor (Def. 7).
+
+    SAC is the one A-QED check that consults a specification — but only a
+    per-operation input/output function [Spec], not a temporal model of the
+    design. Combined with FC and RB it yields total correctness
+    (Proposition 1). The monitor records the first captured input from reset
+    and compares the first captured output against the combinational
+    [spec] logic applied to that input:
+
+    {v first_output_fires -> out_data = spec (ad_first) v} *)
+
+type t = {
+  prop : Rtl.Ir.signal;
+  first_taken : Rtl.Ir.signal;  (** diagnostic *)
+}
+
+val add :
+  spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
+  Iface.t -> t
+(** [spec] receives the recorded (action, data) vector (see {!Iface.ad})
+    and must build combinational logic producing the expected output, of the
+    same width as [out_data]. *)

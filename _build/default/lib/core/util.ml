@@ -1,0 +1,18 @@
+module Ir = Rtl.Ir
+
+let counter c name ~width ~incr =
+  Ir.reg_fb c name ~init:(Bitvec.zero width) (fun r ->
+      Ir.mux incr (Ir.add r (Ir.constant c ~width 1)) r)
+
+let saturating_counter c name ~width ~incr =
+  Ir.reg_fb c name ~init:(Bitvec.zero width) (fun r ->
+      let maxed = Ir.eq r (Ir.const c (Bitvec.ones width)) in
+      let bump = Ir.logand incr (Ir.lognot maxed) in
+      Ir.mux bump (Ir.add r (Ir.constant c ~width 1)) r)
+
+let sticky c name ~set =
+  Ir.reg_fb c name ~init:(Bitvec.zero 1) (fun r -> Ir.logor r set)
+
+let latch_when c name ~capture v =
+  Ir.reg_fb c name ~init:(Bitvec.zero (Ir.width v)) (fun r ->
+      Ir.mux capture v r)

@@ -1,0 +1,20 @@
+(** Small RTL idioms shared by the A-QED monitors. *)
+
+val counter :
+  Rtl.Ir.circuit -> string -> width:int -> incr:Rtl.Ir.signal -> Rtl.Ir.signal
+(** A register starting at 0 that increments (wrapping) each cycle [incr]
+    is high. *)
+
+val saturating_counter :
+  Rtl.Ir.circuit -> string -> width:int -> incr:Rtl.Ir.signal -> Rtl.Ir.signal
+(** Like {!counter} but sticks at the all-ones value instead of wrapping. *)
+
+val sticky :
+  Rtl.Ir.circuit -> string -> set:Rtl.Ir.signal -> Rtl.Ir.signal
+(** A 1-bit register that becomes and stays 1 once [set] is high. *)
+
+val latch_when :
+  Rtl.Ir.circuit -> string -> capture:Rtl.Ir.signal -> Rtl.Ir.signal ->
+  Rtl.Ir.signal
+(** [latch_when c name ~capture v] is a register that loads [v] on cycles
+    where [capture] is high and holds its value otherwise. *)

@@ -1,0 +1,1 @@
+lib/hls/codegen.ml: Aqed Array Ast Hashtbl List Printf Rtl Schedule

@@ -1,0 +1,1 @@
+lib/hls/codegen.mli: Aqed Ast Rtl

@@ -1,0 +1,1 @@
+lib/hls/interp.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Ast Hashtbl List Printf

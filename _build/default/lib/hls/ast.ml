@@ -1,0 +1,127 @@
+type expr =
+  | Var of string
+  | Lit of { value : int; width : int }
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Shl of expr * int
+  | Shr of expr * int
+  | Slice of { e : expr; hi : int; lo : int }
+  | Cat of expr * expr
+  | Cond of expr * expr * expr
+  | Table of { index : expr; values : int list; width : int }
+
+and binop = Add | Sub | Mul | And | Or | Xor | Eq | Lt
+
+type func = {
+  name : string;
+  params : (string * int) list;
+  lets : (string * expr) list;
+  result : string;
+}
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+(* Environment: name -> width, built in binding order. *)
+let env_of f =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (n, w) ->
+      if Hashtbl.mem tbl n then err "duplicate parameter %s" n;
+      if w <= 0 then err "parameter %s has non-positive width" n;
+      Hashtbl.add tbl n w)
+    f.params;
+  tbl
+
+let rec width_env env e =
+  match e with
+  | Var n ->
+    (match Hashtbl.find_opt env n with
+     | Some w -> w
+     | None -> err "unbound variable %s" n)
+  | Lit { value; width } ->
+    if width <= 0 then err "literal with non-positive width";
+    if value < 0 || (width < 62 && value >= 1 lsl width) then
+      err "literal %d does not fit in %d bits" value width;
+    width
+  | Bin (op, a, b) ->
+    let wa = width_env env a and wb = width_env env b in
+    if wa <> wb then err "operator width mismatch (%d vs %d)" wa wb;
+    (match op with Add | Sub | Mul | And | Or | Xor -> wa | Eq | Lt -> 1)
+  | Not a -> width_env env a
+  | Shl (a, k) | Shr (a, k) ->
+    if k < 0 then err "negative shift";
+    width_env env a
+  | Slice { e; hi; lo } ->
+    let w = width_env env e in
+    if lo < 0 || hi >= w || hi < lo then err "bad slice [%d:%d] of %d bits" hi lo w;
+    hi - lo + 1
+  | Cat (a, b) -> width_env env a + width_env env b
+  | Cond (c, a, b) ->
+    if width_env env c <> 1 then err "condition must be 1 bit";
+    let wa = width_env env a and wb = width_env env b in
+    if wa <> wb then err "conditional arm width mismatch (%d vs %d)" wa wb;
+    wa
+  | Table { index; values; width } ->
+    let n = List.length values in
+    if n = 0 || n land (n - 1) <> 0 then err "table size must be a power of two";
+    let iw = width_env env index in
+    if iw <> log2 n then
+      err "table index must be %d bits for %d entries (got %d)" (log2 n) n iw;
+    List.iter
+      (fun v ->
+        if v < 0 || (width < 62 && v >= 1 lsl width) then
+          err "table entry %d does not fit in %d bits" v width)
+      values;
+    width
+
+let checked_env f =
+  let env = env_of f in
+  List.iter
+    (fun (n, e) ->
+      if Hashtbl.mem env n then err "duplicate binding %s" n;
+      let w = width_env env e in
+      Hashtbl.add env n w)
+    f.lets;
+  if not (Hashtbl.mem env f.result) then err "result %s is not defined" f.result;
+  env
+
+let check f = ignore (checked_env f)
+
+let width_of f e = width_env (checked_env f) e
+
+let var_width f n =
+  match Hashtbl.find_opt (checked_env f) n with
+  | Some w -> w
+  | None -> err "unknown variable %s" n
+
+let result_width f = var_width f f.result
+
+let param_width f n =
+  match List.assoc_opt n f.params with
+  | Some w -> w
+  | None -> err "unknown parameter %s" n
+
+let total_param_width f = List.fold_left (fun acc (_, w) -> acc + w) 0 f.params
+
+let free_vars e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Var n ->
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        out := n :: !out
+      end
+    | Lit _ -> ()
+    | Bin (_, a, b) | Cat (a, b) -> go a; go b
+    | Not a | Shl (a, _) | Shr (a, _) -> go a
+    | Slice { e; _ } -> go e
+    | Cond (c, a, b) -> go c; go a; go b
+    | Table { index; _ } -> go index
+  in
+  go e;
+  List.rev !out

@@ -1,0 +1,58 @@
+(** The high-level accelerator language ("HLC").
+
+    A deliberately small, pure, C-like expression language: an accelerator
+    operation is a function from fixed-width unsigned integers to one
+    fixed-width result, written as a sequence of [let] bindings. This is the
+    high-level description role that C++ plays for Catapult/Vivado in the
+    paper (Sec. IV.A): from it we derive the inputs/outputs, the legal input
+    constraints, the golden interpretation ({!module:Interp}), a scheduled
+    RTL implementation ({!module:Codegen}) and the A-QED wrapper
+    ({!module:Flow}).
+
+    Programs are width-checked by {!check}; all later passes assume a
+    checked program. *)
+
+type expr =
+  | Var of string
+  | Lit of { value : int; width : int }
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Shl of expr * int                  (** shift by a constant *)
+  | Shr of expr * int
+  | Slice of { e : expr; hi : int; lo : int }
+  | Cat of expr * expr                 (** [Cat (hi, lo)] *)
+  | Cond of expr * expr * expr         (** 1-bit condition *)
+  | Table of { index : expr; values : int list; width : int }
+      (** ROM lookup: [index] must be exactly [log2 (List.length values)]
+          bits; [values] length must be a power of two. Models the S-boxes
+          and coefficient tables of the HLS designs. *)
+
+and binop = Add | Sub | Mul | And | Or | Xor | Eq | Lt
+
+type func = {
+  name : string;
+  params : (string * int) list;   (** name, width; order defines the packed layout *)
+  lets : (string * expr) list;    (** straight-line bindings, in order *)
+  result : string;                (** must name a param or binding *)
+}
+
+exception Type_error of string
+
+val width_of : func -> expr -> int
+(** Width of a checked expression ([Type_error] on ill-formed ones).
+    Comparison operators yield 1 bit. *)
+
+val check : func -> unit
+(** Verifies: params and bindings uniquely named; every variable defined
+    before use; operator width agreement; slice bounds; table sizes; the
+    result name exists. Raises {!Type_error} otherwise. *)
+
+val result_width : func -> int
+val param_width : func -> string -> int
+val total_param_width : func -> int
+
+val var_width : func -> string -> int
+(** Width of a param or binding by name. *)
+
+val free_vars : expr -> string list
+(** Variables read by an expression, without duplicates. *)

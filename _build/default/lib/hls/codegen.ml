@@ -1,0 +1,380 @@
+module Ir = Rtl.Ir
+
+type style =
+  | Sequential
+  | Pipelined
+
+type bug =
+  | Stale_operand of string
+  | Early_valid
+  | Result_overwrite
+  | Stage_skip of int
+
+let latency = Schedule.depth
+
+let recommended_tau f = Schedule.depth f + 3
+
+let rec log2ceil n = if n <= 1 then 0 else 1 + log2ceil ((n + 1) / 2)
+
+(* Translate an expression to combinational RTL over an environment mapping
+   variable names to signals (parameter/binding registers). *)
+let rec expr_rtl c env e =
+  match e with
+  | Ast.Var n -> (
+      match Hashtbl.find_opt env n with
+      | Some s -> s
+      | None -> invalid_arg (Printf.sprintf "Codegen: unbound %s" n))
+  | Ast.Lit { value; width } -> Ir.constant c ~width value
+  | Ast.Bin (op, a, b) ->
+    let sa = expr_rtl c env a and sb = expr_rtl c env b in
+    (match op with
+     | Ast.Add -> Ir.add sa sb
+     | Ast.Sub -> Ir.sub sa sb
+     | Ast.Mul -> Ir.mul sa sb
+     | Ast.And -> Ir.logand sa sb
+     | Ast.Or -> Ir.logor sa sb
+     | Ast.Xor -> Ir.logxor sa sb
+     | Ast.Eq -> Ir.eq sa sb
+     | Ast.Lt -> Ir.ult sa sb)
+  | Ast.Not a -> Ir.lognot (expr_rtl c env a)
+  | Ast.Shl (a, k) -> Ir.sll (expr_rtl c env a) k
+  | Ast.Shr (a, k) -> Ir.srl (expr_rtl c env a) k
+  | Ast.Slice { e; hi; lo } -> Ir.select (expr_rtl c env e) ~hi ~lo
+  | Ast.Cat (a, b) -> Ir.concat (expr_rtl c env a) (expr_rtl c env b)
+  | Ast.Cond (cond, a, b) ->
+    Ir.mux (expr_rtl c env cond) (expr_rtl c env a) (expr_rtl c env b)
+  | Ast.Table { index; values; width } ->
+    let sel = expr_rtl c env index in
+    Ir.mux_n sel (List.map (Ir.constant c ~width) values)
+
+let to_rtl_sequential ?bug ?(shared = []) f =
+  Ast.check f;
+  (match bug with
+   | Some (Stage_skip k) ->
+     let s = Schedule.depth f in
+     if k < 1 || k > s - 2 then
+       invalid_arg
+         (Printf.sprintf
+            "Codegen.to_rtl: Stage_skip %d out of range 1..%d (skipping at \
+             the end jumps past the FSM's finish and hangs instead of \
+             corrupting data)" k (s - 2))
+   | Some (Stale_operand _) | Some Early_valid | Some Result_overwrite
+   | None -> ());
+  List.iter
+    (fun n ->
+      if not (List.mem_assoc n f.Ast.params) then
+        invalid_arg (Printf.sprintf "Codegen.to_rtl: unknown shared param %s" n))
+    shared;
+  let packed = List.filter (fun (n, _) -> not (List.mem n shared)) f.Ast.params in
+  let data_width = List.fold_left (fun acc (_, w) -> acc + w) 0 packed in
+  if data_width = 0 then invalid_arg "Codegen.to_rtl: all parameters shared";
+  let c = Ir.create ("hls_" ^ f.Ast.name) in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+  let shared_wires =
+    List.map (fun n -> (n, Ir.input c n (Ast.param_width f n))) shared
+  in
+
+  let s = Schedule.depth f in
+  let sw = max 1 (log2ceil (s + 1)) in
+  let busy = Ir.reg0 c "hls_busy" 1 in
+  let stage = Ir.reg0 c "hls_stage" sw in
+  let result_valid = Ir.reg0 c "hls_rvalid" 1 in
+
+  let in_ready =
+    match bug with
+    | Some Result_overwrite -> Ir.lognot busy
+    | _ -> Ir.logand (Ir.lognot busy) (Ir.lognot result_valid)
+  in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  (* Parameter registers, loaded at capture from the packed layout or the
+     shared wires. *)
+  let env = Hashtbl.create 16 in
+  let stale_flag =
+    match bug with
+    | Some (Stale_operand _) ->
+      (* Set when an output is left waiting (backpressure), cleared when it
+         is finally taken: the classic "forgot to re-arm the load" defect. *)
+      let fl = Ir.reg0 c "hls_stale" 1 in
+      Some fl
+    | _ -> None
+  in
+  let offset = ref 0 in
+  List.iter
+    (fun (n, w) ->
+      let src =
+        match List.assoc_opt n shared_wires with
+        | Some wire -> wire
+        | None ->
+          let sl = Ir.select in_data ~hi:(!offset + w - 1) ~lo:!offset in
+          offset := !offset + w;
+          sl
+      in
+      let load =
+        match bug, stale_flag with
+        | Some (Stale_operand b), Some fl when b = n ->
+          Ir.logand in_fire (Ir.lognot fl)
+        | _ -> in_fire
+      in
+      let r = Ir.reg0 c ("hls_p_" ^ n) w in
+      Ir.connect c r (Ir.mux load src r);
+      Hashtbl.add env n r)
+    f.Ast.params;
+
+  (* Binding registers, latched at their scheduled stage. *)
+  let sched = Schedule.stages f in
+  let last_stage_cycle = Ir.eq_const stage (s - 1) in
+  let skip_now =
+    match bug with
+    | Some (Stage_skip k) ->
+      let first_param =
+        match f.Ast.params with
+        | (n, _) :: _ -> Hashtbl.find env n
+        | [] -> assert false
+      in
+      Ir.and_list c
+        [ busy; Ir.eq_const stage (k - 1); Ir.lsb first_param ]
+    | _ -> Ir.gnd c
+  in
+  List.iter
+    (fun (n, e) ->
+      let st = List.assoc n sched in
+      let w = Ast.var_width f n in
+      let r = Ir.reg0 c ("hls_b_" ^ n) w in
+      let fire =
+        Ir.and_list c
+          [ busy; Ir.eq_const stage (st - 1); Ir.lognot skip_now ]
+      in
+      let v = expr_rtl c env e in
+      Ir.connect c r (Ir.mux fire v r);
+      Hashtbl.add env n r)
+    f.Ast.lets;
+
+  (* FSM: stage advances every busy cycle (by 2 on a skip); at the last
+     stage the transaction completes. *)
+  let step = Ir.mux skip_now (Ir.constant c ~width:sw 2) (Ir.constant c ~width:sw 1) in
+  Ir.connect c stage
+    (Ir.mux in_fire (Ir.constant c ~width:sw 0)
+       (Ir.mux busy (Ir.add stage step) stage));
+  let finishing = Ir.logand busy last_stage_cycle in
+  Ir.connect c busy
+    (Ir.mux in_fire (Ir.vdd c) (Ir.mux finishing (Ir.gnd c) busy));
+
+  let out_data =
+    match Hashtbl.find_opt env f.Ast.result with
+    | Some r -> r
+    | None -> assert false
+  in
+  let out_valid =
+    match bug with
+    | Some Early_valid ->
+      (* Raised while the final stage is still computing: the host can read
+         the previous transaction's result register. *)
+      Ir.logor result_valid finishing
+    | _ -> result_valid
+  in
+  let out_fire = Ir.logand out_valid out_ready in
+  Ir.connect c result_valid
+    (Ir.mux finishing (Ir.vdd c) (Ir.mux out_fire (Ir.gnd c) result_valid));
+
+  (match stale_flag with
+   | None -> ()
+   | Some fl ->
+     (* Armed by backpressure, disarmed only when the *next* capture has
+        already been sabotaged. *)
+     let backpressured = Ir.logand result_valid (Ir.lognot out_ready) in
+     Ir.connect c fl
+       (Ir.mux backpressured (Ir.vdd c) (Ir.mux in_fire (Ir.gnd c) fl)));
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data
+    ~out_ready ()
+
+let shared_signal iface name =
+  match
+    List.find_opt
+      (fun s -> Ir.signal_name s = Some name)
+      (Ir.inputs iface.Aqed.Iface.circuit)
+  with
+  | Some s -> s
+  | None ->
+    invalid_arg (Printf.sprintf "Codegen.shared_signal: no input %s" name)
+
+(* ---- pipelined (II = 1) code generation ----
+
+   One pipeline rank per schedule stage. Values that cross stages travel in
+   per-stage copies; a valid bit accompanies each rank; the whole pipeline
+   freezes (global stall) while the final rank holds an unconsumed result.
+   A transaction can enter every unstalled cycle, so several are in flight
+   at once. *)
+let to_rtl_pipelined ?(shared = []) f =
+  Ast.check f;
+  List.iter
+    (fun n ->
+      if not (List.mem_assoc n f.Ast.params) then
+        invalid_arg (Printf.sprintf "Codegen.to_rtl: unknown shared param %s" n))
+    shared;
+  let packed = List.filter (fun (n, _) -> not (List.mem n shared)) f.Ast.params in
+  let data_width = List.fold_left (fun acc (_, w) -> acc + w) 0 packed in
+  if data_width = 0 then invalid_arg "Codegen.to_rtl: all parameters shared";
+  let c = Ir.create ("hls_" ^ f.Ast.name ^ "_pipe") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+  let shared_wires =
+    List.map (fun n -> (n, Ir.input c n (Ast.param_width f n))) shared
+  in
+
+  let s_total = Schedule.depth f in
+  let sched = Schedule.stages f in
+  let def_stage n = if List.mem_assoc n f.Ast.params then 0 else List.assoc n sched in
+  (* Last stage whose computation reads each variable. *)
+  let last_use = Hashtbl.create 16 in
+  let bump n st =
+    let cur = try Hashtbl.find last_use n with Not_found -> 0 in
+    if st > cur then Hashtbl.replace last_use n st
+  in
+  List.iter
+    (fun (n, e) -> List.iter (fun v -> bump v (List.assoc n sched)) (Ast.free_vars e))
+    f.Ast.lets;
+  bump f.Ast.result (s_total + 1);
+  (* every var needs copies from its defining stage up to (last use - 1);
+     the result travels to stage s_total. *)
+
+  (* Valid-bit chain and global stall. Rank k's data is flagged by
+     valid.(k-1): the bit set at the same edge that computes the rank. *)
+  let valid = Array.init s_total (fun i -> Ir.reg0 c (Printf.sprintf "pl_v%d" i) 1) in
+  let out_valid = valid.(s_total - 1) in
+  let stall = Ir.logand out_valid (Ir.lognot out_ready) in
+  let enable = Ir.lognot stall in
+  let in_ready = enable in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  Array.iteri
+    (fun i v ->
+      let src = if i = 0 then in_fire else valid.(i - 1) in
+      if i = 0 then Ir.connect c v (Ir.mux enable in_fire v)
+      else Ir.connect c v (Ir.mux enable src v))
+    valid;
+
+  (* Source wire for each parameter at stage 0. *)
+  let src_of_param n =
+    match List.assoc_opt n shared_wires with
+    | Some w -> w
+    | None ->
+      let rec offset acc = function
+        | [] -> assert false
+        | (p, w) :: rest -> if p = n then (acc, w) else offset (acc + w) rest
+      in
+      let off, w = offset 0 packed in
+      Ir.select in_data ~hi:(off + w - 1) ~lo:off
+  in
+
+  (* Pipeline copies: copies.(name) = stage -> register. Built lazily per
+     (name, stage); copy at stage s latches the value of (name at s-1). *)
+  let copies : (string, (int, Ir.signal) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let reg_for name st w =
+    let tbl =
+      match Hashtbl.find_opt copies name with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace copies name t;
+        t
+    in
+    match Hashtbl.find_opt tbl st with
+    | Some r -> r
+    | None ->
+      let r = Ir.reg0 c (Printf.sprintf "pl_%s_%d" name st) w in
+      Hashtbl.replace tbl st r;
+      r
+  in
+  (* value_at name st = the signal holding [name]'s value for a consumer
+     computing at stage st+1 (i.e. the stage-st rank). *)
+  let binding_exprs = f.Ast.lets in
+  let rec value_at name st =
+    let w = Ast.var_width f name in
+    let d = def_stage name in
+    if d = 0 && st = 0 then src_of_param name
+    else if st = d && d > 0 then reg_for name d w  (* its compute register *)
+    else begin
+      (* A travel copy: latches the previous-stage value. *)
+      let r = reg_for name st w in
+      r
+    end
+  and ensure_connections () =
+    (* Connect compute registers for bindings. *)
+    List.iter
+      (fun (n, e) ->
+        let st = List.assoc n sched in
+        let w = Ast.var_width f n in
+        let r = reg_for n st w in
+        let env = Hashtbl.create 8 in
+        List.iter
+          (fun v -> Hashtbl.replace env v (value_at v (st - 1)))
+          (Ast.free_vars e);
+        let value = expr_rtl c env e in
+        ignore w;
+        Ir.connect c r (Ir.mux enable value r))
+      binding_exprs
+  in
+  ensure_connections ();
+  (* Connect travel copies: for each (name, st) register that is not the
+     compute register, next = value at st-1. Iterate until no new copies
+     appear (value_at may create deeper chains lazily). *)
+  let connected = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name tbl ->
+        Hashtbl.iter
+          (fun st r ->
+            let d = def_stage name in
+            let is_compute = st = d && d > 0 in
+            if (not is_compute) && not (Hashtbl.mem connected (name, st)) then begin
+              Hashtbl.replace connected (name, st) ();
+              let prev = value_at name (st - 1) in
+              Ir.connect c r (Ir.mux enable prev r);
+              changed := true
+            end)
+          (Hashtbl.copy tbl))
+      (Hashtbl.copy copies)
+  done;
+
+  (* Output: the result's copy at the final stage. *)
+  let out_data = value_at f.Ast.result s_total in
+  (* out_data may itself be an unconnected travel copy created just now. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name tbl ->
+        Hashtbl.iter
+          (fun st r ->
+            let d = def_stage name in
+            let is_compute = st = d && d > 0 in
+            if (not is_compute) && not (Hashtbl.mem connected (name, st)) then begin
+              Hashtbl.replace connected (name, st) ();
+              let prev = value_at name (st - 1) in
+              Ir.connect c r (Ir.mux enable prev r);
+              changed := true
+            end)
+          (Hashtbl.copy tbl))
+      (Hashtbl.copy copies)
+  done;
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data
+    ~out_ready ()
+
+let to_rtl ?bug ?(style = Sequential) ?shared f =
+  match style, bug with
+  | Sequential, _ -> to_rtl_sequential ?bug ?shared f
+  | Pipelined, None -> to_rtl_pipelined ?shared f
+  | Pipelined, Some _ ->
+    invalid_arg "Codegen.to_rtl: bug knobs are Sequential-only"

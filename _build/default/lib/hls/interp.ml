@@ -1,0 +1,104 @@
+let mask w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+
+(* The two-closure environment: values and widths. *)
+let eval values widths e =
+  let rec ev e =
+    match e with
+    | Ast.Var n -> values n
+    | Ast.Lit { value; _ } -> value
+    | Ast.Bin (op, a, b) ->
+      let va = ev a and vb = ev b in
+      let w = wd a in
+      (match op with
+       | Ast.Add -> mask w (va + vb)
+       | Ast.Sub -> mask w (va - vb)
+       | Ast.Mul -> mask w (va * vb)
+       | Ast.And -> va land vb
+       | Ast.Or -> va lor vb
+       | Ast.Xor -> va lxor vb
+       | Ast.Eq -> if va = vb then 1 else 0
+       | Ast.Lt -> if va < vb then 1 else 0)
+    | Ast.Not a -> mask (wd a) (lnot (ev a))
+    | Ast.Shl (a, k) -> mask (wd a) (ev a lsl k)
+    | Ast.Shr (a, k) -> ev a lsr k
+    | Ast.Slice { e; hi; lo } -> mask (hi - lo + 1) (ev e lsr lo)
+    | Ast.Cat (a, b) -> (ev a lsl wd b) lor ev b
+    | Ast.Cond (c, a, b) -> if ev c = 1 then ev a else ev b
+    | Ast.Table { index; values = vs; _ } -> List.nth vs (ev index)
+  and wd e =
+    match e with
+    | Ast.Var n -> widths n
+    | Ast.Lit { width; _ } -> width
+    | Ast.Bin (op, a, _) ->
+      (match op with
+       | Ast.Add | Ast.Sub | Ast.Mul | Ast.And | Ast.Or | Ast.Xor -> wd a
+       | Ast.Eq | Ast.Lt -> 1)
+    | Ast.Not a | Ast.Shl (a, _) | Ast.Shr (a, _) -> wd a
+    | Ast.Slice { hi; lo; _ } -> hi - lo + 1
+    | Ast.Cat (a, b) -> wd a + wd b
+    | Ast.Cond (_, a, _) -> wd a
+    | Ast.Table { width; _ } -> width
+  in
+  ev e
+
+let run f args =
+  Ast.check f;
+  let values = Hashtbl.create 16 in
+  let widths = Hashtbl.create 16 in
+  List.iter
+    (fun (n, w) ->
+      let v =
+        match List.assoc_opt n args with
+        | Some v -> mask w v
+        | None -> invalid_arg (Printf.sprintf "Interp.run: missing argument %s" n)
+      in
+      Hashtbl.add values n v;
+      Hashtbl.add widths n w)
+    f.Ast.params;
+  List.iter
+    (fun (n, _) ->
+      if not (List.mem_assoc n f.Ast.params) then
+        invalid_arg (Printf.sprintf "Interp.run: unknown argument %s" n))
+    args;
+  let value_of n =
+    match Hashtbl.find_opt values n with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Interp.run: unbound %s" n)
+  in
+  let width_of n =
+    match Hashtbl.find_opt widths n with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Interp.run: unbound %s" n)
+  in
+  List.iter
+    (fun (n, e) ->
+      let v = eval value_of width_of e in
+      let w =
+        let rec wd e =
+          match e with
+          | Ast.Var x -> width_of x
+          | Ast.Lit { width; _ } -> width
+          | Ast.Bin (op, a, _) ->
+            (match op with
+             | Ast.Add | Ast.Sub | Ast.Mul | Ast.And | Ast.Or | Ast.Xor -> wd a
+             | Ast.Eq | Ast.Lt -> 1)
+          | Ast.Not a | Ast.Shl (a, _) | Ast.Shr (a, _) -> wd a
+          | Ast.Slice { hi; lo; _ } -> hi - lo + 1
+          | Ast.Cat (a, b) -> wd a + wd b
+          | Ast.Cond (_, a, _) -> wd a
+          | Ast.Table { width; _ } -> width
+        in
+        wd e
+      in
+      Hashtbl.add values n (mask w v);
+      Hashtbl.add widths n w)
+    f.Ast.lets;
+  value_of f.Ast.result
+
+let run_packed f packed =
+  let _, args =
+    List.fold_left
+      (fun (off, acc) (n, w) -> (off + w, (n, mask w (packed lsr off)) :: acc))
+      (0, []) f.Ast.params
+  in
+  run f (List.rev args)

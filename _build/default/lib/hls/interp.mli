@@ -1,0 +1,17 @@
+(** Reference interpreter for checked {!Ast.func} programs.
+
+    This is the golden model of the HLS flow — the executable meaning of the
+    high-level description, used by the conventional testbench flow for
+    output comparison and by the tests that cross-validate the generated
+    RTL. All arithmetic is modulo the expression width. *)
+
+val run : Ast.func -> (string * int) list -> int
+(** [run f args] evaluates [f] with the named parameter values (each masked
+    to the declared width). Raises [Invalid_argument] if an argument is
+    missing or unknown. *)
+
+val run_packed : Ast.func -> int -> int
+(** [run_packed f packed] unpacks a single integer laid out as the
+    concatenation of the parameters (first parameter in the least
+    significant bits) and runs [f] — matching the packed [in_data] layout of
+    the generated RTL. *)

@@ -1,0 +1,24 @@
+let stages f =
+  Ast.check f;
+  let stage = Hashtbl.create 16 in
+  List.iter (fun (n, _) -> Hashtbl.add stage n 0) f.Ast.params;
+  List.map
+    (fun (n, e) ->
+      let s =
+        1
+        + List.fold_left
+            (fun acc v -> max acc (Hashtbl.find stage v))
+            0 (Ast.free_vars e)
+      in
+      Hashtbl.add stage n s;
+      (n, s))
+    f.Ast.lets
+
+let stage_of f n =
+  if List.mem_assoc n f.Ast.params then 0
+  else
+    match List.assoc_opt n (stages f) with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Schedule.stage_of: unknown %s" n)
+
+let depth f = max 1 (stage_of f f.Ast.result)

@@ -1,0 +1,15 @@
+(** Operation scheduling (the HLS "allocation/scheduling" pass).
+
+    ASAP scheduling with unit latency per binding: a binding's stage is one
+    more than the latest stage among the variables it reads (parameters are
+    stage 0). Each stage becomes one FSM cycle in the generated RTL, so the
+    schedule depth is the accelerator's compute latency. *)
+
+val stages : Ast.func -> (string * int) list
+(** Stage of every binding, in binding order. The function must be checked. *)
+
+val stage_of : Ast.func -> string -> int
+(** Stage of a binding or parameter (parameters are 0). *)
+
+val depth : Ast.func -> int
+(** Number of compute stages — the stage of the result, at least 1. *)

@@ -1,0 +1,1 @@
+lib/logic/aiger.ml: Aig Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/logic/tseitin.ml: Aig Hashtbl Printf Sat

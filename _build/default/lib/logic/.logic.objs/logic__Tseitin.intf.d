@@ -1,0 +1,1 @@
+lib/logic/tseitin.mli: Aig Sat

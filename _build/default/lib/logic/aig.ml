@@ -1,0 +1,128 @@
+(* Nodes are stored in growable parallel arrays. Node 0 is the constant
+   false; an edge (lit) is [2 * index + complement]. Structural hashing maps
+   ordered fanin pairs to existing AND nodes. *)
+
+type lit = int
+
+type node =
+  | Const
+  | Input of string
+  | And of lit * lit
+
+type t = {
+  mutable nodes : node array;
+  mutable size : int;
+  strash : (int * int, int) Hashtbl.t;  (* (fanin0, fanin1) -> node index *)
+}
+
+let false_ = 0
+let true_ = 1
+
+let create () =
+  let t = { nodes = Array.make 64 Const; size = 1; strash = Hashtbl.create 256 } in
+  t.nodes.(0) <- Const;
+  t
+
+let nb_nodes t = t.size
+
+let add_node t n =
+  if t.size = Array.length t.nodes then begin
+    let a = Array.make (2 * t.size) Const in
+    Array.blit t.nodes 0 a 0 t.size;
+    t.nodes <- a
+  end;
+  t.nodes.(t.size) <- n;
+  t.size <- t.size + 1;
+  t.size - 1
+
+let input t name = 2 * add_node t (Input name)
+
+let node_index l = l lsr 1
+let is_complemented l = l land 1 = 1
+
+let is_input t l =
+  match t.nodes.(node_index l) with
+  | Input _ -> true
+  | Const | And _ -> false
+
+let name t l =
+  match t.nodes.(node_index l) with
+  | Input s -> s
+  | Const | And _ -> invalid_arg "Aig.name: not an input"
+
+let not_ l = l lxor 1
+
+let of_bool b = if b then true_ else false_
+
+let to_bool l = if l = false_ then Some false else if l = true_ then Some true else None
+
+let and_ t a b =
+  (* Local simplifications first. *)
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = not_ b then false_
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some idx -> 2 * idx
+    | None ->
+      let idx = add_node t (And (a, b)) in
+      Hashtbl.add t.strash (a, b) idx;
+      2 * idx
+  end
+
+let or_ t a b = not_ (and_ t (not_ a) (not_ b))
+
+let xor_ t a b =
+  match to_bool a, to_bool b with
+  | Some x, Some y -> of_bool (x <> y)
+  | Some false, None -> b
+  | Some true, None -> not_ b
+  | None, Some false -> a
+  | None, Some true -> not_ a
+  | None, None ->
+    if a = b then false_
+    else if a = not_ b then true_
+    else or_ t (and_ t a (not_ b)) (and_ t (not_ a) b)
+
+let xnor_ t a b = not_ (xor_ t a b)
+
+let mux t sel a b =
+  match to_bool sel with
+  | Some true -> a
+  | Some false -> b
+  | None ->
+    if a = b then a
+    else or_ t (and_ t sel a) (and_ t (not_ sel) b)
+
+let implies t a b = or_ t (not_ a) b
+
+let and_list t ls = List.fold_left (and_ t) true_ ls
+let or_list t ls = List.fold_left (or_ t) false_ ls
+
+let fanins t idx =
+  match t.nodes.(idx) with
+  | And (a, b) -> Some (a, b)
+  | Const | Input _ -> None
+
+let eval t env l =
+  let cache = Hashtbl.create 64 in
+  let rec node idx =
+    match Hashtbl.find_opt cache idx with
+    | Some v -> v
+    | None ->
+      let v =
+        match t.nodes.(idx) with
+        | Const -> false
+        | Input _ -> env idx
+        | And (a, b) -> edge a && edge b
+      in
+      Hashtbl.add cache idx v;
+      v
+  and edge l =
+    let v = node (node_index l) in
+    if is_complemented l then not v else v
+  in
+  edge l

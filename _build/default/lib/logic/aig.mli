@@ -1,0 +1,67 @@
+(** And-Inverter Graphs.
+
+    A compact combinational logic representation: every gate is a two-input
+    AND, inversion is a complement bit on edges. The graph is structurally
+    hashed (identical gates are shared) and performs local constant folding
+    on construction, so bit-blasted RTL stays small before CNF conversion.
+
+    A literal ({!lit}) is an edge: a node index with a complement bit.
+    [false_] and [true_] are the constant edges. *)
+
+type t
+(** A mutable AIG under construction. *)
+
+type lit = private int
+(** An edge into the graph. Compare with [=]; totally ordered. *)
+
+val false_ : lit
+val true_ : lit
+
+val create : unit -> t
+
+val nb_nodes : t -> int
+(** Number of nodes including the constant node. *)
+
+val input : t -> string -> lit
+(** Allocates a fresh primary-input node. The name is kept for debugging and
+    counterexample display; names need not be unique. *)
+
+val is_input : t -> lit -> bool
+
+val name : t -> lit -> string
+(** Name of an input node (ignoring complement). Raises [Invalid_argument]
+    if the literal is not an input. *)
+
+val not_ : lit -> lit
+val and_ : t -> lit -> lit -> lit
+val or_ : t -> lit -> lit -> lit
+val xor_ : t -> lit -> lit -> lit
+val xnor_ : t -> lit -> lit -> lit
+val mux : t -> lit -> lit -> lit -> lit
+(** [mux t sel a b] is [a] when [sel] is true, else [b]. *)
+
+val implies : t -> lit -> lit -> lit
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+
+val of_bool : bool -> lit
+
+val to_bool : lit -> bool option
+(** [Some b] when the literal is constant. *)
+
+(** {1 Traversal} *)
+
+val node_index : lit -> int
+(** Index of the node under an edge (complement stripped). Index 0 is the
+    constant-false node. *)
+
+val is_complemented : lit -> bool
+
+val fanins : t -> int -> (lit * lit) option
+(** [fanins t idx] is [Some (a, b)] when node [idx] is an AND gate, [None]
+    for inputs and the constant. *)
+
+val eval : t -> (int -> bool) -> lit -> bool
+(** [eval t env l] evaluates edge [l] given input-node values [env idx].
+    Linear in the cone of [l]; results are not cached across calls. *)

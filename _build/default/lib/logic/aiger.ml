@@ -1,0 +1,225 @@
+type t = {
+  aig : Aig.t;
+  inputs : Aig.lit list;
+  latches : (Aig.lit * Aig.lit * bool) list;
+  outputs : (string option * Aig.lit) list;
+  bad : Aig.lit list;
+}
+
+(* ---- writing ---- *)
+
+(* Assign AIGER variable indices: inputs 1..I, latches I+1..I+L, then AND
+   gates in topological order. Our edge encoding (2*node + complement)
+   matches AIGER's literal encoding, so only node renumbering is needed. *)
+let write_buf buf t =
+  let order = Hashtbl.create 256 in            (* node index -> aiger var *)
+  let next_var = ref 0 in
+  let assign_var idx =
+    if not (Hashtbl.mem order idx) then begin
+      incr next_var;
+      Hashtbl.add order idx !next_var
+    end
+  in
+  List.iter (fun l -> assign_var (Aig.node_index l)) t.inputs;
+  List.iter (fun (cur, _, _) -> assign_var (Aig.node_index cur)) t.latches;
+  (* Topological numbering of the AND cones reachable from next-state
+     functions, outputs and bad literals. *)
+  let ands = ref [] in
+  let rec visit l =
+    let idx = Aig.node_index l in
+    if not (Hashtbl.mem order idx) && idx <> 0 then
+      match Aig.fanins t.aig idx with
+      | None ->
+        (* An input node that was not declared: treat as error. *)
+        failwith "Aiger.write: undeclared input node reachable from outputs"
+      | Some (a, b) ->
+        visit a;
+        visit b;
+        assign_var idx;
+        ands := (idx, a, b) :: !ands
+  in
+  List.iter (fun (_, next, _) -> visit next) t.latches;
+  List.iter (fun (_, o) -> visit o) t.outputs;
+  List.iter visit t.bad;
+  let ands = List.rev !ands in
+  let lit l =
+    let idx = Aig.node_index l in
+    let v = if idx = 0 then 0 else Hashtbl.find order idx in
+    (2 * v) + if Aig.is_complemented l then 1 else 0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d %d %d %d%s\n" !next_var (List.length t.inputs)
+       (List.length t.latches)
+       (List.length t.outputs)
+       (List.length ands)
+       (if t.bad = [] then "" else Printf.sprintf " %d" (List.length t.bad)));
+  List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit l))) t.inputs;
+  List.iter
+    (fun (cur, next, init) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d%s\n" (lit cur) (lit next)
+           (if init then " 1" else "")))
+    t.latches;
+  List.iter
+    (fun (_, o) -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit o)))
+    t.outputs;
+  List.iter (fun b -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit b))) t.bad;
+  List.iter
+    (fun (idx, a, b) ->
+      let v = 2 * Hashtbl.find order idx in
+      (* AIGER requires lhs > rhs0 >= rhs1. *)
+      let r0 = lit a and r1 = lit b in
+      let r0, r1 = if r0 >= r1 then (r0, r1) else (r1, r0) in
+      Buffer.add_string buf (Printf.sprintf "%d %d %d\n" v r0 r1))
+    ands;
+  (* Symbol table for named outputs. *)
+  List.iteri
+    (fun i (name, _) ->
+      match name with
+      | Some n -> Buffer.add_string buf (Printf.sprintf "o%d %s\n" i n)
+      | None -> ())
+    t.outputs
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  write_buf buf t;
+  Buffer.contents buf
+
+let write oc t = output_string oc (to_string t)
+
+(* ---- reading ---- *)
+
+let parse_string text =
+  let lines = ref (String.split_on_char '\n' text) in
+  let lineno = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Aiger: line %d: %s" !lineno msg) in
+  let next_line () =
+    match !lines with
+    | [] -> fail "unexpected end of file"
+    | l :: rest ->
+      lines := rest;
+      incr lineno;
+      l
+  in
+  let ints_of_line line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 0 -> n
+           | Some _ | None -> fail (Printf.sprintf "bad number %S" s))
+  in
+  let header = next_line () in
+  let m, i, l, o, a, b =
+    match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+    | "aag" :: rest -> (
+        match List.map int_of_string_opt rest with
+        | [ Some m; Some i; Some l; Some o; Some a ] -> (m, i, l, o, a, 0)
+        | [ Some m; Some i; Some l; Some o; Some a; Some b ] ->
+          (m, i, l, o, a, b)
+        | _ -> fail "malformed aag header")
+    | "aig" :: _ -> fail "binary aig format not supported (use aag)"
+    | _ -> fail "missing aag header"
+  in
+  let g = Aig.create () in
+  (* aiger var -> our (non-complemented) edge of the defining node. *)
+  let var_map : (int, Aig.lit) Hashtbl.t = Hashtbl.create (m + 1) in
+  let resolve lit_a =
+    if lit_a = 0 then Aig.false_
+    else if lit_a = 1 then Aig.true_
+    else begin
+      let v = lit_a / 2 in
+      if v > m then fail (Printf.sprintf "literal %d out of range" lit_a);
+      match Hashtbl.find_opt var_map v with
+      | None -> fail (Printf.sprintf "undefined variable %d" v)
+      | Some base -> if lit_a land 1 = 1 then Aig.not_ base else base
+    end
+  in
+  let inputs =
+    List.init i (fun k ->
+        let line = next_line () in
+        match ints_of_line line with
+        | [ lit_a ] ->
+          if lit_a land 1 = 1 || lit_a = 0 then fail "invalid input literal";
+          let node = Aig.input g (Printf.sprintf "i%d" k) in
+          Hashtbl.replace var_map (lit_a / 2) node;
+          node
+        | _ -> fail "malformed input line")
+  in
+  (* Latch current-state nodes are inputs of the combinational core; their
+     next-state literals may reference later definitions, so record raw
+     numbers and resolve after the AND section. *)
+  let latch_raw =
+    List.init l (fun k ->
+        let line = next_line () in
+        let cur, next, init =
+          match ints_of_line line with
+          | [ cur; next ] -> (cur, next, false)
+          | [ cur; next; 0 ] -> (cur, next, false)
+          | [ cur; next; 1 ] -> (cur, next, true)
+          | [ _; _; _ ] -> fail "uninitialized latches not supported"
+          | _ -> fail "malformed latch line"
+        in
+        if cur land 1 = 1 || cur = 0 then fail "invalid latch literal";
+        let node = Aig.input g (Printf.sprintf "l%d" k) in
+        Hashtbl.replace var_map (cur / 2) node;
+        (node, next, init))
+  in
+  let output_raw =
+    List.init o (fun _ ->
+        match ints_of_line (next_line ()) with
+        | [ x ] -> x
+        | _ -> fail "malformed output line")
+  in
+  let bad_raw =
+    List.init b (fun _ ->
+        match ints_of_line (next_line ()) with
+        | [ x ] -> x
+        | _ -> fail "malformed bad line")
+  in
+  (* AND gates: AIGER guarantees definitions in increasing lhs order with
+     rhs defined earlier, so one pass suffices. *)
+  for _ = 1 to a do
+    match ints_of_line (next_line ()) with
+    | [ lhs; r0; r1 ] ->
+      if lhs land 1 = 1 || lhs = 0 then fail "invalid and lhs";
+      let e = Aig.and_ g (resolve r0) (resolve r1) in
+      Hashtbl.replace var_map (lhs / 2) e
+      (* Note: constant folding may collapse the gate; the mapping then
+         points at the folded edge, which is semantically equivalent. *)
+    | _ -> fail "malformed and line"
+  done;
+  (* Symbol table (optional): o<k> <name>. *)
+  let names = Hashtbl.create 8 in
+  let rec read_symbols () =
+    match !lines with
+    | [] -> ()
+    | line :: rest ->
+      if line = "" || line.[0] = 'c' then ()
+      else begin
+        (match String.index_opt line ' ' with
+         | Some sp when String.length line > 1 && line.[0] = 'o' ->
+           (match int_of_string_opt (String.sub line 1 (sp - 1)) with
+            | Some k ->
+              Hashtbl.replace names k
+                (String.sub line (sp + 1) (String.length line - sp - 1))
+            | None -> ())
+         | Some _ | None -> ());
+        lines := rest;
+        incr lineno;
+        read_symbols ()
+      end
+  in
+  read_symbols ();
+  let latches =
+    List.map (fun (node, next, init) -> (node, resolve next, init)) latch_raw
+  in
+  let outputs =
+    List.mapi (fun k x -> (Hashtbl.find_opt names k, resolve x)) output_raw
+  in
+  let bad = List.map resolve bad_raw in
+  { aig = g; inputs; latches; outputs; bad }
+
+let read_channel ic =
+  let n = in_channel_length ic in
+  parse_string (really_input_string ic n)

@@ -1,0 +1,32 @@
+(** AIGER (ASCII [aag]) reader and writer.
+
+    AIGER is the interchange format of the hardware model-checking world
+    (ABC, the HWMCC benchmarks, aigsim...). Exporting the bit-blasted
+    transition relation lets the BMC problems produced by this library be
+    cross-checked with external tools; the reader imports existing AIGER
+    models for checking with our engine.
+
+    Supported subset: the ASCII header [aag M I L O A] (plus the [B] field
+    of AIGER 1.9, treated like outputs), latches with optional reset values
+    (0, 1; uninitialized latches are rejected), the symbol table and
+    comments. Binary [aig] files are not supported. *)
+
+type t = {
+  aig : Aig.t;
+  inputs : Aig.lit list;                       (** in declaration order *)
+  latches : (Aig.lit * Aig.lit * bool) list;   (** current, next, reset value *)
+  outputs : (string option * Aig.lit) list;    (** symbol-table name, edge *)
+  bad : Aig.lit list;                          (** bad-state properties *)
+}
+
+val write : out_channel -> t -> unit
+(** Writes [aag]. Nodes are renumbered (inputs, latches, then AND gates in
+    topological order), so reading the output back yields an isomorphic —
+    not identical — graph. *)
+
+val to_string : t -> string
+
+val read_channel : in_channel -> t
+
+val parse_string : string -> t
+(** Raises [Failure] with a located message on malformed input. *)

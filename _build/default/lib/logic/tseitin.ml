@@ -1,0 +1,92 @@
+type value =
+  | Cst of bool
+  | Lit of int
+
+type env = {
+  solver : Sat.Solver.t;
+  aig : Aig.t;
+  map : (int, value) Hashtbl.t;  (* AIG node index -> value of the node *)
+  mutable const_var : int;       (* SAT var asserted true, 0 when unallocated *)
+}
+
+let create solver aig =
+  { solver; aig; map = Hashtbl.create 256; const_var = 0 }
+
+let const_true env =
+  if env.const_var = 0 then begin
+    let v = Sat.Solver.new_var env.solver in
+    Sat.Solver.add_clause env.solver [ v ];
+    env.const_var <- v
+  end;
+  env.const_var
+
+let check_bindable env l what =
+  let idx = Aig.node_index l in
+  if not (Aig.is_input env.aig l) then
+    invalid_arg (Printf.sprintf "Tseitin.%s: literal is not an input node" what);
+  if Hashtbl.mem env.map idx then
+    invalid_arg (Printf.sprintf "Tseitin.%s: node already bound" what);
+  idx
+
+let bind env l sat =
+  let idx = check_bindable env l "bind" in
+  Hashtbl.add env.map idx (Lit sat)
+
+let bind_const env l b =
+  let idx = check_bindable env l "bind_const" in
+  Hashtbl.add env.map idx (Cst b)
+
+let neg_value = function
+  | Cst b -> Cst (not b)
+  | Lit l -> Lit (-l)
+
+let rec node_value env idx =
+  match Hashtbl.find_opt env.map idx with
+  | Some v -> v
+  | None ->
+    let v =
+      if idx = 0 then Cst false
+      else
+        match Aig.fanins env.aig idx with
+        | None -> Lit (Sat.Solver.new_var env.solver)  (* free input *)
+        | Some (a, b) -> (
+            match edge_value env a, edge_value env b with
+            | Cst false, _ | _, Cst false -> Cst false
+            | Cst true, v | v, Cst true -> v
+            | Lit la, Lit lb ->
+              if la = lb then Lit la
+              else if la = -lb then Cst false
+              else begin
+                let v = Sat.Solver.new_var env.solver in
+                (* v <-> la /\ lb *)
+                Sat.Solver.add_clause env.solver [ -v; la ];
+                Sat.Solver.add_clause env.solver [ -v; lb ];
+                Sat.Solver.add_clause env.solver [ v; -la; -lb ];
+                Lit v
+              end)
+    in
+    Hashtbl.add env.map idx v;
+    v
+
+and edge_value env l =
+  let v = node_value env (Aig.node_index l) in
+  if Aig.is_complemented l then neg_value v else v
+
+let value_of = edge_value
+
+let sat_lit env l =
+  match edge_value env l with
+  | Lit s -> s
+  | Cst true -> const_true env
+  | Cst false -> - (const_true env)
+
+let assert_true env l =
+  match edge_value env l with
+  | Cst true -> ()
+  | Cst false ->
+    (* Contradiction: force unsatisfiability. *)
+    let t = const_true env in
+    Sat.Solver.add_clause env.solver [ -t ]
+  | Lit s -> Sat.Solver.add_clause env.solver [ s ]
+
+let assert_false env l = assert_true env (Aig.not_ l)

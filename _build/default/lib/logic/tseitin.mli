@@ -1,0 +1,41 @@
+(** Tseitin encoding of an AIG cone into a SAT solver, with constant
+    propagation.
+
+    An {!env} represents one instantiation ("frame") of a combinational AIG
+    inside a solver: input nodes are bound to caller-chosen SAT literals or
+    to known constants, and AND gates receive fresh variables with the
+    standard three Tseitin clauses — unless constant folding collapses them.
+    Folding matters for BMC: binding frame 0's latches to their reset
+    constants lets whole cones of the early frames evaporate before they
+    reach the solver. *)
+
+type env
+
+(** A literal's encoded value: a known constant or a solver literal. *)
+type value =
+  | Cst of bool
+  | Lit of int
+
+val create : Sat.Solver.t -> Aig.t -> env
+
+val bind : env -> Aig.lit -> int -> unit
+(** [bind env l sat_lit] associates the (non-complemented) input node of [l]
+    with an existing SAT literal. Raises [Invalid_argument] if [l] is not an
+    input or is already bound or encoded. *)
+
+val bind_const : env -> Aig.lit -> bool -> unit
+(** Like {!bind} but to a known constant value (reset states). *)
+
+val value_of : env -> Aig.lit -> value
+(** Encodes the cone of the edge (allocating fresh variables for unbound
+    inputs) and returns its value. *)
+
+val sat_lit : env -> Aig.lit -> int
+(** Like {!value_of} but always yields a solver literal, materializing
+    constants through a shared always-true variable. *)
+
+val assert_true : env -> Aig.lit -> unit
+(** Forces the edge true in this frame. If the edge folds to constant false
+    the solver is made unsatisfiable. *)
+
+val assert_false : env -> Aig.lit -> unit

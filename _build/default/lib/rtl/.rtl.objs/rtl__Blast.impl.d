@@ -1,0 +1,1 @@
+lib/rtl/blast.ml: Array Bitvec Hashtbl Ir List Logic Printf

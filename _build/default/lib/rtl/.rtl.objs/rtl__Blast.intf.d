@@ -1,0 +1,1 @@
+lib/rtl/blast.mli: Bitvec Ir Logic

@@ -1,0 +1,1 @@
+lib/rtl/ir.ml: Bitvec Hashtbl List Printf

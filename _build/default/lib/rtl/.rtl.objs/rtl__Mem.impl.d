@@ -1,0 +1,1 @@
+lib/rtl/mem.ml: Array Ir Printf

@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Bitvec Hashtbl Ir List Printf

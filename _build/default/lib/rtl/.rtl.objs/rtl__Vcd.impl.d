@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bitvec Buffer Char Hashtbl Ir List Printf Sim String

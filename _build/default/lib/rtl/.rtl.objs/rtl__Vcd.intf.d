@@ -1,0 +1,1 @@
+lib/rtl/vcd.mli: Ir Sim

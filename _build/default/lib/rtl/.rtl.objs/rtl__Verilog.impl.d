@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Bitvec Buffer Hashtbl Ir List Printf String

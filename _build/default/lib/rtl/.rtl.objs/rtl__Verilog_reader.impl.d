@@ -1,0 +1,1 @@
+lib/rtl/verilog_reader.ml: Bitvec Char Hashtbl Ir List Printf String

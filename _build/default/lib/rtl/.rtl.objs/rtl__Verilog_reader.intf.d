@@ -1,0 +1,1 @@
+lib/rtl/verilog_reader.mli: Ir

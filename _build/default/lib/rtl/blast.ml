@@ -1,0 +1,212 @@
+type latch = {
+  reg : Ir.signal;
+  cur : Logic.Aig.lit array;
+  next : Logic.Aig.lit array;
+  init : Bitvec.t;
+}
+
+type t = {
+  circuit : Ir.circuit;
+  aig : Logic.Aig.t;
+  map : (int, Logic.Aig.lit array) Hashtbl.t;
+  mutable latch_cur : (Ir.signal * Logic.Aig.lit array) list;  (* discovery order *)
+  mutable latch_next : (int, Logic.Aig.lit array) Hashtbl.t;
+  mutable pending : Ir.signal list;
+  mutable inputs : (Ir.signal * Logic.Aig.lit array) list;
+  mutable finalized : bool;
+}
+
+let create circuit =
+  Ir.validate circuit;
+  {
+    circuit;
+    aig = Logic.Aig.create ();
+    map = Hashtbl.create 256;
+    latch_cur = [];
+    latch_next = Hashtbl.create 32;
+    pending = [];
+    inputs = [];
+    finalized = false;
+  }
+
+let aig t = t.aig
+
+let bit_name base i = Printf.sprintf "%s[%d]" base i
+
+(* ---- bit-level building blocks ---- *)
+
+let full_add g a b cin =
+  let s = Logic.Aig.xor_ g (Logic.Aig.xor_ g a b) cin in
+  let cout = Logic.Aig.or_ g (Logic.Aig.and_ g a b) (Logic.Aig.and_ g cin (Logic.Aig.xor_ g a b)) in
+  (s, cout)
+
+let adder g a b cin =
+  let w = Array.length a in
+  let out = Array.make w Logic.Aig.false_ in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_add g a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out
+
+let negate g a = adder g (Array.map Logic.Aig.not_ a) (Array.map (fun _ -> Logic.Aig.false_) a) Logic.Aig.true_
+
+let subtract g a b = adder g a (Array.map Logic.Aig.not_ b) Logic.Aig.true_
+
+let equal_bits g a b =
+  Logic.Aig.and_list g (Array.to_list (Array.map2 (Logic.Aig.xnor_ g) a b))
+
+(* Unsigned a < b via a borrow chain from the LSB. *)
+let ult_bits g a b =
+  let lt = ref Logic.Aig.false_ in
+  for i = 0 to Array.length a - 1 do
+    let ai = a.(i) and bi = b.(i) in
+    lt :=
+      Logic.Aig.or_ g
+        (Logic.Aig.and_ g (Logic.Aig.not_ ai) bi)
+        (Logic.Aig.and_ g (Logic.Aig.xnor_ g ai bi) !lt)
+  done;
+  !lt
+
+let flip_msb a =
+  let w = Array.length a in
+  Array.mapi (fun i l -> if i = w - 1 then Logic.Aig.not_ l else l) a
+
+let mux_bits g sel a b = Array.map2 (fun x y -> Logic.Aig.mux g sel x y) a b
+
+let shift_left_const a k =
+  let w = Array.length a in
+  Array.init w (fun i -> if i < k then Logic.Aig.false_ else a.(i - k))
+
+let shift_right_const a k ~fill =
+  let w = Array.length a in
+  Array.init w (fun i -> if i + k < w then a.(i + k) else fill)
+
+(* Barrel shifter; [fill] is the incoming bit (false for sll/srl, the sign
+   bit for sra). Amounts >= width produce all-[fill_sat]. *)
+let shift_var g op a amount =
+  let w = Array.length a in
+  let fill = match op with Ir.Sra -> a.(w - 1) | Ir.Sll | Ir.Srl -> Logic.Aig.false_ in
+  let stages = ref a in
+  let overflow = ref Logic.Aig.false_ in
+  Array.iteri
+    (fun j bj ->
+      let k = 1 lsl j in
+      if k >= w then overflow := Logic.Aig.or_ g !overflow bj
+      else
+        let shifted =
+          match op with
+          | Ir.Sll -> shift_left_const !stages k
+          | Ir.Srl | Ir.Sra -> shift_right_const !stages k ~fill
+        in
+        stages := mux_bits g bj shifted !stages)
+    amount;
+  let all_fill = Array.make w fill in
+  mux_bits g !overflow all_fill !stages
+
+let multiply g a b =
+  let w = Array.length a in
+  let acc = ref (Array.make w Logic.Aig.false_) in
+  for i = 0 to w - 1 do
+    let partial =
+      Array.init w (fun j ->
+          if j < i then Logic.Aig.false_ else Logic.Aig.and_ g b.(i) a.(j - i))
+    in
+    acc := adder g !acc partial Logic.Aig.false_
+  done;
+  !acc
+
+(* ---- signal blasting ---- *)
+
+let rec lits t s =
+  match Hashtbl.find_opt t.map (Ir.id s) with
+  | Some a -> a
+  | None ->
+    let a = blast_kind t s in
+    Hashtbl.replace t.map (Ir.id s) a;
+    a
+
+and blast_kind t s =
+  let g = t.aig in
+  let w = Ir.width s in
+  match Ir.kind s with
+  | Ir.Input name ->
+    let bits = Array.init w (fun i -> Logic.Aig.input g (bit_name name i)) in
+    t.inputs <- t.inputs @ [ (s, bits) ];
+    bits
+  | Ir.Reg name ->
+    let bits = Array.init w (fun i -> Logic.Aig.input g (bit_name name i)) in
+    t.latch_cur <- t.latch_cur @ [ (s, bits) ];
+    t.pending <- s :: t.pending;
+    t.finalized <- false;
+    bits
+  | Ir.Const bv -> Array.init w (fun i -> Logic.Aig.of_bool (Bitvec.bit bv i))
+  | Ir.Unop (op, x) ->
+    let a = lits t x in
+    (match op with
+     | Ir.Not -> Array.map Logic.Aig.not_ a
+     | Ir.Neg -> negate g a
+     | Ir.Redand -> [| Logic.Aig.and_list g (Array.to_list a) |]
+     | Ir.Redor -> [| Logic.Aig.or_list g (Array.to_list a) |]
+     | Ir.Redxor -> [| Array.fold_left (Logic.Aig.xor_ g) Logic.Aig.false_ a |])
+  | Ir.Binop (op, x, y) ->
+    let a = lits t x and b = lits t y in
+    (match op with
+     | Ir.Add -> adder g a b Logic.Aig.false_
+     | Ir.Sub -> subtract g a b
+     | Ir.Mul -> multiply g a b
+     | Ir.And -> Array.map2 (Logic.Aig.and_ g) a b
+     | Ir.Or -> Array.map2 (Logic.Aig.or_ g) a b
+     | Ir.Xor -> Array.map2 (Logic.Aig.xor_ g) a b
+     | Ir.Eq -> [| equal_bits g a b |]
+     | Ir.Ult -> [| ult_bits g a b |]
+     | Ir.Ule -> [| Logic.Aig.or_ g (ult_bits g a b) (equal_bits g a b) |]
+     | Ir.Slt -> [| ult_bits g (flip_msb a) (flip_msb b) |]
+     | Ir.Sle ->
+       let fa = flip_msb a and fb = flip_msb b in
+       [| Logic.Aig.or_ g (ult_bits g fa fb) (equal_bits g a b) |])
+  | Ir.Shift_const (op, x, k) ->
+    let a = lits t x in
+    (match op with
+     | Ir.Sll -> shift_left_const a k
+     | Ir.Srl -> shift_right_const a k ~fill:Logic.Aig.false_
+     | Ir.Sra -> shift_right_const a k ~fill:a.(Array.length a - 1))
+  | Ir.Shift_var (op, x, y) -> shift_var g op (lits t x) (lits t y)
+  | Ir.Mux (sel, x, y) ->
+    let vsel = (lits t sel).(0) in
+    mux_bits g vsel (lits t x) (lits t y)
+  | Ir.Concat (hi, lo) -> Array.append (lits t lo) (lits t hi)
+  | Ir.Select (x, hi, lo) ->
+    let a = lits t x in
+    Array.sub a lo (hi - lo + 1)
+
+let lit1 t s =
+  if Ir.width s <> 1 then invalid_arg "Blast.lit1: signal is not 1 bit";
+  (lits t s).(0)
+
+let rec finalize t =
+  match t.pending with
+  | [] -> t.finalized <- true
+  | r :: rest ->
+    t.pending <- rest;
+    if not (Hashtbl.mem t.latch_next (Ir.id r)) then begin
+      let next = lits t (Ir.reg_next t.circuit r) in
+      Hashtbl.replace t.latch_next (Ir.id r) next
+    end;
+    finalize t
+
+let latches t =
+  if not t.finalized then failwith "Blast.latches: finalize first";
+  List.map
+    (fun (r, cur) ->
+      {
+        reg = r;
+        cur;
+        next = Hashtbl.find t.latch_next (Ir.id r);
+        init = Ir.reg_init t.circuit r;
+      })
+    t.latch_cur
+
+let input_bits t = t.inputs

@@ -1,0 +1,40 @@
+(** Bit-blasting of {!module:Ir} circuits into And-Inverter Graphs.
+
+    Each signal becomes an array of AIG edges (LSB first). Primary inputs
+    become AIG input nodes; each register becomes a latch — an AIG input node
+    for the current state plus a next-state cone and an initial value. The
+    result is the transition-relation representation consumed by
+    {!module:Bmc}. Blasting is demand-driven: call {!lits} on the signals of
+    interest, then {!finalize} to close the register cone, then read
+    {!latches}. *)
+
+type t
+
+type latch = {
+  reg : Ir.signal;
+  cur : Logic.Aig.lit array;   (* AIG input nodes holding the current state *)
+  next : Logic.Aig.lit array;  (* next-state cones *)
+  init : Bitvec.t;
+}
+
+val create : Ir.circuit -> t
+(** Validates the circuit. *)
+
+val aig : t -> Logic.Aig.t
+
+val lits : t -> Ir.signal -> Logic.Aig.lit array
+(** Bit-blasts (with memoization) the cone of a signal. *)
+
+val lit1 : t -> Ir.signal -> Logic.Aig.lit
+(** Convenience for 1-bit signals. *)
+
+val finalize : t -> unit
+(** Blasts the next-state cone of every register reached so far (and of any
+    register those cones reach). Idempotent; must be called before
+    {!latches}. *)
+
+val latches : t -> latch list
+(** Raises [Failure] if {!finalize} has not completed. *)
+
+val input_bits : t -> (Ir.signal * Logic.Aig.lit array) list
+(** Primary inputs reached during blasting, with their AIG input nodes. *)

@@ -1,0 +1,43 @@
+type t = {
+  circuit : Ir.circuit;
+  name : string;
+  words : Ir.signal array;
+  aw : int;
+  w : int;
+  mutable written : bool;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let create circuit name ~size ~width =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Mem.create: size must be a positive power of two";
+  let words =
+    Array.init size (fun i ->
+        Ir.reg0 circuit (Printf.sprintf "%s_%d" name i) width)
+  in
+  { circuit; name; words; aw = max 1 (log2 size); w = width; written = false }
+
+let size m = Array.length m.words
+let width m = m.w
+let addr_width m = m.aw
+
+let write_port m ~enable ~addr ~data =
+  if m.written then invalid_arg "Mem.write_port: already configured";
+  if Ir.width enable <> 1 then invalid_arg "Mem.write_port: enable must be 1 bit";
+  if Ir.width data <> m.w then invalid_arg "Mem.write_port: data width mismatch";
+  if Ir.width addr <> m.aw then invalid_arg "Mem.write_port: addr width mismatch";
+  m.written <- true;
+  Array.iteri
+    (fun i r ->
+      let here = Ir.logand enable (Ir.eq_const addr i) in
+      Ir.connect m.circuit r (Ir.mux here data r))
+    m.words
+
+let read m addr =
+  if Ir.width addr <> m.aw then invalid_arg "Mem.read: addr width mismatch";
+  Ir.mux_n addr (Array.to_list m.words)
+
+let word m i =
+  if i < 0 || i >= Array.length m.words then invalid_arg "Mem.word: index";
+  m.words.(i)

@@ -1,0 +1,31 @@
+(** Synchronous register-file memories.
+
+    Memories are elaborated structurally: a bank of registers with write
+    decoding and read mux trees, so the simulator and the bit-blaster need no
+    dedicated memory support. Suitable for the small buffers of the
+    accelerator designs (BMC blows up on large memories anyway — the paper
+    uses abstracted designs for the same reason). *)
+
+type t
+
+val create :
+  Ir.circuit -> string -> size:int -> width:int -> t
+(** [create c name ~size ~width] builds a memory of [size] words ([size]
+    must be a power of two) of [width] bits, initialized to zero. A single
+    synchronous write port is configured with {!write_port}; reads are
+    combinational. *)
+
+val size : t -> int
+val width : t -> int
+val addr_width : t -> int
+
+val write_port :
+  t -> enable:Ir.signal -> addr:Ir.signal -> data:Ir.signal -> unit
+(** Configures the write port. Must be called exactly once. When [enable] is
+    high at a clock edge, word [addr] is updated with [data]. *)
+
+val read : t -> Ir.signal -> Ir.signal
+(** [read m addr] — combinational (asynchronous) read of word [addr]. *)
+
+val word : t -> int -> Ir.signal
+(** Direct access to the backing register of one word (for debug/monitors). *)

@@ -1,0 +1,159 @@
+type t = {
+  circuit : Ir.circuit;
+  inputs : (string, Bitvec.t) Hashtbl.t;
+  state : (int, Bitvec.t) Hashtbl.t;        (* register id -> value *)
+  cache : (int, Bitvec.t) Hashtbl.t;        (* combinational memo, per cycle *)
+  on_stack : (int, unit) Hashtbl.t;         (* combinational-loop detection *)
+  mutable cycles : int;
+}
+
+let init_state t =
+  Hashtbl.reset t.state;
+  List.iter
+    (fun r -> Hashtbl.replace t.state (Ir.id r) (Ir.reg_init t.circuit r))
+    (Ir.registers t.circuit)
+
+let create circuit =
+  Ir.validate circuit;
+  let t =
+    {
+      circuit;
+      inputs = Hashtbl.create 16;
+      state = Hashtbl.create 64;
+      cache = Hashtbl.create 256;
+      on_stack = Hashtbl.create 16;
+      cycles = 0;
+    }
+  in
+  init_state t;
+  t
+
+let circuit t = t.circuit
+
+let set_input t name v =
+  let s =
+    match
+      List.find_opt
+        (fun s -> Ir.signal_name s = Some name)
+        (Ir.inputs t.circuit)
+    with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  if Ir.width s <> Bitvec.width v then
+    invalid_arg
+      (Printf.sprintf "Sim.set_input %s: width mismatch (%d vs %d)" name
+         (Ir.width s) (Bitvec.width v));
+  Hashtbl.replace t.inputs name v;
+  Hashtbl.reset t.cache
+
+let set_input_int t name n =
+  let s =
+    match
+      List.find_opt
+        (fun s -> Ir.signal_name s = Some name)
+        (Ir.inputs t.circuit)
+    with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  set_input t name (Bitvec.create ~width:(Ir.width s) n)
+
+let shift_amount v =
+  (* Cap at an int; shifts >= width saturate anyway. *)
+  let w = Bitvec.width v in
+  if w <= 20 then Bitvec.to_int v
+  else
+    let low = Bitvec.extract v ~hi:19 ~lo:0 in
+    if Bitvec.is_zero (Bitvec.extract v ~hi:(w - 1) ~lo:20) then
+      Bitvec.to_int low
+    else max_int / 2
+
+let rec eval t s =
+  let sid = Ir.id s in
+  match Hashtbl.find_opt t.cache sid with
+  | Some v -> v
+  | None ->
+    if Hashtbl.mem t.on_stack sid then
+      failwith
+        (Printf.sprintf "Sim: combinational loop through signal %d in %s" sid
+           (Ir.circuit_name t.circuit));
+    Hashtbl.add t.on_stack sid ();
+    let v = eval_kind t s in
+    Hashtbl.remove t.on_stack sid;
+    Hashtbl.replace t.cache sid v;
+    v
+
+and eval_kind t s =
+  let w = Ir.width s in
+  match Ir.kind s with
+  | Ir.Reg _ -> Hashtbl.find t.state (Ir.id s)
+  | Ir.Input name ->
+    (match Hashtbl.find_opt t.inputs name with
+     | Some v -> v
+     | None -> Bitvec.zero w)
+  | Ir.Const bv -> bv
+  | Ir.Unop (op, a) ->
+    let va = eval t a in
+    (match op with
+     | Ir.Not -> Bitvec.lognot va
+     | Ir.Neg -> Bitvec.neg va
+     | Ir.Redand -> Bitvec.of_bool (Bitvec.reduce_and va)
+     | Ir.Redor -> Bitvec.of_bool (Bitvec.reduce_or va)
+     | Ir.Redxor -> Bitvec.of_bool (Bitvec.reduce_xor va))
+  | Ir.Binop (op, a, b) ->
+    let va = eval t a and vb = eval t b in
+    (match op with
+     | Ir.Add -> Bitvec.add va vb
+     | Ir.Sub -> Bitvec.sub va vb
+     | Ir.Mul -> Bitvec.mul va vb
+     | Ir.And -> Bitvec.logand va vb
+     | Ir.Or -> Bitvec.logor va vb
+     | Ir.Xor -> Bitvec.logxor va vb
+     | Ir.Eq -> Bitvec.of_bool (Bitvec.equal va vb)
+     | Ir.Ult -> Bitvec.of_bool (Bitvec.ult va vb)
+     | Ir.Ule -> Bitvec.of_bool (Bitvec.ule va vb)
+     | Ir.Slt -> Bitvec.of_bool (Bitvec.slt va vb)
+     | Ir.Sle -> Bitvec.of_bool (Bitvec.sle va vb))
+  | Ir.Shift_const (op, a, k) ->
+    let va = eval t a in
+    (match op with
+     | Ir.Sll -> Bitvec.shift_left va k
+     | Ir.Srl -> Bitvec.shift_right_logical va k
+     | Ir.Sra -> Bitvec.shift_right_arith va k)
+  | Ir.Shift_var (op, a, b) ->
+    let va = eval t a and k = shift_amount (eval t b) in
+    (match op with
+     | Ir.Sll -> Bitvec.shift_left va (min k (Bitvec.width va))
+     | Ir.Srl -> Bitvec.shift_right_logical va (min k (Bitvec.width va))
+     | Ir.Sra -> Bitvec.shift_right_arith va (min k (Bitvec.width va)))
+  | Ir.Mux (sel, a, b) ->
+    if Bitvec.is_zero (eval t sel) then eval t b else eval t a
+  | Ir.Concat (hi, lo) -> Bitvec.concat (eval t hi) (eval t lo)
+  | Ir.Select (a, hi, lo) -> Bitvec.extract (eval t a) ~hi ~lo
+
+let peek t s = eval t s
+let peek_int t s = Bitvec.to_int (peek t s)
+let peek_output t name = peek t (Ir.find_output t.circuit name)
+let reg_value t r = peek t r
+
+let assumes_hold t =
+  List.for_all (fun a -> not (Bitvec.is_zero (eval t a))) (Ir.assumes t.circuit)
+
+let step t =
+  let nexts =
+    List.map
+      (fun r -> (Ir.id r, eval t (Ir.reg_next t.circuit r)))
+      (Ir.registers t.circuit)
+  in
+  List.iter (fun (rid, v) -> Hashtbl.replace t.state rid v) nexts;
+  Hashtbl.reset t.cache;
+  t.cycles <- t.cycles + 1
+
+let cycle t = t.cycles
+
+let reset t =
+  init_state t;
+  Hashtbl.reset t.inputs;
+  Hashtbl.reset t.cache;
+  t.cycles <- 0

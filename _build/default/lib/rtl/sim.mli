@@ -1,0 +1,44 @@
+(** Cycle-accurate two-phase simulator for {!module:Ir} circuits.
+
+    A simulation holds the register state. Each cycle: drive the inputs with
+    {!set_input}, read any combinational signal with {!peek}, then {!step} to
+    clock every register. Undriven inputs read zero. Combinational cycles are
+    detected and reported as [Failure]. *)
+
+type t
+
+val create : Ir.circuit -> t
+(** Validates the circuit (all registers connected) and initializes every
+    register to its reset value. *)
+
+val circuit : t -> Ir.circuit
+
+val set_input : t -> string -> Bitvec.t -> unit
+(** Drives the named input for the current cycle (persists across cycles
+    until overwritten). Raises [Not_found] for unknown inputs and
+    [Invalid_argument] on width mismatch. *)
+
+val set_input_int : t -> string -> int -> unit
+
+val peek : t -> Ir.signal -> Bitvec.t
+(** Combinational value of a signal in the current cycle. *)
+
+val peek_int : t -> Ir.signal -> int
+
+val peek_output : t -> string -> Bitvec.t
+
+val reg_value : t -> Ir.signal -> Bitvec.t
+(** Current state of a register (same as [peek]). *)
+
+val assumes_hold : t -> bool
+(** Whether every declared assumption evaluates to 1 this cycle. *)
+
+val step : t -> unit
+(** Clocks the circuit: computes every register's next value from the current
+    inputs/state, then commits. Increments {!cycle}. *)
+
+val cycle : t -> int
+(** Number of completed steps since creation (or the last {!reset}). *)
+
+val reset : t -> unit
+(** Restores all registers to their reset values and clears driven inputs. *)

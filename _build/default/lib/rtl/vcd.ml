@@ -1,0 +1,63 @@
+type t = {
+  oc : out_channel;
+  sim : Sim.t;
+  signals : (string * Ir.signal * string) list;  (* display, signal, id code *)
+  last : (string, Bitvec.t) Hashtbl.t;
+  mutable samples : int;
+}
+
+let idcode i =
+  (* Printable short identifiers: !, quote, hash, ... expanding to two chars. *)
+  let alphabet = 94 in
+  let base = 33 in
+  if i < alphabet then String.make 1 (Char.chr (base + i))
+  else
+    let b = Buffer.create 2 in
+    let rec go i =
+      if i >= alphabet then go (i / alphabet);
+      Buffer.add_char b (Char.chr (base + (i mod alphabet)))
+    in
+    go i;
+    Buffer.contents b
+
+let create oc sim named =
+  let signals =
+    List.mapi (fun i (name, s) -> (name, s, idcode i)) named
+  in
+  output_string oc "$timescale 1ns $end\n$scope module top $end\n";
+  List.iter
+    (fun (name, s, code) ->
+      Printf.fprintf oc "$var wire %d %s %s $end\n" (Ir.width s) code name)
+    signals;
+  output_string oc "$upscope $end\n$enddefinitions $end\n";
+  { oc; sim; signals; last = Hashtbl.create 32; samples = 0 }
+
+let emit_value oc code v =
+  if Bitvec.width v = 1 then
+    Printf.fprintf oc "%c%s\n" (if Bitvec.bit v 0 then '1' else '0') code
+  else begin
+    let s = Bitvec.to_binary_string v in
+    (* to_binary_string has a 0b prefix. *)
+    Printf.fprintf oc "b%s %s\n" (String.sub s 2 (String.length s - 2)) code
+  end
+
+let sample t =
+  Printf.fprintf t.oc "#%d\n" (Sim.cycle t.sim);
+  List.iter
+    (fun (name, s, code) ->
+      let v = Sim.peek t.sim s in
+      let changed =
+        match Hashtbl.find_opt t.last name with
+        | Some prev -> not (Bitvec.equal prev v)
+        | None -> true
+      in
+      if changed then begin
+        Hashtbl.replace t.last name v;
+        emit_value t.oc code v
+      end)
+    t.signals;
+  t.samples <- t.samples + 1
+
+let close t =
+  Printf.fprintf t.oc "#%d\n" (Sim.cycle t.sim + 1);
+  flush t.oc

@@ -1,0 +1,18 @@
+(** Value-change-dump (VCD) waveform writer.
+
+    Records selected signals of a running simulation into the standard VCD
+    format readable by GTKWave & co. Useful when debugging counterexample
+    traces replayed on the simulator. *)
+
+type t
+
+val create : out_channel -> Sim.t -> (string * Ir.signal) list -> t
+(** [create oc sim signals] writes the VCD header declaring [signals] under
+    the given display names. *)
+
+val sample : t -> unit
+(** Records the current values at the current simulation cycle. Call once
+    per cycle, before [Sim.step]. *)
+
+val close : t -> unit
+(** Flushes the final timestamp. Does not close the channel. *)

@@ -1,0 +1,185 @@
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+      | _ -> '_')
+    name
+
+let to_string circuit =
+  Ir.validate circuit;
+  let buf = Buffer.create 4096 in
+  let names = Hashtbl.create 64 in      (* signal id -> verilog name *)
+  let used = Hashtbl.create 64 in
+  let fresh_name base =
+    let base = sanitize base in
+    let rec pick candidate k =
+      if Hashtbl.mem used candidate then pick (Printf.sprintf "%s_%d" base k) (k + 1)
+      else candidate
+    in
+    let n = pick base 1 in
+    Hashtbl.add used n ();
+    n
+  in
+  let name_of s =
+    match Hashtbl.find_opt names (Ir.id s) with
+    | Some n -> n
+    | None ->
+      let base =
+        match Ir.signal_name s with
+        | Some n -> n
+        | None -> Printf.sprintf "s%d" (Ir.id s)
+      in
+      let n = fresh_name base in
+      Hashtbl.add names (Ir.id s) n;
+      n
+  in
+  (* Collect the cone of outputs, assumptions and register next-states. *)
+  let visited = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec visit s =
+    if not (Hashtbl.mem visited (Ir.id s)) then begin
+      Hashtbl.add visited (Ir.id s) ();
+      (match Ir.kind s with
+       | Ir.Input _ | Ir.Const _ | Ir.Reg _ -> ()
+       | Ir.Unop (_, a) -> visit a
+       | Ir.Binop (_, a, b) | Ir.Concat (a, b) | Ir.Shift_var (_, a, b) ->
+         visit a; visit b
+       | Ir.Shift_const (_, a, _) | Ir.Select (a, _, _) -> visit a
+       | Ir.Mux (sel, a, b) -> visit sel; visit a; visit b);
+      order := s :: !order
+    end
+  in
+  List.iter (fun (_, s) -> visit s) (Ir.outputs circuit);
+  List.iter visit (Ir.assumes circuit);
+  List.iter (fun r -> visit r; visit (Ir.reg_next circuit r)) (Ir.registers circuit);
+  let order = List.rev !order in
+
+  let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1) in
+  let hex bv =
+    let s = Bitvec.to_hex_string bv in
+    (* 0xAB:8 -> 8'hAB *)
+    (match String.index_opt s ':' with
+     | Some colon ->
+       let digits = String.sub s 2 (colon - 2) in
+       let w = String.sub s (colon + 1) (String.length s - colon - 1) in
+       Printf.sprintf "%s'h%s" w digits
+     | None -> s)
+  in
+
+  (* Ports: clk, primary inputs, declared outputs. *)
+  let ports =
+    "clk"
+    :: List.map name_of (Ir.inputs circuit)
+    @ List.map (fun (n, _) -> fresh_name ("out_" ^ n)) (Ir.outputs circuit)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n"
+       (sanitize (Ir.circuit_name circuit))
+       (String.concat ", " ports));
+  Buffer.add_string buf "  input clk;\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  input %s%s;\n" (range (Ir.width s)) (name_of s)))
+    (Ir.inputs circuit);
+  List.iteri
+    (fun i (n, s) ->
+      ignore i;
+      Buffer.add_string buf
+        (Printf.sprintf "  output %sout_%s;\n" (range (Ir.width s)) (sanitize n)))
+    (Ir.outputs circuit);
+
+  (* Declarations. *)
+  List.iter
+    (fun s ->
+      match Ir.kind s with
+      | Ir.Input _ -> ()
+      | Ir.Reg _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "  reg %s%s = %s;\n" (range (Ir.width s)) (name_of s)
+             (hex (Ir.reg_init circuit s)))
+      | Ir.Const _ | Ir.Unop _ | Ir.Binop _ | Ir.Shift_const _
+      | Ir.Shift_var _ | Ir.Mux _ | Ir.Concat _ | Ir.Select _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "  wire %s%s;\n" (range (Ir.width s)) (name_of s)))
+    order;
+
+  (* Combinational assigns. *)
+  let n = name_of in
+  List.iter
+    (fun s ->
+      let rhs =
+        match Ir.kind s with
+        | Ir.Input _ | Ir.Reg _ -> None
+        | Ir.Const bv -> Some (hex bv)
+        | Ir.Unop (op, a) ->
+          Some
+            (match op with
+             | Ir.Not -> Printf.sprintf "~%s" (n a)
+             | Ir.Neg -> Printf.sprintf "-%s" (n a)
+             | Ir.Redand -> Printf.sprintf "&%s" (n a)
+             | Ir.Redor -> Printf.sprintf "|%s" (n a)
+             | Ir.Redxor -> Printf.sprintf "^%s" (n a))
+        | Ir.Binop (op, a, b) ->
+          let infix sym = Printf.sprintf "%s %s %s" (n a) sym (n b) in
+          Some
+            (match op with
+             | Ir.Add -> infix "+"
+             | Ir.Sub -> infix "-"
+             | Ir.Mul -> infix "*"
+             | Ir.And -> infix "&"
+             | Ir.Or -> infix "|"
+             | Ir.Xor -> infix "^"
+             | Ir.Eq -> infix "=="
+             | Ir.Ult -> infix "<"
+             | Ir.Ule -> infix "<="
+             | Ir.Slt -> Printf.sprintf "$signed(%s) < $signed(%s)" (n a) (n b)
+             | Ir.Sle -> Printf.sprintf "$signed(%s) <= $signed(%s)" (n a) (n b))
+        | Ir.Shift_const (op, a, k) ->
+          Some
+            (match op with
+             | Ir.Sll -> Printf.sprintf "%s << %d" (n a) k
+             | Ir.Srl -> Printf.sprintf "%s >> %d" (n a) k
+             | Ir.Sra -> Printf.sprintf "$signed(%s) >>> %d" (n a) k)
+        | Ir.Shift_var (op, a, b) ->
+          Some
+            (match op with
+             | Ir.Sll -> Printf.sprintf "%s << %s" (n a) (n b)
+             | Ir.Srl -> Printf.sprintf "%s >> %s" (n a) (n b)
+             | Ir.Sra -> Printf.sprintf "$signed(%s) >>> %s" (n a) (n b))
+        | Ir.Mux (sel, a, b) ->
+          Some (Printf.sprintf "%s ? %s : %s" (n sel) (n a) (n b))
+        | Ir.Concat (hi, lo) -> Some (Printf.sprintf "{%s, %s}" (n hi) (n lo))
+        | Ir.Select (a, hi, lo) ->
+          Some
+            (if hi = lo then Printf.sprintf "%s[%d]" (n a) hi
+             else Printf.sprintf "%s[%d:%d]" (n a) hi lo)
+      in
+      match rhs with
+      | Some rhs ->
+        Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" (n s) rhs)
+      | None -> ())
+    order;
+
+  (* Register updates. *)
+  if Ir.registers circuit <> [] then begin
+    Buffer.add_string buf "  always @(posedge clk) begin\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %s <= %s;\n" (n r) (n (Ir.reg_next circuit r))))
+      (Ir.registers circuit);
+    Buffer.add_string buf "  end\n"
+  end;
+
+  (* Output bindings. *)
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign out_%s = %s;\n" (sanitize name) (n s)))
+    (Ir.outputs circuit);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write oc circuit = output_string oc (to_string circuit)

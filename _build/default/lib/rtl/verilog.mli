@@ -1,0 +1,17 @@
+(** Verilog-2001 netlist export.
+
+    Emits a synthesizable single-module netlist for a circuit: one wire and
+    one [assign] per combinational signal, one [always @(posedge clk)] block
+    per register (with its reset value as the register initializer). Useful
+    for inspecting generated designs in standard tools and for taking the
+    case studies to an external simulator or synthesis flow.
+
+    Names: primary inputs and registers keep their declared names (made
+    unique if clashing); anonymous combinational signals become [s<id>].
+    Only the cone of the declared outputs, the assumptions and the register
+    next-state functions is emitted. *)
+
+val write : out_channel -> Ir.circuit -> unit
+(** Raises [Failure] if the circuit fails {!Ir.validate}. *)
+
+val to_string : Ir.circuit -> string

@@ -1,0 +1,489 @@
+exception Parse_error of string
+
+(* ---- lexer ---- *)
+
+type token =
+  | Ident of string
+  | Int of int                         (* bare decimal *)
+  | Sized of int * int                 (* width, value: 8'h2a *)
+  | Punct of string                    (* operators and delimiters *)
+  | Eof
+
+type lexer = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+}
+
+let err lx msg = raise (Parse_error (Printf.sprintf "line %d: %s" lx.line msg))
+
+let is_ident_char ch =
+  match ch with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+  | _ -> false
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.text then
+    match lx.text.[lx.pos] with
+    | ' ' | '\t' | '\r' -> lx.pos <- lx.pos + 1; skip_ws lx
+    | '\n' -> lx.pos <- lx.pos + 1; lx.line <- lx.line + 1; skip_ws lx
+    | '/' when lx.pos + 1 < String.length lx.text && lx.text.[lx.pos + 1] = '/' ->
+      while lx.pos < String.length lx.text && lx.text.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | _ -> ()
+
+let hex_value ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> -1
+
+let scan lx =
+  skip_ws lx;
+  let n = String.length lx.text in
+  if lx.pos >= n then Eof
+  else begin
+    let ch = lx.text.[lx.pos] in
+    if is_ident_char ch && not (ch >= '0' && ch <= '9') then begin
+      let start = lx.pos in
+      while lx.pos < n && is_ident_char lx.text.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      Ident (String.sub lx.text start (lx.pos - start))
+    end
+    else if ch >= '0' && ch <= '9' then begin
+      let start = lx.pos in
+      while lx.pos < n && lx.text.[lx.pos] >= '0' && lx.text.[lx.pos] <= '9' do
+        lx.pos <- lx.pos + 1
+      done;
+      let num = int_of_string (String.sub lx.text start (lx.pos - start)) in
+      if lx.pos < n && lx.text.[lx.pos] = '\'' then begin
+        (* sized literal: <width>'h<hex> or 'b / 'd *)
+        lx.pos <- lx.pos + 1;
+        if lx.pos >= n then err lx "truncated sized literal";
+        let base = lx.text.[lx.pos] in
+        lx.pos <- lx.pos + 1;
+        let start_d = lx.pos in
+        while lx.pos < n && (hex_value lx.text.[lx.pos] >= 0) do
+          lx.pos <- lx.pos + 1
+        done;
+        let digits = String.sub lx.text start_d (lx.pos - start_d) in
+        if digits = "" then err lx "sized literal without digits";
+        let value =
+          match base with
+          | 'h' | 'H' ->
+            String.fold_left (fun acc c -> (acc * 16) + hex_value c) 0 digits
+          | 'd' | 'D' -> int_of_string digits
+          | 'b' | 'B' ->
+            String.fold_left
+              (fun acc c ->
+                match c with
+                | '0' -> 2 * acc
+                | '1' -> (2 * acc) + 1
+                | _ -> err lx "bad binary digit")
+              0 digits
+          | _ -> err lx "unsupported literal base"
+        in
+        Sized (num, value)
+      end
+      else Int num
+    end
+    else begin
+      (* multi-char operators first *)
+      let try3 =
+        if lx.pos + 3 <= n then String.sub lx.text lx.pos 3 else ""
+      in
+      let try2 =
+        if lx.pos + 2 <= n then String.sub lx.text lx.pos 2 else ""
+      in
+      if try3 = ">>>" then begin lx.pos <- lx.pos + 3; Punct ">>>" end
+      else if List.mem try2 [ "<<"; ">>"; "==" ; "<=" ] then begin
+        lx.pos <- lx.pos + 2;
+        Punct try2
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        Punct (String.make 1 ch)
+      end
+    end
+  end
+
+let advance lx = lx.tok <- scan lx
+
+let create_lexer text =
+  let lx = { text; pos = 0; line = 1; tok = Eof } in
+  advance lx;
+  lx
+
+let expect_punct lx p =
+  match lx.tok with
+  | Punct q when q = p -> advance lx
+  | _ -> err lx (Printf.sprintf "expected %S" p)
+
+let expect_ident lx =
+  match lx.tok with
+  | Ident s -> advance lx; s
+  | _ -> err lx "expected identifier"
+
+let expect_keyword lx kw =
+  match lx.tok with
+  | Ident s when s = kw -> advance lx
+  | _ -> err lx (Printf.sprintf "expected %S" kw)
+
+let accept_punct lx p =
+  match lx.tok with
+  | Punct q when q = p -> advance lx; true
+  | _ -> false
+
+let accept_keyword lx kw =
+  match lx.tok with
+  | Ident s when s = kw -> advance lx; true
+  | _ -> false
+
+(* ---- expression AST ---- *)
+
+type expr =
+  | Evar of string
+  | Elit of int * int                   (* width, value *)
+  | Eint of int                         (* unsized literal (shift amounts) *)
+  | Eunop of string * expr
+  | Ebinop of string * expr * expr
+  | Esigned of expr
+  | Eternary of expr * expr * expr
+  | Econcat of expr * expr
+  | Eslice of expr * int * int
+  | Ebit of expr * int
+
+(* Precedence-climbing parser for the operator subset. Higher binds
+   tighter. *)
+let prec op =
+  match op with
+  | "*" -> 7
+  | "+" | "-" -> 6
+  | "<<" | ">>" | ">>>" -> 5
+  | "<" | "<=" -> 4
+  | "==" -> 3
+  | "&" -> 2
+  | "^" -> 1
+  | "|" -> 0
+  | _ -> -1
+
+let rec parse_expr lx = parse_ternary lx
+
+and parse_ternary lx =
+  let cond = parse_binary lx 0 in
+  if accept_punct lx "?" then begin
+    let t = parse_expr lx in
+    expect_punct lx ":";
+    let e = parse_expr lx in
+    Eternary (cond, t, e)
+  end
+  else cond
+
+and parse_binary lx min_prec =
+  let lhs = ref (parse_postfix lx) in
+  let continue = ref true in
+  while !continue do
+    match lx.tok with
+    | Punct p when prec p >= min_prec && prec p >= 0 ->
+      advance lx;
+      let rhs = parse_binary lx (prec p + 1) in
+      lhs := Ebinop (p, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_postfix lx =
+  let e = ref (parse_primary lx) in
+  let continue = ref true in
+  while !continue do
+    if accept_punct lx "[" then begin
+      match lx.tok with
+      | Int hi ->
+        advance lx;
+        if accept_punct lx ":" then begin
+          match lx.tok with
+          | Int lo ->
+            advance lx;
+            expect_punct lx "]";
+            e := Eslice (!e, hi, lo)
+          | _ -> err lx "expected low index"
+        end
+        else begin
+          expect_punct lx "]";
+          e := Ebit (!e, hi)
+        end
+      | _ -> err lx "expected index"
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_primary lx =
+  match lx.tok with
+  | Ident "$signed" ->
+    advance lx;
+    expect_punct lx "(";
+    let e = parse_expr lx in
+    expect_punct lx ")";
+    Esigned e
+  | Ident name -> advance lx; Evar name
+  | Sized (w, v) -> advance lx; Elit (w, v)
+  | Int v -> advance lx; Eint v
+  | Punct "(" ->
+    advance lx;
+    let e = parse_expr lx in
+    expect_punct lx ")";
+    e
+  | Punct "{" ->
+    advance lx;
+    let a = parse_expr lx in
+    expect_punct lx ",";
+    let b = parse_expr lx in
+    expect_punct lx "}";
+    Econcat (a, b)
+  | Punct ("~" | "-" | "&" | "|" | "^" as op) ->
+    advance lx;
+    Eunop (op, parse_primary_after_unop lx)
+  | _ -> err lx "expected expression"
+
+and parse_primary_after_unop lx = parse_postfix lx
+
+(* ---- module structure ---- *)
+
+type decl_kind = Dinput | Doutput | Dwire | Dreg of int (* init *)
+
+type statement =
+  | Sassign of string * expr
+  | Snonblocking of string * string     (* reg <= wire *)
+
+let parse_range lx =
+  (* [hi:0] or absent (width 1) *)
+  if accept_punct lx "[" then begin
+    match lx.tok with
+    | Int hi ->
+      advance lx;
+      expect_punct lx ":";
+      (match lx.tok with
+       | Int 0 -> advance lx
+       | _ -> err lx "expected 0 in range");
+      expect_punct lx "]";
+      hi + 1
+    | _ -> err lx "expected range bound"
+  end
+  else 1
+
+let parse_module text =
+  let lx = create_lexer text in
+  expect_keyword lx "module";
+  let name = expect_ident lx in
+  expect_punct lx "(";
+  let rec ports acc =
+    match lx.tok with
+    | Punct ")" -> advance lx; List.rev acc
+    | Ident p ->
+      advance lx;
+      ignore (accept_punct lx ",");
+      ports (p :: acc)
+    | _ -> err lx "expected port name"
+  in
+  let _port_list = ports [] in
+  expect_punct lx ";";
+  let decls = ref [] in             (* (name, width, kind), declaration order *)
+  let stmts = ref [] in
+  let continue = ref true in
+  while !continue do
+    if accept_keyword lx "endmodule" then continue := false
+    else if accept_keyword lx "input" then begin
+      let w = parse_range lx in
+      let n = expect_ident lx in
+      expect_punct lx ";";
+      decls := (n, w, Dinput) :: !decls
+    end
+    else if accept_keyword lx "output" then begin
+      let w = parse_range lx in
+      let n = expect_ident lx in
+      expect_punct lx ";";
+      decls := (n, w, Doutput) :: !decls
+    end
+    else if accept_keyword lx "wire" then begin
+      let w = parse_range lx in
+      let n = expect_ident lx in
+      expect_punct lx ";";
+      decls := (n, w, Dwire) :: !decls
+    end
+    else if accept_keyword lx "reg" then begin
+      let w = parse_range lx in
+      let n = expect_ident lx in
+      let init =
+        if accept_punct lx "=" then
+          match lx.tok with
+          | Sized (_, v) -> advance lx; v
+          | Int v -> advance lx; v
+          | _ -> err lx "expected initializer literal"
+        else 0
+      in
+      expect_punct lx ";";
+      ignore w;
+      decls := (n, w, Dreg init) :: !decls
+    end
+    else if accept_keyword lx "assign" then begin
+      let lhs = expect_ident lx in
+      expect_punct lx "=";
+      let rhs = parse_expr lx in
+      expect_punct lx ";";
+      stmts := Sassign (lhs, rhs) :: !stmts
+    end
+    else if accept_keyword lx "always" then begin
+      expect_punct lx "@";
+      expect_punct lx "(";
+      expect_keyword lx "posedge";
+      let _clk = expect_ident lx in
+      expect_punct lx ")";
+      expect_keyword lx "begin";
+      let rec body () =
+        if accept_keyword lx "end" then ()
+        else begin
+          let lhs = expect_ident lx in
+          (* The lexer may deliver <= as one token or two. *)
+          if not (accept_punct lx "<=") then begin
+            expect_punct lx "<";
+            expect_punct lx "="
+          end;
+          (match lx.tok with
+           | Ident rhs ->
+             advance lx;
+             expect_punct lx ";";
+             stmts := Snonblocking (lhs, rhs) :: !stmts
+           | _ -> err lx "nonblocking RHS must be an identifier");
+          body ()
+        end
+      in
+      body ()
+    end
+    else err lx "expected declaration, assign, always or endmodule"
+  done;
+  (name, List.rev !decls, List.rev !stmts)
+
+(* ---- elaboration to Ir ---- *)
+
+let parse_string text =
+  let mod_name, decls, stmts = parse_module text in
+  let c = Ir.create mod_name in
+  let fail msg = raise (Parse_error msg) in
+  let width_of_name = Hashtbl.create 32 in
+  List.iter (fun (n, w, _) -> Hashtbl.replace width_of_name n w) decls;
+  (* Assign table: wire name -> rhs expression. *)
+  let assigns = Hashtbl.create 32 in
+  List.iter
+    (fun st ->
+      match st with
+      | Sassign (lhs, rhs) ->
+        if Hashtbl.mem assigns lhs then fail ("duplicate assign to " ^ lhs);
+        Hashtbl.replace assigns lhs rhs
+      | Snonblocking _ -> ())
+    stmts;
+  (* Signals: inputs and regs up front; wires on demand (memoized), so
+     forward references elaborate naturally. *)
+  let signals = Hashtbl.create 32 in
+  List.iter
+    (fun (n, w, kind) ->
+      match kind with
+      | Dinput ->
+        if n <> "clk" then Hashtbl.replace signals n (Ir.input c n w)
+      | Dreg init ->
+        Hashtbl.replace signals n
+          (Ir.reg c n ~init:(Bitvec.create ~width:w init))
+      | Doutput | Dwire -> ())
+    decls;
+  let in_progress = Hashtbl.create 16 in
+  let rec signal_of name =
+    match Hashtbl.find_opt signals name with
+    | Some s -> s
+    | None ->
+      if Hashtbl.mem in_progress name then
+        fail ("combinational cycle through " ^ name);
+      Hashtbl.add in_progress name ();
+      let rhs =
+        match Hashtbl.find_opt assigns name with
+        | Some e -> e
+        | None -> fail ("no driver for " ^ name)
+      in
+      let s = elab rhs in
+      Hashtbl.remove in_progress name;
+      Hashtbl.replace signals name s;
+      s
+  and elab e =
+    match e with
+    | Evar n -> signal_of n
+    | Elit (w, v) -> Ir.constant c ~width:w v
+    | Eint _ -> fail "unsized literal used as a value"
+    | Esigned _ -> fail "$signed outside a comparison or shift"
+    | Eunop (op, a) -> (
+        let sa = elab a in
+        match op with
+        | "~" -> Ir.lognot sa
+        | "-" -> Ir.neg sa
+        | "&" -> Ir.reduce_and sa
+        | "|" -> Ir.reduce_or sa
+        | "^" -> Ir.reduce_xor sa
+        | _ -> fail ("unsupported unary " ^ op))
+    | Ebinop (op, a, b) -> (
+        match op, a, b with
+        | "<", Esigned x, Esigned y -> Ir.slt (elab x) (elab y)
+        | "<=", Esigned x, Esigned y -> Ir.sle (elab x) (elab y)
+        | "<<", x, Eint k -> Ir.sll (elab x) k
+        | ">>", x, Eint k -> Ir.srl (elab x) k
+        | ">>>", Esigned x, Eint k -> Ir.sra (elab x) k
+        | "<<", x, y -> Ir.sllv (elab x) (elab y)
+        | ">>", x, y -> Ir.srlv (elab x) (elab y)
+        | ">>>", Esigned x, y -> Ir.srav (elab x) (elab y)
+        | _ ->
+          let sa = elab a and sb = elab b in
+          (match op with
+           | "+" -> Ir.add sa sb
+           | "-" -> Ir.sub sa sb
+           | "*" -> Ir.mul sa sb
+           | "&" -> Ir.logand sa sb
+           | "|" -> Ir.logor sa sb
+           | "^" -> Ir.logxor sa sb
+           | "==" -> Ir.eq sa sb
+           | "<" -> Ir.ult sa sb
+           | "<=" -> Ir.ule sa sb
+           | _ -> fail ("unsupported operator " ^ op)))
+    | Eternary (cond, t, f) -> Ir.mux (elab cond) (elab t) (elab f)
+    | Econcat (a, b) -> Ir.concat (elab a) (elab b)
+    | Eslice (a, hi, lo) -> Ir.select (elab a) ~hi ~lo
+    | Ebit (a, i) -> Ir.bit (elab a) i
+  in
+  (* Register next-state connections. *)
+  List.iter
+    (fun st ->
+      match st with
+      | Snonblocking (r, src) -> Ir.connect c (signal_of r) (signal_of src)
+      | Sassign _ -> ())
+    stmts;
+  (* Outputs: the writer names them out_<n> and drives them by assign. *)
+  List.iter
+    (fun (n, _, kind) ->
+      match kind with
+      | Doutput ->
+        let base =
+          if String.length n > 4 && String.sub n 0 4 = "out_" then
+            String.sub n 4 (String.length n - 4)
+          else n
+        in
+        Ir.output c base (signal_of n)
+      | Dinput | Dwire | Dreg _ -> ())
+    decls;
+  ignore width_of_name;
+  Ir.validate c;
+  c
+
+let read_channel ic =
+  let n = in_channel_length ic in
+  parse_string (really_input_string ic n)

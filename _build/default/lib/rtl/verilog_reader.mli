@@ -1,0 +1,27 @@
+(** Verilog-2001 netlist reader (the subset {!module:Verilog} emits).
+
+    Parses a single-module synthesizable netlist — port declarations,
+    [wire]/[reg] declarations (with initializers), [assign] statements and
+    one [always @(posedge clk)] block of nonblocking assignments — back
+    into an {!Ir.circuit}. Together with the writer this gives a
+    source-level round trip: designs can be exported for external tools,
+    edited, and re-imported for A-QED checking.
+
+    Expressions: the operators the writer produces — [~ - & | ^] (unary and
+    binary), [+ - * == < <= << >> >>>], [$signed] comparisons/shifts, the
+    ternary mux, concatenation [{a, b}] and constant part-selects
+    [x[h:l]] / [x[i]]. Sized literals ([8'h2a]) and bare decimal integers
+    (shift amounts, indices) are supported. Not a general Verilog
+    front end: no generate, no instances, no blocking assignments, no
+    event lists beyond [posedge clk]. *)
+
+exception Parse_error of string
+(** Raised with a line-located message on any lexical, syntactic or
+    elaboration error (unknown identifier, width mismatch...). *)
+
+val parse_string : string -> Ir.circuit
+(** The module's inputs (except [clk]) become circuit inputs; ports named
+    [out_<n>] become declared outputs named [<n>]; [reg] initializers
+    become reset values. *)
+
+val read_channel : in_channel -> Ir.circuit

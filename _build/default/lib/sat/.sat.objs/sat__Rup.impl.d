@@ -1,0 +1,1 @@
+lib/sat/rup.ml: Array Dimacs Int List Solver

@@ -1,0 +1,1 @@
+lib/sat/rup.mli: Dimacs

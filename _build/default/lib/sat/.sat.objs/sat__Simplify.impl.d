@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Dimacs Hashtbl Int List Solver

@@ -1,0 +1,82 @@
+type verdict =
+  | Valid
+  | Invalid of int
+  | Incomplete
+
+(* Unit propagation to fixpoint over a clause list under an assignment
+   array (0 unset / 1 true / -1 false). Returns [true] when a conflict is
+   reached. Quadratic; fine for certification of test-sized instances. *)
+let propagates_to_conflict clauses assign =
+  let value lit =
+    let v = assign.(abs lit) in
+    if v = 0 then 0 else if (v > 0) = (lit > 0) then 1 else -1
+  in
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match value l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+              assign.(abs l) <- (if l > 0 then 1 else -1);
+              changed := true
+            | _ :: _ :: _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let rup_step nvars clauses step =
+  let assign = Array.make (nvars + 1) 0 in
+  (* Assert the negation of the candidate clause. A literal and its
+     negation both present make the clause a tautology: trivially fine. *)
+  let tautology =
+    List.exists (fun l -> List.mem (-l) step) step
+  in
+  if tautology then true
+  else begin
+    List.iter (fun l -> assign.(abs l) <- (if l > 0 then -1 else 1)) step;
+    propagates_to_conflict clauses assign
+  end
+
+(* Duplicate literals would defeat the unit detection above; tautologies
+   never propagate anything. Normalize once up front. *)
+let normalize clauses =
+  List.filter_map
+    (fun c ->
+      let c = List.sort_uniq Int.compare c in
+      if List.exists (fun l -> List.mem (-l) c) c then None else Some c)
+    clauses
+
+let check (cnf : Dimacs.cnf) proof =
+  let rec go accepted idx = function
+    | [] ->
+      if List.exists (fun c -> c = []) proof then Valid else Incomplete
+    | step :: rest ->
+      let step_n = List.sort_uniq Int.compare step in
+      if rup_step cnf.Dimacs.nvars accepted step_n then
+        go (step_n :: accepted) (idx + 1) rest
+      else Invalid idx
+  in
+  go (normalize cnf.Dimacs.clauses) 0 proof
+
+let check_solver_run cnf =
+  let s = Solver.create () in
+  Solver.enable_proof s;
+  Dimacs.load_into s cnf;
+  match Solver.solve s with
+  | Solver.Sat -> Incomplete
+  | Solver.Unsat -> check cnf (Solver.proof s)

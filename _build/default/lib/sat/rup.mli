@@ -1,0 +1,30 @@
+(** Independent proof checking by reverse unit propagation (RUP).
+
+    A clausal proof is a sequence of learned clauses ending (for an
+    unsatisfiability proof) with the empty clause. A step is {e RUP} if
+    asserting the negation of every literal of the clause and running unit
+    propagation over the original formula plus the previously accepted
+    steps yields a conflict. Every clause a CDCL solver learns is RUP by
+    construction, so a valid solver run always produces a checkable proof —
+    and the checker below shares no code with the solver's propagation or
+    search, giving an independent certificate for UNSAT answers (the DRAT
+    discipline of the SAT competitions, minus deletions).
+
+    The checker is deliberately simple (repeated scans to fixpoint, no
+    watched literals): clarity over speed. *)
+
+type verdict =
+  | Valid
+  | Invalid of int
+      (** index (0-based) of the first proof step that is not RUP *)
+  | Incomplete
+      (** all steps valid but the proof does not end with the empty clause,
+          so unsatisfiability is not established *)
+
+val check : Dimacs.cnf -> int list list -> verdict
+(** [check cnf proof] verifies the proof against the formula. *)
+
+val check_solver_run : Dimacs.cnf -> verdict
+(** Convenience: solve the instance with proof recording and, if the answer
+    is [Unsat], check the produced proof. Returns [Incomplete] when the
+    instance is satisfiable (there is nothing to certify). *)

@@ -1,0 +1,27 @@
+(** CNF preprocessing: subsumption, self-subsuming resolution and bounded
+    variable elimination (the SatELite recipe).
+
+    Preprocessing runs on a {!Dimacs.cnf} before solving and returns an
+    equisatisfiable, usually much smaller formula together with the
+    information needed to extend a model of the simplified formula back to
+    the original variables (eliminated variables are reconstructed from
+    their stored occurrence lists, in reverse elimination order). *)
+
+type t
+
+val simplify : ?max_occurrences:int -> Dimacs.cnf -> t
+(** Runs the pipeline to fixpoint. Variables occurring more than
+    [max_occurrences] times (default 10) are not eliminated (the classic
+    heuristic guard against quadratic clause blow-up); elimination is only
+    performed when it does not increase the clause count. *)
+
+val result : t -> Dimacs.cnf
+(** The simplified formula, over the same variable numbering (eliminated
+    variables simply no longer occur). *)
+
+val eliminated : t -> int
+(** Number of variables eliminated. *)
+
+val solve : t -> Solver.result * bool array
+(** Solves the simplified formula and, when satisfiable, extends the model
+    to all original variables (index 0 unused). *)

@@ -1,0 +1,658 @@
+(* CDCL solver. Literals use the DIMACS convention (+v / -v) throughout;
+   [lit_index] maps a literal to a dense array index for the watch lists. *)
+
+type clause = {
+  mutable lits : int array;
+  (* lits.(0) and lits.(1) are the watched literals. *)
+  learnt : bool;
+  mutable cla_act : float;
+  mutable deleted : bool;
+}
+
+type result = Sat | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+  max_var : int;
+  clauses : int;
+}
+
+(* Growable array of clauses (watch lists and the clause database). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; size = 0; dummy }
+
+  let push v x =
+    if v.size = Array.length v.data then begin
+      let data = Array.make (2 * v.size) v.dummy in
+      Array.blit v.data 0 data 0 v.size;
+      v.data <- data
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let shrink v n = v.size <- n
+  let clear v = v.size <- 0
+end
+
+let dummy_clause = { lits = [||]; learnt = false; cla_act = 0.; deleted = false }
+
+type t = {
+  mutable nvars : int;
+  (* Per-variable state, indexed by variable (1-based). *)
+  mutable assign : int array;        (* 0 unassigned / 1 true / -1 false *)
+  mutable level : int array;
+  mutable reason : clause array;     (* dummy_clause when decision/unset *)
+  mutable activity : float array;
+  mutable phase : bool array;        (* saved phase *)
+  mutable seen : bool array;
+  mutable heap_pos : int array;      (* -1 when not in heap *)
+  (* Per-literal watch lists, indexed by lit_index. Each entry pairs the
+     clause with a "blocker" literal (some other literal of the clause):
+     when the blocker is already true the clause is satisfied and need not
+     be dereferenced at all. *)
+  mutable watches : clause Vec.t array;
+  mutable blockers : int Vec.t array;
+  (* Trail *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable qhead : int;
+  trail_lim : int Vec.t;             (* trail size at each decision level *)
+  (* Clause database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  (* Branching heap (max-heap on activity), holds variables. *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;                 (* false once the empty clause is derived *)
+  (* Proof recording (learned clauses in derivation order, reversed) *)
+  mutable proof_enabled : bool;
+  mutable proof_rev : int list list;
+  (* Statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learned : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    assign = Array.make 16 0;
+    level = Array.make 16 0;
+    reason = Array.make 16 dummy_clause;
+    activity = Array.make 16 0.;
+    phase = Array.make 16 false;
+    seen = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    blockers = Array.init 32 (fun _ -> Vec.create 0);
+    trail = Array.make 16 0;
+    trail_size = 0;
+    qhead = 0;
+    trail_lim = Vec.create 0;
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    heap = Array.make 16 0;
+    heap_size = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    proof_enabled = false;
+    proof_rev = [];
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_learned = 0;
+  }
+
+let lit_index lit = if lit > 0 then 2 * lit else (2 * (-lit)) + 1
+let var_of lit = abs lit
+
+let nb_vars s = s.nvars
+
+(* ---- branching heap (max-heap keyed by activity) ---- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b; s.heap.(j) <- a;
+  s.heap_pos.(b) <- i; s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_size = Array.length s.heap then begin
+      let h = Array.make (2 * s.heap_size) 0 in
+      Array.blit s.heap 0 h 0 s.heap_size;
+      s.heap <- h
+    end;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* ---- variable allocation ---- *)
+
+let grow_var_arrays s needed =
+  let cur = Array.length s.assign in
+  if needed >= cur then begin
+    let n = max needed (2 * cur) in
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 cur; b
+    in
+    s.assign <- grow s.assign 0;
+    s.level <- grow s.level 0;
+    s.reason <- grow s.reason dummy_clause;
+    s.activity <- grow s.activity 0.;
+    s.phase <- grow s.phase false;
+    s.seen <- grow s.seen false;
+    s.heap_pos <- grow s.heap_pos (-1);
+    s.trail <- grow s.trail 0;
+    let wcur = Array.length s.watches in
+    if 2 * n + 2 >= wcur then begin
+      let sz = max (2 * n + 2) (2 * wcur) in
+      let w = Array.init sz (fun _ -> Vec.create dummy_clause) in
+      Array.blit s.watches 0 w 0 wcur;
+      s.watches <- w;
+      let b = Array.init sz (fun _ -> Vec.create 0) in
+      Array.blit s.blockers 0 b 0 wcur;
+      s.blockers <- b
+    end
+  end
+
+let new_var s =
+  s.nvars <- s.nvars + 1;
+  grow_var_arrays s (s.nvars + 1);
+  heap_insert s s.nvars;
+  s.nvars
+
+(* ---- assignment ---- *)
+
+let lit_sat s lit =
+  let a = s.assign.(var_of lit) in
+  a <> 0 && (a > 0) = (lit > 0)
+
+let lit_false s lit =
+  let a = s.assign.(var_of lit) in
+  a <> 0 && (a > 0) <> (lit > 0)
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s lit reason =
+  let v = var_of lit in
+  s.assign.(v) <- (if lit > 0 then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- lit > 0;
+  s.trail.(s.trail_size) <- lit;
+  s.trail_size <- s.trail_size + 1
+
+(* ---- propagation ---- *)
+
+(* Propagates all enqueued literals. Returns the conflicting clause, or
+   [dummy_clause] if no conflict. Standard two-watched-literal scheme: a
+   clause is registered in the watch lists of the negations of lits 0 and 1;
+   when a watched literal becomes false we search a replacement. *)
+let propagate s =
+  let conflict = ref dummy_clause in
+  while !conflict == dummy_clause && s.qhead < s.trail_size do
+    let lit = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = -lit in
+    let idx = lit_index false_lit in
+    let ws = s.watches.(idx) in
+    let bs = s.blockers.(idx) in
+    let n = Vec.size ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let blocker = Vec.get bs !i in
+      if lit_sat s blocker then begin
+        (* Satisfied via the blocker: keep without touching the clause. *)
+        Vec.set ws !keep (Vec.get ws !i);
+        Vec.set bs !keep blocker;
+        incr keep; incr i
+      end
+      else begin
+        let c = Vec.get ws !i in
+        incr i;
+        if c.deleted then ()  (* drop lazily *)
+        else begin
+          (* Ensure the false literal is at position 1. *)
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          let first = c.lits.(0) in
+          if lit_sat s first then begin
+            (* Clause satisfied; keep the watch with a fresher blocker. *)
+            Vec.set ws !keep c; Vec.set bs !keep first; incr keep
+          end
+          else begin
+            (* Look for a new literal to watch. *)
+            let len = Array.length c.lits in
+            let rec find k =
+              if k >= len then -1
+              else if not (lit_false s c.lits.(k)) then k
+              else find (k + 1)
+            in
+            let k = find 2 in
+            if k >= 0 then begin
+              c.lits.(1) <- c.lits.(k);
+              c.lits.(k) <- false_lit;
+              let j = lit_index c.lits.(1) in
+              Vec.push s.watches.(j) c;
+              Vec.push s.blockers.(j) first
+            end
+            else if s.assign.(var_of first) = 0 then begin
+              (* Unit: propagate first. *)
+              Vec.set ws !keep c; Vec.set bs !keep first; incr keep;
+              enqueue s first c
+            end
+            else begin
+              (* Conflict: first is false too. *)
+              Vec.set ws !keep c; Vec.set bs !keep first; incr keep;
+              (* Keep remaining watches as-is. *)
+              while !i < n do
+                Vec.set ws !keep (Vec.get ws !i);
+                Vec.set bs !keep (Vec.get bs !i);
+                incr keep; incr i
+              done;
+              conflict := c
+            end
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !keep;
+    Vec.shrink bs !keep
+  done;
+  !conflict
+
+(* ---- activities ---- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 1 to s.nvars do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let clause_bump s c =
+  c.cla_act <- c.cla_act +. s.cla_inc;
+  if c.cla_act > 1e20 then begin
+    for i = 0 to Vec.size s.learnts - 1 do
+      let d = Vec.get s.learnts i in
+      d.cla_act <- d.cla_act *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let clause_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* ---- backtracking ---- *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = s.trail_size - 1 downto bound do
+      let v = var_of s.trail.(i) in
+      s.assign.(v) <- 0;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    Vec.shrink s.trail_lim lvl
+  end
+
+(* ---- conflict analysis (first UIP) ---- *)
+
+(* Returns (learnt clause as int array with the asserting literal first,
+   backtrack level). *)
+let analyze s conflict =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let lit = ref 0 in
+  let cls = ref conflict in
+  let idx = ref (s.trail_size - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = !cls in
+    if c.learnt then clause_bump s c;
+    let start = if !lit = 0 then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = var_of q in
+      if not s.seen.(v) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Select the next literal on the trail to resolve on. *)
+    while not s.seen.(var_of s.trail.(!idx)) do decr idx done;
+    lit := s.trail.(!idx);
+    decr idx;
+    let v = var_of !lit in
+    s.seen.(v) <- false;
+    cls := s.reason.(v);
+    decr counter;
+    if !counter = 0 then continue := false
+  done;
+  let learnt = - !lit :: !learnt in
+  (* Clause minimization: drop a literal if its reason's literals are all
+     already marked (self-subsumption, non-recursive variant). *)
+  let seen_marks = List.map var_of (List.tl learnt) in
+  List.iter (fun v -> s.seen.(v) <- true) seen_marks;
+  let redundant q =
+    let v = var_of q in
+    let r = s.reason.(v) in
+    r != dummy_clause
+    && Array.for_all
+         (fun p ->
+           let u = var_of p in
+           u = v || s.seen.(u) || s.level.(u) = 0)
+         r.lits
+  in
+  let kept =
+    match learnt with
+    | [] -> assert false
+    | uip :: rest -> uip :: List.filter (fun q -> not (redundant q)) rest
+  in
+  List.iter (fun v -> s.seen.(v) <- false) seen_marks;
+  (* Recompute the backtrack level from the kept literals. *)
+  let btlevel =
+    match kept with
+    | [ _ ] -> 0
+    | _ :: rest ->
+      List.fold_left (fun acc q -> max acc s.level.(var_of q)) 0 rest
+    | [] -> assert false
+  in
+  (Array.of_list kept, btlevel)
+
+(* ---- clause attachment ---- *)
+
+(* A clause is registered under each of its two watched literals; when a
+   literal L becomes true, the clauses watching -L are scanned. *)
+let attach_clause s c =
+  let i0 = lit_index c.lits.(0) and i1 = lit_index c.lits.(1) in
+  Vec.push s.watches.(i0) c;
+  Vec.push s.blockers.(i0) c.lits.(1);
+  Vec.push s.watches.(i1) c;
+  Vec.push s.blockers.(i1) c.lits.(0)
+
+let add_clause s lits =
+  if s.ok then begin
+    List.iter
+      (fun l ->
+        let v = var_of l in
+        if v = 0 || v > s.nvars then
+          invalid_arg "Solver.add_clause: literal over unallocated variable")
+      lits;
+    (* Deduplicate; detect tautologies. *)
+    let lits = List.sort_uniq Int.compare lits in
+    let taut = List.exists (fun l -> List.mem (-l) lits) lits in
+    if not taut then begin
+      (* Clauses are added at level 0 only: unwind any model left by a
+         previous solve. *)
+      cancel_until s 0;
+      let lits = List.filter (fun l -> not (lit_false s l)) lits in
+      if List.exists (lit_sat s) lits then ()
+      else
+        match lits with
+        | [] ->
+          s.ok <- false;
+          if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev
+        | [ l ] ->
+          enqueue s l dummy_clause;
+          if propagate s != dummy_clause then begin
+            s.ok <- false;
+            if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev
+          end
+        | l0 :: l1 :: _ ->
+          ignore l0; ignore l1;
+          let c = { lits = Array.of_list lits; learnt = false; cla_act = 0.; deleted = false } in
+          Vec.push s.clauses c;
+          attach_clause s c
+    end
+  end
+
+let record_learnt s lits =
+  s.n_learned <- s.n_learned + 1;
+  if s.proof_enabled then s.proof_rev <- Array.to_list lits :: s.proof_rev;
+  if Array.length lits = 1 then begin
+    cancel_until s 0;
+    enqueue s lits.(0) dummy_clause
+  end
+  else begin
+    (* lits.(0) is the asserting literal; make lits.(1) the highest-level
+       other literal so the watches are correct after backtracking. *)
+    let best = ref 1 in
+    for k = 2 to Array.length lits - 1 do
+      if s.level.(var_of lits.(k)) > s.level.(var_of lits.(!best)) then best := k
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp;
+    let c = { lits; learnt = true; cla_act = 0.; deleted = false } in
+    Vec.push s.learnts c;
+    attach_clause s c;
+    clause_bump s c;
+    enqueue s lits.(0) c
+  end
+
+(* ---- learned clause DB reduction ---- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  s.assign.(v) <> 0 && s.reason.(v) == c
+
+let reduce_db s =
+  let n = Vec.size s.learnts in
+  let arr = Array.init n (Vec.get s.learnts) in
+  Array.sort (fun a b -> Float.compare a.cla_act b.cla_act) arr;
+  let limit = n / 2 in
+  Vec.clear s.learnts;
+  Array.iteri
+    (fun i c ->
+      if (i >= limit || locked s c || Array.length c.lits = 2) && not c.deleted
+      then Vec.push s.learnts c
+      else c.deleted <- true)
+    arr
+
+(* ---- Luby restart sequence ---- *)
+
+(* luby i = 2^(k-1) when i = 2^k - 1, else luby (i - 2^(k-1) + 1) for the
+   unique k with 2^(k-1) <= i < 2^k - 1. *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+(* ---- main search ---- *)
+
+let pick_branch s =
+  let rec go () =
+    if s.heap_size = 0 then 0
+    else
+      let v = heap_pop s in
+      if s.assign.(v) = 0 then v else go ()
+  in
+  go ()
+
+exception Done of result
+
+let search s ~assumptions ~restart_budget =
+  let conflicts = ref 0 in
+  try
+    while true do
+      let conflict = propagate s in
+      if conflict != dummy_clause then begin
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts;
+        if decision_level s = 0 then begin
+          if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev;
+          raise (Done Unsat)
+        end;
+        let learnt, btlevel = analyze s conflict in
+        (* Never backtrack past the assumption levels unless forced: if the
+           asserting level is inside the assumptions we must re-examine
+           them, which [decide] below handles by re-assuming. *)
+        cancel_until s btlevel;
+        record_learnt s learnt;
+        var_decay s;
+        clause_decay s
+      end
+      else begin
+        if !conflicts >= restart_budget then begin
+          s.n_restarts <- s.n_restarts + 1;
+          cancel_until s 0;
+          raise Exit
+        end;
+        if Vec.size s.learnts >= 8000 + Vec.size s.clauses then reduce_db s;
+        (* Decide: first re-establish assumptions, then VSIDS. *)
+        let lvl = decision_level s in
+        if lvl < List.length assumptions then begin
+          let a = List.nth assumptions lvl in
+          if lit_sat s a then begin
+            (* Already satisfied: open an empty level so indices advance. *)
+            Vec.push s.trail_lim s.trail_size
+          end
+          else if lit_false s a then raise (Done Unsat)
+          else begin
+            Vec.push s.trail_lim s.trail_size;
+            enqueue s a dummy_clause
+          end
+        end
+        else begin
+          let v = pick_branch s in
+          if v = 0 then raise (Done Sat)
+          else begin
+            s.n_decisions <- s.n_decisions + 1;
+            Vec.push s.trail_lim s.trail_size;
+            enqueue s (if s.phase.(v) then v else -v) dummy_clause
+          end
+        end
+      end
+    done;
+    assert false
+  with Exit -> None
+     | Done r -> Some r
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    if propagate s != dummy_clause then begin
+      s.ok <- false;
+      if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev;
+      Unsat
+    end
+    else begin
+      let rec loop i =
+        let budget = 100 * luby i in
+        match search s ~assumptions ~restart_budget:budget with
+        | Some r -> r
+        | None -> loop (i + 1)
+      in
+      let r = loop 1 in
+      (match r with
+       | Sat -> ()
+       | Unsat -> cancel_until s 0);
+      r
+    end
+  end
+
+let value s v =
+  if v <= 0 || v > s.nvars then invalid_arg "Solver.value";
+  s.assign.(v) > 0
+
+let lit_value s lit =
+  let b = value s (var_of lit) in
+  if lit > 0 then b else not b
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learned = s.n_learned;
+    max_var = s.nvars;
+    clauses = Vec.size s.clauses;
+  }
+
+let pp_stats fmt st =
+  Format.fprintf fmt
+    "vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d"
+    st.max_var st.clauses st.decisions st.propagations st.conflicts st.restarts
+    st.learned
+
+let enable_proof s =
+  if Vec.size s.clauses > 0 || s.trail_size > 0 then
+    invalid_arg "Solver.enable_proof: clauses already added";
+  s.proof_enabled <- true
+
+let proof s = List.rev s.proof_rev

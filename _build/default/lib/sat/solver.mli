@@ -1,0 +1,69 @@
+(** CDCL SAT solver.
+
+    A from-scratch conflict-driven clause-learning solver: two-watched-literal
+    propagation, first-UIP conflict analysis with clause minimization, VSIDS
+    branching with phase saving, Luby restarts and learned-clause database
+    reduction. It is the decision engine underneath {!module:Bmc}.
+
+    Variables are positive integers allocated with {!new_var}. A literal is a
+    non-zero integer: [v] is the positive literal of variable [v] and [-v] its
+    negation (DIMACS convention). *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+  max_var : int;
+  clauses : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index (positive). *)
+
+val nb_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Adds a clause over existing variables. The empty clause makes the
+    instance trivially unsatisfiable. Raises [Invalid_argument] on a literal
+    whose variable was not allocated. *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Solves under the given assumption literals. The solver can be re-solved
+    with different assumptions; clauses persist across calls. *)
+
+val value : t -> int -> bool
+(** [value s v] is the value of variable [v] in the model of the last [Sat]
+    answer. Unassigned variables (eliminated by simplification) read [false].
+    Only meaningful after [solve] returned [Sat]. *)
+
+val lit_value : t -> int -> bool
+(** Value of a literal in the last model. *)
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Proof logging}
+
+    When enabled, the solver records every learned clause in derivation
+    order (a DRAT-style clausal proof without deletions). After an [Unsat]
+    answer the recorded sequence, ending with the empty clause, can be
+    replayed and certified independently of the solver by {!Rup.check} —
+    unit propagation alone must confirm each step. *)
+
+val enable_proof : t -> unit
+(** Start recording. Must be called before clauses are added. *)
+
+val proof : t -> int list list
+(** The learned clauses in derivation order; after an [Unsat] result the
+    last entry is the empty clause. Empty when recording is disabled. *)

@@ -1,0 +1,1 @@
+lib/testbench/conventional.ml: Aqed Array List Printf Prng Rtl Unix

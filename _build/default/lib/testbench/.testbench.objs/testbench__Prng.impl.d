@@ -1,0 +1,1 @@
+lib/testbench/prng.ml: Int64

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The conventional flow must be reproducible across runs and platforms —
+    detection results feed the paper-comparison tables — so it uses its own
+    seeded generator rather than [Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int
+(** Next 62-bit non-negative value. *)
+
+val below : t -> int -> int
+(** Uniform in [0, n); n must be positive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** True with the given probability. *)

@@ -1,0 +1,1 @@
+test/test_accel.ml: Accel Alcotest Aqed Bitvec Bmc List Rtl

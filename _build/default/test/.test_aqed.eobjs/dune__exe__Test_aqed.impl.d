@@ -1,0 +1,1 @@
+test/test_aqed.ml: Alcotest Test_accel Test_batch Test_bitvec Test_bmc Test_check Test_components Test_hls Test_io Test_logic Test_model Test_monitors Test_rtl Test_sat Test_testbench

@@ -1,0 +1,1 @@
+test/test_batch.ml: Accel Alcotest Aqed Bitvec List Printf Rtl

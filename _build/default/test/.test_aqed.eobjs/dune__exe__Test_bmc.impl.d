@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Bitvec Bmc Format List Option QCheck QCheck_alcotest Rtl String

@@ -1,0 +1,1 @@
+test/test_components.ml: Accel Alcotest Aqed Bitvec Filename List Rtl String Sys

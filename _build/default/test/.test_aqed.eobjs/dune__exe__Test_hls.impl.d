@@ -1,0 +1,1 @@
+test/test_hls.ml: Accel Alcotest Aqed Bitvec Hls List QCheck QCheck_alcotest Rtl

@@ -1,0 +1,1 @@
+test/test_io.ml: Accel Alcotest Aqed Bitvec Bmc Filename Hashtbl Hls List Logic Printf QCheck QCheck_alcotest Random Rtl String Sys

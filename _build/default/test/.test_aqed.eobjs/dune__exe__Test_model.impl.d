@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Aqed Array List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_monitors.ml: Alcotest Aqed Bitvec Fun List Printf Rtl

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bitvec Hashtbl List Logic Printf QCheck QCheck_alcotest Random Rtl

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Accel Alcotest List Printf Testbench

@@ -1,0 +1,20 @@
+(* Test runner aggregating every suite. *)
+
+let () =
+  Alcotest.run "aqed"
+    [
+      Test_bitvec.suite;
+      Test_sat.suite;
+      Test_logic.suite;
+      Test_rtl.suite;
+      Test_bmc.suite;
+      Test_model.suite;
+      Test_components.suite;
+      Test_io.suite;
+      Test_batch.suite;
+      Test_check.suite;
+      Test_monitors.suite;
+      Test_hls.suite;
+      Test_accel.suite;
+      Test_testbench.suite;
+    ]

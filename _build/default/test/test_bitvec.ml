@@ -1,0 +1,227 @@
+(* Unit and property tests for the Bitvec fixed-width bitvector module. *)
+
+let bv w n = Bitvec.create ~width:w n
+
+let check_int msg expected v = Alcotest.(check int) msg expected (Bitvec.to_int v)
+
+let test_create () =
+  check_int "create 8 42" 42 (bv 8 42);
+  check_int "create masks" 0x2A (bv 8 (0x100 + 0x2A));
+  check_int "zero" 0 (Bitvec.zero 16);
+  check_int "one" 1 (Bitvec.one 3);
+  check_int "ones 4" 15 (Bitvec.ones 4);
+  Alcotest.(check int) "width" 12 (Bitvec.width (bv 12 5));
+  Alcotest.check_raises "width 0 rejected"
+    (Invalid_argument "Bitvec: width must be positive") (fun () ->
+      ignore (Bitvec.zero 0));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Bitvec.create: negative value") (fun () ->
+      ignore (bv 4 (-1)))
+
+let test_wide () =
+  (* Widths beyond one limb. *)
+  let v = Bitvec.ones 100 in
+  Alcotest.(check bool) "is_ones 100" true (Bitvec.is_ones v);
+  Alcotest.(check bool) "not zero" false (Bitvec.is_zero v);
+  let w = Bitvec.lognot v in
+  Alcotest.(check bool) "lognot ones = zero" true (Bitvec.is_zero w);
+  let x = Bitvec.shift_left (Bitvec.one 100) 99 in
+  Alcotest.(check bool) "msb set" true (Bitvec.bit x 99);
+  Alcotest.(check bool) "bit 0 clear" false (Bitvec.bit x 0);
+  check_int "extract high one" 1 (Bitvec.extract x ~hi:99 ~lo:99)
+
+let test_bits () =
+  let v = bv 6 0b101101 in
+  Alcotest.(check (list bool)) "to_bits LSB first"
+    [ true; false; true; true; false; true ] (Bitvec.to_bits v);
+  Alcotest.(check bool) "roundtrip" true
+    (Bitvec.equal v (Bitvec.of_bits (Bitvec.to_bits v)));
+  Alcotest.(check bool) "bit 2" true (Bitvec.bit v 2);
+  Alcotest.(check bool) "bit 1" false (Bitvec.bit v 1);
+  Alcotest.check_raises "bit out of range"
+    (Invalid_argument "Bitvec.bit: index out of range") (fun () ->
+      ignore (Bitvec.bit v 6))
+
+let test_arith () =
+  check_int "add" 5 (Bitvec.add (bv 8 2) (bv 8 3));
+  check_int "add wraps" 1 (Bitvec.add (bv 8 255) (bv 8 2));
+  check_int "sub" 254 (Bitvec.sub (bv 8 1) (bv 8 3));
+  check_int "neg" 255 (Bitvec.neg (bv 8 1));
+  check_int "neg zero" 0 (Bitvec.neg (bv 8 0));
+  check_int "mul" 56 (Bitvec.mul (bv 8 7) (bv 8 8));
+  check_int "mul wraps" ((200 * 3) land 255) (Bitvec.mul (bv 8 200) (bv 8 3));
+  check_int "succ" 8 (Bitvec.succ (bv 4 7));
+  check_int "succ wraps" 0 (Bitvec.succ (bv 4 15));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitvec.add: width mismatch (4 vs 8)") (fun () ->
+      ignore (Bitvec.add (bv 4 1) (bv 8 1)))
+
+let test_div () =
+  check_int "udiv" 6 (Bitvec.udiv (bv 8 45) (bv 8 7));
+  check_int "urem" 3 (Bitvec.urem (bv 8 45) (bv 8 7));
+  check_int "udiv by zero = ones" 255 (Bitvec.udiv (bv 8 45) (bv 8 0));
+  check_int "urem by zero = dividend" 45 (Bitvec.urem (bv 8 45) (bv 8 0))
+
+let test_logic () =
+  check_int "and" 0b1000 (Bitvec.logand (bv 4 0b1100) (bv 4 0b1010));
+  check_int "or" 0b1110 (Bitvec.logor (bv 4 0b1100) (bv 4 0b1010));
+  check_int "xor" 0b0110 (Bitvec.logxor (bv 4 0b1100) (bv 4 0b1010));
+  check_int "not" 0b0011 (Bitvec.lognot (bv 4 0b1100));
+  Alcotest.(check bool) "reduce_and ones" true (Bitvec.reduce_and (bv 3 7));
+  Alcotest.(check bool) "reduce_and" false (Bitvec.reduce_and (bv 3 6));
+  Alcotest.(check bool) "reduce_or zero" false (Bitvec.reduce_or (bv 3 0));
+  Alcotest.(check bool) "reduce_or" true (Bitvec.reduce_or (bv 3 4));
+  Alcotest.(check bool) "reduce_xor odd" true (Bitvec.reduce_xor (bv 4 0b0111));
+  Alcotest.(check bool) "reduce_xor even" false (Bitvec.reduce_xor (bv 4 0b0101))
+
+let test_compare () =
+  Alcotest.(check bool) "ult" true (Bitvec.ult (bv 8 3) (bv 8 5));
+  Alcotest.(check bool) "ult eq" false (Bitvec.ult (bv 8 5) (bv 8 5));
+  Alcotest.(check bool) "ule eq" true (Bitvec.ule (bv 8 5) (bv 8 5));
+  (* Signed: 0xFF is -1 in 8 bits. *)
+  Alcotest.(check bool) "slt neg" true (Bitvec.slt (bv 8 0xFF) (bv 8 0));
+  Alcotest.(check bool) "slt pos" false (Bitvec.slt (bv 8 1) (bv 8 0xFF));
+  Alcotest.(check bool) "sle" true (Bitvec.sle (bv 8 0x80) (bv 8 0x80));
+  Alcotest.(check int) "to_signed_int -1" (-1) (Bitvec.to_signed_int (bv 8 0xFF));
+  Alcotest.(check int) "to_signed_int min" (-128) (Bitvec.to_signed_int (bv 8 0x80));
+  Alcotest.(check int) "to_signed_int pos" 127 (Bitvec.to_signed_int (bv 8 0x7F))
+
+let test_shift () =
+  check_int "sll" 0b1000 (Bitvec.shift_left (bv 4 0b0001) 3);
+  check_int "sll out" 0 (Bitvec.shift_left (bv 4 0b1111) 4);
+  check_int "srl" 0b0011 (Bitvec.shift_right_logical (bv 4 0b1100) 2);
+  check_int "sra neg" 0b1110 (Bitvec.shift_right_arith (bv 4 0b1100) 1);
+  check_int "sra pos" 0b0010 (Bitvec.shift_right_arith (bv 4 0b0100) 1);
+  check_int "sra full" 0b1111 (Bitvec.shift_right_arith (bv 4 0b1000) 10)
+
+let test_structure () =
+  let v = Bitvec.concat (bv 4 0xA) (bv 4 0x5) in
+  check_int "concat" 0xA5 v;
+  Alcotest.(check int) "concat width" 8 (Bitvec.width v);
+  check_int "extract hi" 0xA (Bitvec.extract v ~hi:7 ~lo:4);
+  check_int "extract lo" 0x5 (Bitvec.extract v ~hi:3 ~lo:0);
+  check_int "extract mid" 0b10 (Bitvec.extract v ~hi:5 ~lo:4);
+  check_int "zero_extend" 0xA5 (Bitvec.zero_extend v 16);
+  check_int "sign_extend neg" 0xFA5 (Bitvec.sign_extend v 12);
+  check_int "sign_extend pos" 0x05 (Bitvec.sign_extend (bv 4 5) 8);
+  check_int "set_bit" 0b1101 (Bitvec.set_bit (bv 4 0b0101) 3 true);
+  check_int "clear_bit" 0b0001 (Bitvec.set_bit (bv 4 0b0101) 2 false)
+
+let test_strings () =
+  Alcotest.(check string) "binary" "0b0101" (Bitvec.to_binary_string (bv 4 5));
+  Alcotest.(check string) "hex" "0x2a:8" (Bitvec.to_hex_string (bv 8 42));
+  check_int "of_string binary" 0b1010 (Bitvec.of_string "0b1010");
+  Alcotest.(check int) "of_string binary width" 4
+    (Bitvec.width (Bitvec.of_string "0b1010"));
+  check_int "of_string hex" 0x1F (Bitvec.of_string "0x1f:8");
+  check_int "of_string dec" 13 (Bitvec.of_string "13:6");
+  Alcotest.(check bool) "of/to roundtrip" true
+    (Bitvec.equal (bv 8 42) (Bitvec.of_string (Bitvec.to_hex_string (bv 8 42))))
+
+let test_order () =
+  (* compare is a total order consistent with equal. *)
+  let a = bv 8 3 and b = bv 8 200 and c = bv 8 3 in
+  Alcotest.(check bool) "equal" true (Bitvec.equal a c);
+  Alcotest.(check int) "compare eq" 0 (Bitvec.compare a c);
+  Alcotest.(check bool) "compare lt" true (Bitvec.compare a b < 0);
+  Alcotest.(check bool) "compare gt" true (Bitvec.compare b a > 0);
+  Alcotest.(check bool) "hash consistent" true
+    (Bitvec.hash a = Bitvec.hash c)
+
+(* ---- properties ---- *)
+
+let arb_pair_w w =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b)
+    QCheck.Gen.(
+      let m = (1 lsl w) - 1 in
+      pair (int_bound m) (int_bound m))
+
+let mask w n = n land ((1 lsl w) - 1)
+
+let prop_add =
+  QCheck.Test.make ~name:"add agrees with int arithmetic" ~count:500
+    (arb_pair_w 12) (fun (a, b) ->
+      Bitvec.to_int (Bitvec.add (bv 12 a) (bv 12 b)) = mask 12 (a + b))
+
+let prop_sub =
+  QCheck.Test.make ~name:"sub agrees with int arithmetic" ~count:500
+    (arb_pair_w 12) (fun (a, b) ->
+      Bitvec.to_int (Bitvec.sub (bv 12 a) (bv 12 b)) = mask 12 (a - b))
+
+let prop_mul =
+  QCheck.Test.make ~name:"mul agrees with int arithmetic" ~count:500
+    (arb_pair_w 12) (fun (a, b) ->
+      Bitvec.to_int (Bitvec.mul (bv 12 a) (bv 12 b)) = mask 12 (a * b))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod reconstructs the dividend" ~count:500
+    (arb_pair_w 10) (fun (a, b) ->
+      let va = bv 10 a and vb = bv 10 b in
+      let q = Bitvec.udiv va vb and r = Bitvec.urem va vb in
+      if b = 0 then Bitvec.is_ones q && Bitvec.equal r va
+      else Bitvec.equal va (Bitvec.add (Bitvec.mul q vb) r))
+
+let prop_concat_extract =
+  QCheck.Test.make ~name:"extract undoes concat" ~count:500
+    (arb_pair_w 9) (fun (a, b) ->
+      let v = Bitvec.concat (bv 9 a) (bv 9 b) in
+      Bitvec.to_int (Bitvec.extract v ~hi:17 ~lo:9) = a
+      && Bitvec.to_int (Bitvec.extract v ~hi:8 ~lo:0) = b)
+
+let prop_ult =
+  QCheck.Test.make ~name:"ult agrees with int order" ~count:500
+    (arb_pair_w 14) (fun (a, b) -> Bitvec.ult (bv 14 a) (bv 14 b) = (a < b))
+
+let prop_slt =
+  QCheck.Test.make ~name:"slt agrees with signed ints" ~count:500
+    (arb_pair_w 8) (fun (a, b) ->
+      let s x = if x >= 128 then x - 256 else x in
+      Bitvec.slt (bv 8 a) (bv 8 b) = (s a < s b))
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shift left then right recovers low bits" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 3))
+    (fun (a, k) ->
+      let v = bv 8 a in
+      let back = Bitvec.shift_right_logical (Bitvec.shift_left v k) k in
+      Bitvec.to_int back = mask (8 - k) a)
+
+let prop_neg_add =
+  QCheck.Test.make ~name:"x + (-x) = 0" ~count:300 (arb_pair_w 16)
+    (fun (a, _) ->
+      Bitvec.is_zero (Bitvec.add (bv 16 a) (Bitvec.neg (bv 16 a))))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"De Morgan" ~count:300 (arb_pair_w 16)
+    (fun (a, b) ->
+      let va = bv 16 a and vb = bv 16 b in
+      Bitvec.equal
+        (Bitvec.lognot (Bitvec.logand va vb))
+        (Bitvec.logor (Bitvec.lognot va) (Bitvec.lognot vb)))
+
+let suite =
+  ( "bitvec",
+    [
+      Alcotest.test_case "create/observe" `Quick test_create;
+      Alcotest.test_case "wide vectors" `Quick test_wide;
+      Alcotest.test_case "bits" `Quick test_bits;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "division" `Quick test_div;
+      Alcotest.test_case "logic" `Quick test_logic;
+      Alcotest.test_case "comparisons" `Quick test_compare;
+      Alcotest.test_case "shifts" `Quick test_shift;
+      Alcotest.test_case "concat/extract/extend" `Quick test_structure;
+      Alcotest.test_case "strings" `Quick test_strings;
+      Alcotest.test_case "ordering/hash" `Quick test_order;
+      QCheck_alcotest.to_alcotest prop_add;
+      QCheck_alcotest.to_alcotest prop_sub;
+      QCheck_alcotest.to_alcotest prop_mul;
+      QCheck_alcotest.to_alcotest prop_divmod;
+      QCheck_alcotest.to_alcotest prop_concat_extract;
+      QCheck_alcotest.to_alcotest prop_ult;
+      QCheck_alcotest.to_alcotest prop_slt;
+      QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+      QCheck_alcotest.to_alcotest prop_neg_add;
+      QCheck_alcotest.to_alcotest prop_demorgan;
+    ] )

@@ -1,0 +1,175 @@
+(* Tests for the bounded model checker: minimal counterexamples, replay,
+   assumptions, k-induction. *)
+
+module Ir = Rtl.Ir
+
+let bv w n = Bitvec.create ~width:w n
+
+let counter_circuit () =
+  let c = Ir.create "counter" in
+  let en = Ir.input c "en" 1 in
+  let cnt =
+    Ir.reg_fb c "cnt" ~init:(bv 4 0) (fun r ->
+        Ir.mux en (Ir.add r (Ir.constant c ~width:4 1)) r)
+  in
+  (c, cnt)
+
+let test_finds_minimal_cex () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 3) in
+  let r = Bmc.Engine.check ~max_depth:16 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    (* Reaching 3 takes 3 enabled steps; minimal trace shows the violation
+       in cycle 3, i.e. 4 frames. *)
+    Alcotest.(check int) "minimal depth" 4 (Bmc.Trace.length t)
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_replay_confirms () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 5) in
+  let r = Bmc.Engine.check ~max_depth:16 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    let sim = Rtl.Sim.create c in
+    Alcotest.(check bool) "replay violates" true (Bmc.Trace.replay sim t prop)
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_bounded_ok () =
+  let c, cnt = counter_circuit () in
+  (* Unreachable within 5 cycles: cnt = 9. *)
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 9) in
+  let r = Bmc.Engine.check ~max_depth:5 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Bounded_ok k -> Alcotest.(check int) "bound reported" 5 k
+  | Bmc.Engine.Cex _ | Bmc.Engine.Proved _ -> Alcotest.fail "expected clean"
+
+let test_assumes_constrain () =
+  let c, cnt = counter_circuit () in
+  (* With en assumed low, the counter can never move. *)
+  let en =
+    match Ir.inputs c with
+    | e :: _ -> e
+    | [] -> assert false
+  in
+  Ir.assume c (Ir.lognot en);
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 1) in
+  let r = Bmc.Engine.check ~max_depth:10 c ~prop in
+  (match r.Bmc.Engine.outcome with
+   | Bmc.Engine.Bounded_ok _ -> ()
+   | Bmc.Engine.Cex _ | Bmc.Engine.Proved _ ->
+     Alcotest.fail "assumption should block the counterexample")
+
+let test_induction_proves () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ule cnt (Ir.constant c ~width:4 15) in
+  let r = Bmc.Engine.prove ~max_depth:8 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Proved k -> Alcotest.(check bool) "small k" true (k <= 2)
+  | Bmc.Engine.Cex _ | Bmc.Engine.Bounded_ok _ ->
+    Alcotest.fail "expected inductive proof"
+
+let test_induction_still_finds_cex () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 2) in
+  let r = Bmc.Engine.prove ~max_depth:8 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t -> Alcotest.(check int) "depth 3" 3 (Bmc.Trace.length t)
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_trace_structure () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 2) in
+  let r = Bmc.Engine.check ~max_depth:8 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    Alcotest.(check int) "frames" 3 (List.length t.Bmc.Trace.frames);
+    (* en must be 1 in the first two frames to advance the counter. *)
+    List.iteri
+      (fun i f ->
+        if i < 2 then
+          match List.assoc_opt "en" f.Bmc.Trace.inputs with
+          | Some v -> Alcotest.(check int) "en high" 1 (Bitvec.to_int v)
+          | None -> Alcotest.fail "missing input in trace")
+      t.Bmc.Trace.frames;
+    (* Register values are reconstructed. *)
+    (match t.Bmc.Trace.frames with
+     | f0 :: _ ->
+       Alcotest.(check (option int)) "initial reg value" (Some 0)
+         (Option.map Bitvec.to_int (List.assoc_opt "cnt" f0.Bmc.Trace.regs))
+     | [] -> Alcotest.fail "empty trace")
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_waveform_render () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 2) in
+  let r = Bmc.Engine.check ~max_depth:8 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    let text = Format.asprintf "%a" Bmc.Trace.pp_waveform t in
+    let contains needle =
+      let n = String.length needle and h = String.length text in
+      let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "has ruler" true (contains "cycle");
+    Alcotest.(check bool) "has en row" true (contains "en");
+    Alcotest.(check bool) "has cnt row" true (contains "cnt");
+    Alcotest.(check bool) "en pulses rendered" true (contains "#")
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_width_check () =
+  let c, cnt = counter_circuit () in
+  Alcotest.check_raises "wide property rejected"
+    (Invalid_argument "Bmc: property must be a 1-bit signal") (fun () ->
+      ignore (Bmc.Engine.check ~max_depth:2 c ~prop:cnt))
+
+let test_combinational_property () =
+  (* A property over inputs only (no registers involved). *)
+  let c = Ir.create "comb" in
+  let a = Ir.input c "a" 4 in
+  let prop = Ir.ule a (Ir.constant c ~width:4 14) in
+  let r = Bmc.Engine.check ~max_depth:4 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    Alcotest.(check int) "found at depth 1" 1 (Bmc.Trace.length t);
+    (match t.Bmc.Trace.frames with
+     | [ f ] ->
+       Alcotest.(check (option int)) "a = 15" (Some 15)
+         (Option.map Bitvec.to_int (List.assoc_opt "a" f.Bmc.Trace.inputs))
+     | _ -> Alcotest.fail "expected one frame")
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+(* Property: for random counter targets, BMC depth equals target + 1 (the
+   shortest input sequence reaching the value, plus the violation frame). *)
+let prop_minimal_depth =
+  QCheck.Test.make ~name:"cex depth is minimal" ~count:12
+    QCheck.(int_range 1 8) (fun target ->
+      let c, cnt = counter_circuit () in
+      let prop = Ir.ne cnt (Ir.constant c ~width:4 target) in
+      let r = Bmc.Engine.check ~max_depth:12 c ~prop in
+      match r.Bmc.Engine.outcome with
+      | Bmc.Engine.Cex t -> Bmc.Trace.length t = target + 1
+      | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ -> false)
+
+let suite =
+  ( "bmc",
+    [
+      Alcotest.test_case "finds minimal counterexample" `Quick test_finds_minimal_cex;
+      Alcotest.test_case "replay confirms traces" `Quick test_replay_confirms;
+      Alcotest.test_case "bounded clean" `Quick test_bounded_ok;
+      Alcotest.test_case "assumptions constrain" `Quick test_assumes_constrain;
+      Alcotest.test_case "k-induction proves" `Quick test_induction_proves;
+      Alcotest.test_case "prove still finds bugs" `Quick test_induction_still_finds_cex;
+      Alcotest.test_case "trace structure" `Quick test_trace_structure;
+      Alcotest.test_case "waveform rendering" `Quick test_waveform_render;
+      Alcotest.test_case "property width checked" `Quick test_width_check;
+      Alcotest.test_case "combinational property" `Quick test_combinational_property;
+      QCheck_alcotest.to_alcotest prop_minimal_depth;
+    ] )

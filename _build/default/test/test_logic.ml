@@ -1,0 +1,175 @@
+(* Tests for the AIG and its Tseitin encoding. *)
+
+module Aig = Logic.Aig
+module Tseitin = Logic.Tseitin
+module S = Sat.Solver
+
+let test_constants () =
+  let g = Aig.create () in
+  Alcotest.(check bool) "false is const" true (Aig.to_bool Aig.false_ = Some false);
+  Alcotest.(check bool) "true is const" true (Aig.to_bool Aig.true_ = Some true);
+  Alcotest.(check bool) "not false = true" true (Aig.not_ Aig.false_ = Aig.true_);
+  let x = Aig.input g "x" in
+  Alcotest.(check bool) "input not const" true (Aig.to_bool x = None);
+  Alcotest.(check bool) "and false folds" true
+    (Aig.and_ g x Aig.false_ = Aig.false_);
+  Alcotest.(check bool) "and true is identity" true (Aig.and_ g x Aig.true_ = x);
+  Alcotest.(check bool) "x and x = x" true (Aig.and_ g x x = x);
+  Alcotest.(check bool) "x and not x = false" true
+    (Aig.and_ g x (Aig.not_ x) = Aig.false_)
+
+let test_hashing () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" in
+  let a = Aig.and_ g x y in
+  let b = Aig.and_ g y x in
+  Alcotest.(check bool) "commutative gates shared" true (a = b);
+  let n = Aig.nb_nodes g in
+  ignore (Aig.and_ g x y);
+  Alcotest.(check int) "no new node for duplicate" n (Aig.nb_nodes g)
+
+let test_xor_mux () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" in
+  Alcotest.(check bool) "xor self = false" true (Aig.xor_ g x x = Aig.false_);
+  Alcotest.(check bool) "xor not-self = true" true
+    (Aig.xor_ g x (Aig.not_ x) = Aig.true_);
+  Alcotest.(check bool) "xor false id" true (Aig.xor_ g x Aig.false_ = x);
+  Alcotest.(check bool) "mux const sel" true (Aig.mux g Aig.true_ x y = x);
+  Alcotest.(check bool) "mux same arms" true (Aig.mux g y x x = x)
+
+let test_names () =
+  let g = Aig.create () in
+  let x = Aig.input g "my_input" in
+  Alcotest.(check string) "name" "my_input" (Aig.name g x);
+  Alcotest.(check bool) "is_input" true (Aig.is_input g x);
+  let a = Aig.and_ g x (Aig.input g "y") in
+  Alcotest.(check bool) "gate not input" false (Aig.is_input g a);
+  Alcotest.check_raises "name of gate"
+    (Invalid_argument "Aig.name: not an input") (fun () ->
+      ignore (Aig.name g a))
+
+let test_eval () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" and z = Aig.input g "z" in
+  (* f = (x xor y) or (not z) *)
+  let f = Aig.or_ g (Aig.xor_ g x y) (Aig.not_ z) in
+  let env vx vy vz idx =
+    if idx = Aig.node_index x then vx
+    else if idx = Aig.node_index y then vy
+    else if idx = Aig.node_index z then vz
+    else false
+  in
+  List.iter
+    (fun (vx, vy, vz) ->
+      let expected = vx <> vy || not vz in
+      Alcotest.(check bool)
+        (Printf.sprintf "eval %b %b %b" vx vy vz)
+        expected
+        (Aig.eval g (env vx vy vz) f))
+    [ (false, false, false); (true, false, true); (true, true, true);
+      (false, true, false) ]
+
+(* Tseitin: for random small AIG expressions, asserting the expression true
+   must be satisfiable exactly when some input assignment evaluates to true,
+   and the SAT model must evaluate to true. *)
+let gen_expr =
+  QCheck.Gen.(
+    sized_size (int_range 2 12) (fun n ->
+        fix
+          (fun self n ->
+            if n <= 1 then int_range 0 3  (* leaf id *)
+            else
+              map2 (fun a b -> (a * 31) + b + 1000000) (self (n / 2)) (self (n / 2)))
+          n))
+
+(* Build an AIG from the generated skeleton deterministically. *)
+let rec build g inputs skel =
+  if skel < 1000000 then (
+    let idx = skel land 3 in
+    let l = inputs.(idx / 2) in
+    if idx land 1 = 1 then Aig.not_ l else l)
+  else
+    let a = build g inputs (skel / 31) in
+    let b = build g inputs ((skel - 1000000) mod 31) in
+    Aig.and_ g a b
+
+let prop_tseitin_equisat =
+  QCheck.Test.make ~name:"Tseitin encoding is faithful" ~count:200
+    (QCheck.make ~print:string_of_int gen_expr) (fun skel ->
+      let g = Aig.create () in
+      let inputs = [| Aig.input g "a"; Aig.input g "b" |] in
+      let f = build g inputs skel in
+      (* Brute-force truth. *)
+      let truths =
+        List.concat_map
+          (fun va ->
+            List.map
+              (fun vb ->
+                Aig.eval g
+                  (fun idx ->
+                    if idx = Aig.node_index inputs.(0) then va else vb)
+                  f)
+              [ false; true ])
+          [ false; true ]
+      in
+      let satisfiable = List.exists Fun.id truths in
+      let s = S.create () in
+      let env = Tseitin.create s g in
+      Tseitin.assert_true env f;
+      let got = S.solve s = S.Sat in
+      got = satisfiable)
+
+let test_tseitin_bind () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" in
+  let f = Aig.and_ g x y in
+  let s = S.create () in
+  let v = S.new_var s in
+  let env = Tseitin.create s g in
+  Tseitin.bind env x v;
+  S.add_clause s [ -v ];  (* x = false *)
+  Tseitin.assert_true env f;
+  Alcotest.(check bool) "x=0 forces f unsat" false (S.solve s = S.Sat)
+
+let test_tseitin_const () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" in
+  let f = Aig.and_ g x y in
+  let s = S.create () in
+  let env = Tseitin.create s g in
+  Tseitin.bind_const env x true;
+  (match Tseitin.value_of env f with
+   | Tseitin.Lit _ -> ()   (* folds to y, a free literal *)
+   | Tseitin.Cst _ -> Alcotest.fail "expected a literal");
+  let env2 = Tseitin.create (S.create ()) g in
+  Tseitin.bind_const env2 x false;
+  (match Tseitin.value_of env2 f with
+   | Tseitin.Cst false -> ()
+   | Tseitin.Cst true | Tseitin.Lit _ -> Alcotest.fail "expected constant false");
+  Alcotest.(check bool) "y untouched" true (Aig.is_input g y)
+
+let test_tseitin_rebind () =
+  let g = Aig.create () in
+  let x = Aig.input g "x" in
+  let s = S.create () in
+  let v = S.new_var s in
+  let env = Tseitin.create s g in
+  Tseitin.bind env x v;
+  Alcotest.check_raises "double bind rejected"
+    (Invalid_argument "Tseitin.bind: node already bound") (fun () ->
+      Tseitin.bind env x v)
+
+let suite =
+  ( "logic",
+    [
+      Alcotest.test_case "constant folding" `Quick test_constants;
+      Alcotest.test_case "structural hashing" `Quick test_hashing;
+      Alcotest.test_case "xor and mux folding" `Quick test_xor_mux;
+      Alcotest.test_case "input names" `Quick test_names;
+      Alcotest.test_case "evaluation" `Quick test_eval;
+      Alcotest.test_case "tseitin bind" `Quick test_tseitin_bind;
+      Alcotest.test_case "tseitin constants" `Quick test_tseitin_const;
+      Alcotest.test_case "tseitin rebind" `Quick test_tseitin_rebind;
+      QCheck_alcotest.to_alcotest prop_tseitin_equisat;
+    ] )

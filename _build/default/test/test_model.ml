@@ -1,0 +1,218 @@
+(* Tests for the executable formalization of Sec. III (Defs. 1–8 and
+   Proposition 1) over small reference machines. *)
+
+module M = Aqed.Model
+
+(* The canonical well-behaved accelerator: one outstanding operation,
+   1-step latency, output held until the host takes it.
+
+   states: Idle | Out d  —  rdin holds only in Idle.
+   In Idle, a valid input moves to Out (f d); in Out, the state clears when
+   the host consumes the output (rdh). *)
+type 'd echo_state = Idle | Out of 'd
+
+let echo_machine f =
+  {
+    M.init = Idle;
+    rdin = (fun s -> s = Idle);
+    a_nop = 0;
+    o_nop = None;
+    trans =
+      (fun s (a, d, rdh) ->
+        match s with
+        | Idle -> if a <> 0 then Out (f d) else Idle
+        | Out v -> if rdh then Idle else Out v);
+    out = (fun s -> match s with Idle -> None | Out v -> Some v);
+  }
+
+(* A machine with hidden-state interference: results are XORed with a
+   parity bit that flips on every operation — the second occurrence of the
+   same input yields a different output. *)
+let parity_bug_machine () =
+  {
+    M.init = (Idle, false);
+    rdin = (fun (s, _) -> s = Idle);
+    a_nop = 0;
+    o_nop = None;
+    trans =
+      (fun (s, par) (a, d, rdh) ->
+        match s with
+        | Idle -> if a <> 0 then (Out (if par then d + 100 else d), not par) else (Idle, par)
+        | Out v -> if rdh then (Idle, par) else (Out v, par));
+    out = (fun (s, _) -> match s with Idle -> None | Out v -> Some v);
+  }
+
+(* A machine that deadlocks after its second captured input: the output for
+   input #2 never appears. *)
+let deadlock_machine () =
+  {
+    M.init = (Idle, 0);
+    rdin = (fun (s, _) -> s = Idle);
+    a_nop = 0;
+    o_nop = None;
+    trans =
+      (fun (s, n) (a, d, rdh) ->
+        match s with
+        | Idle ->
+          if a <> 0 then if n >= 1 then (Out (-1), n + 1) else (Out d, n + 1)
+          else (Idle, n)
+        | Out v ->
+          if v = -1 then (Out (-1), n)  (* stuck, never visible *)
+          else if rdh then (Idle, n)
+          else (Out v, n));
+    out =
+      (fun (s, _) ->
+        match s with
+        | Idle -> None
+        | Out v -> if v = -1 then None else Some v);
+  }
+
+let actions = [ 0; 1 ]      (* 0 is the no-op *)
+let data = [ 0; 1; 2 ]
+
+let test_captured_sequences () =
+  let m = echo_machine (fun d -> d * 10) in
+  let ins =
+    [ M.input 1 2;                (* captured; output appears next state *)
+      M.input 0 0;                (* nop, host ready: output 20 captured *)
+      M.input ~rdh:false 1 1;     (* captured input; no host ready *)
+      M.input 0 0 ]               (* output 10 captured *)
+  in
+  Alcotest.(check (list (pair int int))) "captured inputs"
+    [ (1, 2); (1, 1) ]
+    (M.captured_inputs m ins);
+  Alcotest.(check (list (option int))) "captured outputs"
+    [ Some 20; Some 10 ]
+    (M.captured_outputs m ins)
+
+let test_nop_ignored () =
+  let m = echo_machine (fun d -> d) in
+  let ins = [ M.input 0 5; M.input 0 7 ] in
+  Alcotest.(check int) "no captures" 0 (List.length (M.captured_inputs m ins))
+
+let test_not_ready_not_captured () =
+  let m = echo_machine (fun d -> d) in
+  (* Input arrives while the machine is busy (not input-ready). *)
+  let ins = [ M.input ~rdh:false 1 3; M.input ~rdh:false 1 9 ] in
+  Alcotest.(check (list (pair int int))) "second input not captured"
+    [ (1, 3) ] (M.captured_inputs m ins)
+
+let test_fc_clean () =
+  let m = echo_machine (fun d -> d + 7) in
+  Alcotest.(check bool) "echo is functionally consistent" true
+    (M.check_fc ~actions ~data ~depth:5 m = None)
+
+let test_fc_bug_found () =
+  let m = parity_bug_machine () in
+  match M.check_fc ~actions ~data ~depth:6 m with
+  | None -> Alcotest.fail "parity bug not found"
+  | Some w ->
+    Alcotest.(check bool) "orig before dup" true
+      (w.M.index_orig < w.M.index_dup);
+    (* The witness really is a violation: re-derive the sequences. *)
+    let cin = M.captured_inputs m w.M.sequence in
+    let cout = M.captured_outputs m w.M.sequence in
+    Alcotest.(check bool) "same inputs" true
+      (List.nth cin w.M.index_orig = List.nth cin w.M.index_dup);
+    Alcotest.(check bool) "different outputs" true
+      (List.nth cout w.M.index_orig <> List.nth cout w.M.index_dup)
+
+let test_rb_clean () =
+  let m = echo_machine (fun d -> d) in
+  Alcotest.(check bool) "echo is responsive" true
+    (M.check_rb ~actions ~data ~depth:5 ~bound:3 m = None)
+
+let test_rb_deadlock_found () =
+  let m = deadlock_machine () in
+  match M.check_rb ~actions ~data ~depth:7 ~bound:3 m with
+  | None -> Alcotest.fail "deadlock not found"
+  | Some _ -> ()
+
+let test_sac () =
+  let f d = (2 * d) + 1 in
+  let m = echo_machine f in
+  Alcotest.(check bool) "correct spec passes" true
+    (M.check_sac ~actions ~data ~flush:4 ~spec:(fun _ d -> Some (f d)) m = None);
+  (match M.check_sac ~actions ~data ~flush:4 ~spec:(fun _ d -> Some d) m with
+   | None -> Alcotest.fail "wrong spec should fail"
+   | Some (_, d) -> Alcotest.(check bool) "witness data in alphabet" true (List.mem d data))
+
+let test_total_correctness () =
+  let f d = d * 3 in
+  let m = echo_machine f in
+  Alcotest.(check bool) "totally correct w.r.t. its own function" true
+    (M.check_total ~actions ~data ~depth:5 ~spec:(fun _ d -> Some (f d)) m = None);
+  (* The parity-bug machine is not. *)
+  Alcotest.(check bool) "buggy machine fails" true
+    (M.check_total ~actions ~data ~depth:6 ~spec:(fun _ d -> Some d)
+       (parity_bug_machine ())
+     <> None)
+
+let test_strongly_connected () =
+  Alcotest.(check bool) "echo machine is strongly connected" true
+    (M.strongly_connected ~actions ~data (echo_machine (fun d -> d)));
+  Alcotest.(check bool) "deadlock machine is not" false
+    (M.strongly_connected ~actions ~data (deadlock_machine ()))
+
+(* Proposition 1, on the family of echo machines with random operation
+   tables: FC + RB + SAC + strong connectedness hold by construction, so
+   bounded total correctness w.r.t. the table must hold too. *)
+let prop_proposition1_echo =
+  QCheck.Test.make ~name:"Proposition 1 on random echo machines" ~count:40
+    QCheck.(array_of_size (QCheck.Gen.return 3) (int_bound 50))
+    (fun table ->
+      let f d = table.(d mod Array.length table) in
+      let m = echo_machine f in
+      let spec _ d = Some (f d) in
+      M.check_fc ~actions ~data ~depth:4 m = None
+      && M.check_rb ~actions ~data ~depth:4 ~bound:2 m = None
+      && M.check_sac ~actions ~data ~flush:3 ~spec m = None
+      && M.strongly_connected ~actions ~data m
+      && M.check_total ~actions ~data ~depth:4 ~spec m = None)
+
+(* The contrapositive side: machines with a random stateful twist either
+   satisfy FC or check_total finds them wrong (w.r.t. their first-instance
+   behaviour) — i.e. FC is never weaker than total correctness on
+   consistent specs derived from the machine itself. *)
+let prop_fc_necessary =
+  QCheck.Test.make ~name:"FC violation implies total-correctness violation"
+    ~count:30
+    QCheck.(int_range 1 99)
+    (fun salt ->
+      let m =
+        {
+          M.init = (Idle, 0);
+          rdin = (fun (s, _) -> s = Idle);
+          a_nop = 0;
+          o_nop = None;
+          trans =
+            (fun (s, k) (a, d, rdh) ->
+              match s with
+              | Idle ->
+                if a <> 0 then (Out (d + (k * salt mod 7)), (k + 1) mod 3)
+                else (Idle, k)
+              | Out v -> if rdh then (Idle, k) else (Out v, k));
+          out = (fun (s, _) -> match s with Idle -> None | Out v -> Some v);
+        }
+      in
+      let spec _ d = Some d in
+      match M.check_fc ~actions ~data ~depth:5 m with
+      | None -> true
+      | Some _ -> M.check_total ~actions ~data ~depth:5 ~spec m <> None)
+
+let suite =
+  ( "model",
+    [
+      Alcotest.test_case "captured sequences" `Quick test_captured_sequences;
+      Alcotest.test_case "no-ops ignored" `Quick test_nop_ignored;
+      Alcotest.test_case "not-ready inputs dropped" `Quick test_not_ready_not_captured;
+      Alcotest.test_case "FC holds for echo" `Quick test_fc_clean;
+      Alcotest.test_case "FC finds hidden-state bug" `Quick test_fc_bug_found;
+      Alcotest.test_case "RB holds for echo" `Quick test_rb_clean;
+      Alcotest.test_case "RB finds deadlock" `Quick test_rb_deadlock_found;
+      Alcotest.test_case "SAC" `Quick test_sac;
+      Alcotest.test_case "total correctness" `Quick test_total_correctness;
+      Alcotest.test_case "strong connectedness" `Quick test_strongly_connected;
+      QCheck_alcotest.to_alcotest prop_proposition1_echo;
+      QCheck_alcotest.to_alcotest prop_fc_necessary;
+    ] )

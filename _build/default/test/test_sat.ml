@@ -1,0 +1,311 @@
+(* Unit and property tests for the CDCL solver and the DIMACS front end. *)
+
+module S = Sat.Solver
+
+let fresh_vars s n = List.init n (fun _ -> S.new_var s)
+
+let solve_lists clauses nvars =
+  let s = S.create () in
+  ignore (fresh_vars s nvars);
+  List.iter (S.add_clause s) clauses;
+  (S.solve s, s)
+
+let is_sat = function S.Sat -> true | S.Unsat -> false
+
+let test_trivial () =
+  let r, _ = solve_lists [] 0 in
+  Alcotest.(check bool) "empty instance is SAT" true (is_sat r);
+  let r, s = solve_lists [ [ 1 ] ] 1 in
+  Alcotest.(check bool) "unit clause SAT" true (is_sat r);
+  Alcotest.(check bool) "model value" true (S.value s 1);
+  let r, _ = solve_lists [ [ 1 ]; [ -1 ] ] 1 in
+  Alcotest.(check bool) "contradiction UNSAT" false (is_sat r);
+  let r, _ = solve_lists [ [] ] 1 in
+  Alcotest.(check bool) "empty clause UNSAT" false (is_sat r)
+
+let test_implication_chain () =
+  (* x1 -> x2 -> ... -> x20, x1 forced, -x20 forced: UNSAT. *)
+  let n = 20 in
+  let chain = List.init (n - 1) (fun i -> [ -(i + 1); i + 2 ]) in
+  let r, _ = solve_lists ([ [ 1 ]; [ -n ] ] @ chain) n in
+  Alcotest.(check bool) "chain UNSAT" false (is_sat r);
+  let r, s = solve_lists ([ [ 1 ] ] @ chain) n in
+  Alcotest.(check bool) "chain SAT" true (is_sat r);
+  Alcotest.(check bool) "propagated to end" true (S.value s n)
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: classic small UNSAT. *)
+  let s = S.create () in
+  let v = Array.init 5 (fun _ -> Array.make 4 0) in
+  for p = 1 to 4 do
+    for h = 1 to 3 do
+      v.(p).(h) <- S.new_var s
+    done
+  done;
+  for p = 1 to 4 do
+    S.add_clause s [ v.(p).(1); v.(p).(2); v.(p).(3) ]
+  done;
+  for h = 1 to 3 do
+    for p1 = 1 to 4 do
+      for p2 = p1 + 1 to 4 do
+        S.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(3) UNSAT" false (is_sat (S.solve s))
+
+let test_assumptions () =
+  let s = S.create () in
+  ignore (fresh_vars s 3);
+  S.add_clause s [ 1; 2 ];
+  S.add_clause s [ -1; 3 ];
+  Alcotest.(check bool) "base SAT" true (is_sat (S.solve s));
+  Alcotest.(check bool) "assume -2 forces 1,3" true
+    (is_sat (S.solve ~assumptions:[ -2 ] s));
+  Alcotest.(check bool) "value under assumption" true (S.value s 3);
+  Alcotest.(check bool) "conflicting assumptions UNSAT" false
+    (is_sat (S.solve ~assumptions:[ -2; -1 ] s));
+  (* Solver is reusable after UNSAT-under-assumptions. *)
+  Alcotest.(check bool) "still SAT afterwards" true (is_sat (S.solve s))
+
+let test_incremental () =
+  let s = S.create () in
+  ignore (fresh_vars s 2);
+  S.add_clause s [ 1; 2 ];
+  Alcotest.(check bool) "sat 1" true (is_sat (S.solve s));
+  S.add_clause s [ -1 ];
+  Alcotest.(check bool) "sat 2" true (is_sat (S.solve s));
+  Alcotest.(check bool) "forced 2" true (S.value s 2);
+  S.add_clause s [ -2 ];
+  Alcotest.(check bool) "now unsat" false (is_sat (S.solve s));
+  (* Once unsatisfiable, stays unsatisfiable. *)
+  Alcotest.(check bool) "sticky unsat" false (is_sat (S.solve s))
+
+let test_tautology_dedup () =
+  let s = S.create () in
+  ignore (fresh_vars s 2);
+  S.add_clause s [ 1; -1 ];          (* tautology: dropped *)
+  S.add_clause s [ 2; 2; 2 ];        (* duplicates collapse to unit *)
+  Alcotest.(check bool) "sat" true (is_sat (S.solve s));
+  Alcotest.(check bool) "unit propagated" true (S.value s 2)
+
+let test_stats () =
+  let s = S.create () in
+  ignore (fresh_vars s 2);
+  S.add_clause s [ 1; 2 ];
+  ignore (S.solve s);
+  let st = S.stats s in
+  Alcotest.(check int) "max_var" 2 st.S.max_var;
+  Alcotest.(check bool) "clauses counted" true (st.S.clauses >= 1)
+
+let test_bad_literal () =
+  let s = S.create () in
+  ignore (fresh_vars s 1);
+  Alcotest.check_raises "unallocated var rejected"
+    (Invalid_argument "Solver.add_clause: literal over unallocated variable")
+    (fun () -> S.add_clause s [ 5 ])
+
+(* ---- brute-force cross-check ---- *)
+
+let brute nvars clauses =
+  let rec go v assign =
+    if v > nvars then
+      List.for_all
+        (List.exists (fun l ->
+             let b = assign.(abs l) in
+             if l > 0 then b else not b))
+        clauses
+    else begin
+      assign.(v) <- true;
+      go (v + 1) assign
+      ||
+      (assign.(v) <- false;
+       go (v + 1) assign)
+    end
+  in
+  go 1 (Array.make (nvars + 1) false)
+
+let arb_cnf =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 8 >>= fun nvars ->
+      list_size (int_range 1 24)
+        (list_size (int_range 1 3)
+           (map2 (fun v s -> if s then v else -v) (int_range 1 nvars) bool))
+      >>= fun clauses -> return (nvars, clauses))
+  in
+  let print (nvars, clauses) =
+    Printf.sprintf "vars=%d %s" nvars
+      (String.concat " | "
+         (List.map (fun c -> String.concat "," (List.map string_of_int c)) clauses))
+  in
+  QCheck.make ~print gen
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"CDCL agrees with brute force" ~count:300 arb_cnf
+    (fun (nvars, clauses) ->
+      let r, _ = solve_lists clauses nvars in
+      is_sat r = brute nvars clauses)
+
+let prop_models_are_models =
+  QCheck.Test.make ~name:"SAT answers carry a satisfying model" ~count:300
+    arb_cnf (fun (nvars, clauses) ->
+      let r, s = solve_lists clauses nvars in
+      (not (is_sat r))
+      || List.for_all (List.exists (fun l -> S.lit_value s l)) clauses)
+
+let prop_assumptions_sound =
+  QCheck.Test.make ~name:"assumptions behave like unit clauses" ~count:200
+    (QCheck.pair arb_cnf (QCheck.list_of_size (QCheck.Gen.return 2) QCheck.(int_range 1 8)))
+    (fun ((nvars, clauses), assum_vars) ->
+      let assums =
+        List.filteri (fun i _ -> i < 2) assum_vars
+        |> List.map (fun v -> (v mod nvars) + 1)
+      in
+      let r, _ = solve_lists clauses nvars in
+      ignore r;
+      let s = S.create () in
+      ignore (fresh_vars s nvars);
+      List.iter (S.add_clause s) clauses;
+      let got = is_sat (S.solve ~assumptions:assums s) in
+      let want = brute nvars (List.map (fun a -> [ a ]) assums @ clauses) in
+      got = want)
+
+(* ---- proof logging and RUP checking ---- *)
+
+let test_proof_unsat_certified () =
+  let cnf =
+    { Sat.Dimacs.nvars = 3;
+      clauses = [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ]; [ 3 ] ] }
+  in
+  Alcotest.(check bool) "unsat proof validates" true
+    (Sat.Rup.check_solver_run cnf = Sat.Rup.Valid)
+
+let test_proof_sat_nothing_to_certify () =
+  let cnf = { Sat.Dimacs.nvars = 2; clauses = [ [ 1; 2 ] ] } in
+  Alcotest.(check bool) "sat => incomplete" true
+    (Sat.Rup.check_solver_run cnf = Sat.Rup.Incomplete)
+
+let test_proof_tampering_detected () =
+  (* A fabricated step that is not implied: x1 alone is not RUP for this
+     formula. *)
+  let cnf = { Sat.Dimacs.nvars = 2; clauses = [ [ 1; 2 ] ] } in
+  (match Sat.Rup.check cnf [ [ 1 ]; [] ] with
+   | Sat.Rup.Invalid 0 -> ()
+   | Sat.Rup.Invalid i -> Alcotest.fail (Printf.sprintf "wrong index %d" i)
+   | Sat.Rup.Valid | Sat.Rup.Incomplete -> Alcotest.fail "tampered proof accepted");
+  (* A truncated proof (no empty clause) is incomplete, not valid. *)
+  let cnf2 =
+    { Sat.Dimacs.nvars = 1; clauses = [ [ 1 ]; [ -1 ] ] }
+  in
+  Alcotest.(check bool) "truncated proof incomplete" true
+    (Sat.Rup.check cnf2 [] = Sat.Rup.Incomplete)
+
+let prop_proofs_check =
+  QCheck.Test.make ~name:"every UNSAT run yields a valid RUP proof"
+    ~count:150 arb_cnf (fun (nvars, clauses) ->
+      let cnf = { Sat.Dimacs.nvars = nvars; clauses } in
+      match Sat.Rup.check_solver_run cnf with
+      | Sat.Rup.Valid | Sat.Rup.Incomplete -> true
+      | Sat.Rup.Invalid _ -> false)
+
+(* ---- preprocessing ---- *)
+
+let test_simplify_subsumption () =
+  (* [1] subsumes [1;2]; self-subsumption strengthens [-1;2] to [2]. *)
+  let cnf = { Sat.Dimacs.nvars = 2; clauses = [ [ 1 ]; [ 1; 2 ]; [ -1; 2 ] ] } in
+  let t = Sat.Simplify.simplify cnf in
+  let out = Sat.Simplify.result t in
+  Alcotest.(check bool) "fewer or equal clauses" true
+    (List.length out.Sat.Dimacs.clauses <= 3);
+  let r, model = Sat.Simplify.solve t in
+  Alcotest.(check bool) "sat" true (r = S.Sat);
+  Alcotest.(check bool) "model satisfies original" true
+    (List.for_all
+       (List.exists (fun l -> if l > 0 then model.(l) else not model.(abs l)))
+       cnf.Sat.Dimacs.clauses)
+
+let test_simplify_eliminates () =
+  (* x2 occurs twice and resolves away: (1 v 2) (3 v -2) -> (1 v 3). *)
+  let cnf = { Sat.Dimacs.nvars = 3; clauses = [ [ 1; 2 ]; [ 3; -2 ] ] } in
+  let t = Sat.Simplify.simplify cnf in
+  Alcotest.(check bool) "eliminated something" true (Sat.Simplify.eliminated t >= 1);
+  let r, model = Sat.Simplify.solve t in
+  Alcotest.(check bool) "sat" true (r = S.Sat);
+  Alcotest.(check bool) "extended model satisfies original" true
+    (List.for_all
+       (List.exists (fun l -> if l > 0 then model.(l) else not model.(abs l)))
+       cnf.Sat.Dimacs.clauses)
+
+let prop_simplify_preserves_sat =
+  QCheck.Test.make ~name:"preprocessing is equisatisfiable + model extends"
+    ~count:250 arb_cnf (fun (nvars, clauses) ->
+      let cnf = { Sat.Dimacs.nvars = nvars; clauses } in
+      let expected = brute nvars clauses in
+      let t = Sat.Simplify.simplify cnf in
+      let r, model = Sat.Simplify.solve t in
+      let sat = r = S.Sat in
+      sat = expected
+      && ((not sat)
+          || List.for_all
+               (List.exists (fun l ->
+                    if l > 0 then model.(l) else not model.(abs l)))
+               clauses))
+
+(* ---- DIMACS ---- *)
+
+let test_dimacs_parse () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Sat.Dimacs.parse_string text in
+  Alcotest.(check int) "nvars" 3 cnf.Sat.Dimacs.nvars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Sat.Dimacs.clauses);
+  Alcotest.(check (list (list int))) "content" [ [ 1; -2 ]; [ 2; 3 ] ]
+    cnf.Sat.Dimacs.clauses
+
+let test_dimacs_roundtrip () =
+  let cnf = { Sat.Dimacs.nvars = 4; clauses = [ [ 1; 2 ]; [ -3; 4 ]; [ -1 ] ] } in
+  let cnf' = Sat.Dimacs.parse_string (Sat.Dimacs.to_string cnf) in
+  Alcotest.(check int) "nvars" cnf.Sat.Dimacs.nvars cnf'.Sat.Dimacs.nvars;
+  Alcotest.(check (list (list int))) "clauses" cnf.Sat.Dimacs.clauses
+    cnf'.Sat.Dimacs.clauses
+
+let test_dimacs_solve () =
+  let r, model = Sat.Dimacs.solve { Sat.Dimacs.nvars = 2; clauses = [ [ 1 ]; [ -1; 2 ] ] } in
+  Alcotest.(check bool) "sat" true (r = S.Sat);
+  Alcotest.(check bool) "v1" true model.(1);
+  Alcotest.(check bool) "v2" true model.(2)
+
+let test_dimacs_errors () =
+  Alcotest.check_raises "clause before header"
+    (Failure "Dimacs: line 1: clause before problem line") (fun () ->
+      ignore (Sat.Dimacs.parse_string "1 2 0\n"));
+  Alcotest.check_raises "literal out of range"
+    (Failure "Dimacs: line 2: literal 9 out of range") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 2 1\n9 0\n"))
+
+let suite =
+  ( "sat",
+    [
+      Alcotest.test_case "trivial instances" `Quick test_trivial;
+      Alcotest.test_case "implication chain" `Quick test_implication_chain;
+      Alcotest.test_case "pigeonhole UNSAT" `Quick test_pigeonhole;
+      Alcotest.test_case "assumptions" `Quick test_assumptions;
+      Alcotest.test_case "incremental solving" `Quick test_incremental;
+      Alcotest.test_case "tautology and duplicates" `Quick test_tautology_dedup;
+      Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "bad literal rejected" `Quick test_bad_literal;
+      Alcotest.test_case "proof certifies unsat" `Quick test_proof_unsat_certified;
+      Alcotest.test_case "proof on sat instance" `Quick test_proof_sat_nothing_to_certify;
+      Alcotest.test_case "proof tampering detected" `Quick test_proof_tampering_detected;
+      QCheck_alcotest.to_alcotest prop_proofs_check;
+      Alcotest.test_case "simplify subsumption" `Quick test_simplify_subsumption;
+      Alcotest.test_case "simplify variable elimination" `Quick test_simplify_eliminates;
+      QCheck_alcotest.to_alcotest prop_simplify_preserves_sat;
+      Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
+      Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+      Alcotest.test_case "dimacs solve" `Quick test_dimacs_solve;
+      Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+      QCheck_alcotest.to_alcotest prop_matches_brute_force;
+      QCheck_alcotest.to_alcotest prop_models_are_models;
+      QCheck_alcotest.to_alcotest prop_assumptions_sound;
+    ] )
