@@ -9,7 +9,13 @@
      ablate   ablations called out in DESIGN.md
 
    Run with no argument for the paper artefacts (table1 fig5 table2 fig2);
-   pass subcommand names to select; `all` adds ablations and kernels. *)
+   pass subcommand names to select; `all` adds ablations and kernels.
+
+   `-j N` sizes the domain pool: table2 then runs both the sequential
+   baseline and the parallel batch driver, checks the outcomes agree and
+   reports the speedup. Every run also emits machine-readable
+   BENCH_results.json (per-table wall times, solver stats, speedups) so the
+   perf trajectory is tracked across PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -19,14 +25,98 @@ let line width = String.make width '-'
 let stats xs =
   match xs with
   | [] -> (0., 0., 0.)
-  | _ ->
-    let n = float_of_int (List.length xs) in
-    let mn = List.fold_left min infinity xs in
-    let mx = List.fold_left max neg_infinity xs in
-    let avg = List.fold_left ( +. ) 0. xs /. n in
-    (mn, avg, mx)
+  | x :: rest ->
+    let n, mn, mx, sum =
+      List.fold_left
+        (fun (n, mn, mx, sum) v -> (n + 1, min mn v, max mx v, sum +. v))
+        (1, x, x, x) rest
+    in
+    (mn, sum /. float_of_int n, mx)
 
 let pf fmt = Printf.printf fmt
+
+(* ---- machine-readable results (BENCH_results.json) ---- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+
+let rec json_out buf = function
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "%S:" k);
+        json_out buf v)
+      fields;
+    Buffer.add_char buf '}'
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        json_out buf v)
+      xs;
+    Buffer.add_char buf ']'
+  | Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Num f ->
+    (* JSON has no inf/nan; clamp defensively. *)
+    Buffer.add_string buf
+      (if Float.is_finite f then Printf.sprintf "%.6f" f else "null")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let json_results : (string * json) list ref = ref []
+let record key v = json_results := (key, v) :: !json_results
+
+let write_json_results ~jobs ~total_wall =
+  let oc = open_out "BENCH_results.json" in
+  let buf = Buffer.create 4096 in
+  json_out buf
+    (Obj
+       ([ ("schema", Int 1); ("jobs", Int jobs); ("total_wall_s", Num total_wall) ]
+        @ List.rev !json_results));
+  Buffer.add_char buf '\n';
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "\nwrote BENCH_results.json\n"
+
+let json_of_solver_stats (s : Sat.Solver.stats) =
+  Obj
+    [
+      ("vars", Int s.Sat.Solver.max_var);
+      ("clauses", Int s.Sat.Solver.clauses);
+      ("decisions", Int s.Sat.Solver.decisions);
+      ("propagations", Int s.Sat.Solver.propagations);
+      ("conflicts", Int s.Sat.Solver.conflicts);
+      ("restarts", Int s.Sat.Solver.restarts);
+      ("learned", Int s.Sat.Solver.learned);
+    ]
+
+let json_of_report (r : Aqed.Check.report) =
+  Obj
+    [
+      ("check", Str r.Aqed.Check.check);
+      ( "verdict",
+        Str
+          (match r.Aqed.Check.verdict with
+           | Aqed.Check.Bug _ -> "bug"
+           | Aqed.Check.No_bug_up_to _ -> "clean"
+           | Aqed.Check.Proved _ -> "proved") );
+      ( "depth",
+        Int
+          (match r.Aqed.Check.verdict with
+           | Aqed.Check.Bug t -> Bmc.Trace.length t
+           | Aqed.Check.No_bug_up_to k | Aqed.Check.Proved k -> k) );
+      ("wall_s", Num r.Aqed.Check.wall_time);
+      ("aig_nodes", Int r.Aqed.Check.aig_nodes);
+      ("solver", json_of_solver_stats r.Aqed.Check.solver_stats);
+    ]
 
 (* The A-QED flow on one memctrl configuration: FC, then RB (with the
    clock-enable customization of Sec. IV.C), then SAC with the
@@ -145,7 +235,31 @@ let print_table1 () =
         (if o.conv_found then "yes" else "MISS")
         o.conv_time
         (if o.conv_found then string_of_int o.conv_trace else "-"))
-    outcomes
+    outcomes;
+  record "table1"
+    (Obj
+       [
+         ( "aqed_runtime_s",
+           Obj [ ("min", Num amin); ("avg", Num aavg); ("max", Num amax) ] );
+         ( "conv_runtime_s",
+           Obj [ ("min", Num cmin); ("avg", Num cavg); ("max", Num cmax) ] );
+         ( "bugs",
+           Arr
+             (List.map
+                (fun o ->
+                  Obj
+                    [
+                      ("bug", Str (M.bug_name o.bug));
+                      ("aqed_found", Bool o.aqed_found);
+                      ("aqed_check", Str o.aqed_check);
+                      ("aqed_wall_s", Num o.aqed_time);
+                      ("aqed_trace", Int o.aqed_trace);
+                      ("conv_found", Bool o.conv_found);
+                      ("conv_wall_s", Num o.conv_time);
+                      ("conv_trace", Int o.conv_trace);
+                    ])
+                outcomes) );
+       ])
 
 let print_fig5 () =
   let outcomes = Lazy.force all_outcomes in
@@ -177,72 +291,163 @@ let print_fig5 () =
     (List.length
        (List.filter (fun o -> o.aqed_found && o.aqed_check = "RB") outcomes))
     (List.length
-       (List.filter (fun o -> o.aqed_found && o.aqed_check = "SAC") outcomes))
+       (List.filter (fun o -> o.aqed_found && o.aqed_check = "SAC") outcomes));
+  record "fig5"
+    (Obj
+       [
+         ("total", Int total);
+         ("conventional", Int conv);
+         ("aqed", Int aqed);
+         ("both", Int both);
+         ("aqed_only", Int (List.length only_aqed));
+       ])
 
 (* ---- Table 2 ---- *)
 
-type hls_row = {
+(* Each row is a prepared (unsolved) obligation, so the same list drives
+   both the sequential baseline and the parallel batch driver. *)
+type hls_spec = {
   source : string;
   design : string;
   bug_kind : string;
-  runtime : float;
-  cex : int option;
+  ob : Aqed.Check.obligation;
 }
 
-let table2_rows () =
+let table2_specs () =
   let aes v =
-    let r =
-      Aqed.Check.functional_consistency ~max_depth:18
-        ~shared:Accel.Aes.shared_key
-        (fun () -> Accel.Aes.build ~version:v ())
-    in
     {
       source = "AES encryption [Cong 17]";
       design = Printf.sprintf "AES v%d" v;
       bug_kind = "FC";
-      runtime = r.Aqed.Check.wall_time;
-      cex = Aqed.Check.trace_length r;
+      ob =
+        Aqed.Check.prepare_fc
+          ~name:(Printf.sprintf "AES v%d/FC" v)
+          ~max_depth:18 ~shared:Accel.Aes.shared_key
+          (fun () -> Accel.Aes.build ~version:v ());
     }
   in
   let dataflow =
-    let r =
-      Aqed.Check.response_bound ~max_depth:16 ~tau:Accel.Dataflow.tau
-        (fun () -> Accel.Dataflow.build ~bug:true ())
-    in
     { source = "Custom design [Chi 19]"; design = "Dataflow"; bug_kind = "RB";
-      runtime = r.Aqed.Check.wall_time; cex = Aqed.Check.trace_length r }
+      ob =
+        Aqed.Check.prepare_rb ~name:"Dataflow/RB" ~max_depth:16
+          ~tau:Accel.Dataflow.tau
+          (fun () -> Accel.Dataflow.build ~bug:true ()) }
   in
   let optflow =
-    let r =
-      Aqed.Check.response_bound ~max_depth:16 ~tau:Accel.Optflow.tau
-        (fun () -> Accel.Optflow.build ~bug:true ())
-    in
     { source = "Rosetta [Zhou 18]"; design = "Optical Flow"; bug_kind = "RB";
-      runtime = r.Aqed.Check.wall_time; cex = Aqed.Check.trace_length r }
+      ob =
+        Aqed.Check.prepare_rb ~name:"Optical Flow/RB" ~max_depth:16
+          ~tau:Accel.Optflow.tau
+          (fun () -> Accel.Optflow.build ~bug:true ()) }
   in
   let gsm =
-    let r =
-      Aqed.Check.functional_consistency ~max_depth:16
-        (fun () -> Accel.Gsm.build ~bug:true ())
-    in
     { source = "CHStone [Hara 09]"; design = "GSM"; bug_kind = "FC";
-      runtime = r.Aqed.Check.wall_time; cex = Aqed.Check.trace_length r }
+      ob =
+        Aqed.Check.prepare_fc ~name:"GSM/FC" ~max_depth:16
+          (fun () -> Accel.Gsm.build ~bug:true ()) }
   in
   List.map aes [ 1; 2; 3; 4 ] @ [ dataflow; optflow; gsm ]
 
-let print_table2 () =
+let same_outcome (a : Aqed.Check.report) (b : Aqed.Check.report) =
+  match (a.Aqed.Check.verdict, b.Aqed.Check.verdict) with
+  | Aqed.Check.Bug t1, Aqed.Check.Bug t2 ->
+    Bmc.Trace.length t1 = Bmc.Trace.length t2
+  | Aqed.Check.No_bug_up_to k1, Aqed.Check.No_bug_up_to k2 -> k1 = k2
+  | Aqed.Check.Proved k1, Aqed.Check.Proved k2 -> k1 = k2
+  | _, _ -> false
+
+let print_table2 ~jobs () =
+  let specs = table2_specs () in
+  let t0 = Unix.gettimeofday () in
+  let seq_reports = List.map (fun s -> Aqed.Check.run_obligation s.ob) specs in
+  let seq_wall = Unix.gettimeofday () -. t0 in
   pf "\n== Table 2: A-QED results for HLS designs ==\n";
   pf "%s\n" (line 76);
   pf "%-26s %-14s %-5s %-12s %-12s\n" "Source" "(Buggy) design" "Bug"
     "Runtime (s)" "CEX (cycles)";
   pf "%s\n" (line 76);
-  List.iter
-    (fun row ->
-      pf "%-26s %-14s %-5s %-12.3f %-12s\n" row.source row.design row.bug_kind
-        row.runtime
-        (match row.cex with Some n -> string_of_int n | None -> "MISS"))
-    (table2_rows ());
-  pf "%s\n" (line 76)
+  List.iter2
+    (fun s r ->
+      pf "%-26s %-14s %-5s %-12.3f %-12s\n" s.source s.design s.bug_kind
+        r.Aqed.Check.wall_time
+        (match Aqed.Check.trace_length r with
+         | Some n -> string_of_int n
+         | None -> "MISS"))
+    specs seq_reports;
+  pf "%s\n" (line 76);
+  let base_fields =
+    [
+      ("sequential_wall_s", Num seq_wall);
+      ( "rows",
+        Arr
+          (List.map2
+             (fun s r ->
+               Obj
+                 [
+                   ("design", Str s.design);
+                   ("bug_kind", Str s.bug_kind);
+                   ("report", json_of_report r);
+                 ])
+             specs seq_reports) );
+    ]
+  in
+  if jobs <= 1 then record "table2" (Obj base_fields)
+  else begin
+    (* Re-solve the same obligations on the domain pool and hold the result
+       to the sequential baseline: identical outcomes and depths, or the
+       row is flagged (and the JSON records the mismatch). *)
+    let cache = Aqed.Check.create_cache () in
+    let batch =
+      Aqed.Check.run_batch ~jobs ~cache (List.map (fun s -> s.ob) specs)
+    in
+    let par_reports = Aqed.Check.batch_reports batch in
+    let matches = List.map2 same_outcome seq_reports par_reports in
+    let all_match = List.for_all (fun m -> m) matches in
+    let speedup =
+      if batch.Aqed.Check.batch_wall > 0. then
+        seq_wall /. batch.Aqed.Check.batch_wall
+      else 0.
+    in
+    pf "parallel batch (-j %d): %.3fs wall vs %.3fs sequential — %.2fx speedup\n"
+      jobs batch.Aqed.Check.batch_wall seq_wall speedup;
+    pf "outcomes/depths vs sequential: %s\n"
+      (if all_match then "identical" else "MISMATCH");
+    List.iter2
+      (fun (e : Aqed.Check.batch_entry) m ->
+        pf "  %-18s %6.3fs%s%s\n" e.Aqed.Check.entry_name
+          e.Aqed.Check.entry_wall
+          (if e.Aqed.Check.entry_cached then " (cached)" else "")
+          (if m then "" else "  << MISMATCH"))
+      batch.Aqed.Check.entries matches;
+    pf "cache: %d hits / %d solved\n" batch.Aqed.Check.batch_hits
+      batch.Aqed.Check.batch_misses;
+    record "table2"
+      (Obj
+         (base_fields
+          @ [
+              ( "parallel",
+                Obj
+                  [
+                    ("jobs", Int jobs);
+                    ("wall_s", Num batch.Aqed.Check.batch_wall);
+                    ("speedup", Num speedup);
+                    ("outcomes_match", Bool all_match);
+                    ("cache_hits", Int batch.Aqed.Check.batch_hits);
+                    ("cache_misses", Int batch.Aqed.Check.batch_misses);
+                    ( "per_obligation_wall_s",
+                      Arr
+                        (List.map
+                           (fun (e : Aqed.Check.batch_entry) ->
+                             Obj
+                               [
+                                 ("name", Str e.Aqed.Check.entry_name);
+                                 ("wall_s", Num e.Aqed.Check.entry_wall);
+                                 ("cached", Bool e.Aqed.Check.entry_cached);
+                               ])
+                           batch.Aqed.Check.entries) );
+                  ] );
+            ]))
+  end
 
 let print_fig2 () =
   pf "\n== Fig. 2: motivating example (clock-enable disconnected from buffer 4) ==\n";
@@ -327,6 +532,7 @@ let print_kernels () =
   pf "\n== Kernel micro-benchmarks (Bechamel) ==\n";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false () in
   let instance = Toolkit.Instance.monotonic_clock in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -338,10 +544,13 @@ let print_kernels () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> pf "%-36s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+            pf "%-36s %12.0f ns/run\n" name est;
+            estimates := (name, Num est) :: !estimates
           | Some _ | None -> pf "%-36s (no estimate)\n" name)
         ols)
-    (bechamel_tests ())
+    (bechamel_tests ());
+  record "kernels_ns_per_run" (Obj (List.rev !estimates))
 
 (* ---- ablations ---- *)
 
@@ -503,22 +712,39 @@ let print_ablations () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  let targets = if args = [] then [ "table1"; "fig5"; "table2"; "fig2" ] else args in
+  let rec parse args jobs targets =
+    match args with
+    | [] -> (jobs, List.rev targets)
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse rest j targets
+        | Some _ | None -> failwith "bench: -j expects a positive integer")
+    | "-j" :: [] -> failwith "bench: -j expects a positive integer"
+    | t :: rest -> parse rest jobs (t :: targets)
+  in
+  let jobs, targets = parse args 1 [] in
+  let targets =
+    if targets = [] then [ "table1"; "fig5"; "table2"; "fig2" ] else targets
+  in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun t ->
-      match t with
-      | "table1" -> print_table1 ()
-      | "fig5" -> print_fig5 ()
-      | "table2" -> print_table2 ()
-      | "fig2" -> print_fig2 ()
-      | "kernels" -> print_kernels ()
-      | "ablate" -> print_ablations ()
-      | "all" ->
-        print_table1 (); print_fig5 (); print_table2 (); print_fig2 ();
-        print_ablations (); print_kernels ()
-      | other ->
-        pf "unknown bench target %S (try: table1 fig5 table2 fig2 kernels ablate all)\n"
-          other)
+      let t1 = Unix.gettimeofday () in
+      (match t with
+       | "table1" -> print_table1 ()
+       | "fig5" -> print_fig5 ()
+       | "table2" -> print_table2 ~jobs ()
+       | "fig2" -> print_fig2 ()
+       | "kernels" -> print_kernels ()
+       | "ablate" -> print_ablations ()
+       | "all" ->
+         print_table1 (); print_fig5 (); print_table2 ~jobs (); print_fig2 ();
+         print_ablations (); print_kernels ()
+       | other ->
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 kernels ablate all)\n"
+           other);
+      record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;
-  pf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  pf "\ntotal bench time: %.1fs\n" total;
+  write_json_results ~jobs ~total_wall:total

@@ -1,9 +1,14 @@
 (* Command-line front end for the A-QED library.
 
      aqed_cli list                         enumerate designs and bugs
-     aqed_cli check -d fifo -b fifo_clock_gate -c fc [-k 14]
+     aqed_cli check -d fifo -b fifo_clock_gate -c fc [-k 14] [-j 4]
+     aqed_cli verify -d fifo [-b bug] [-j 4]   full flow on the domain pool
      aqed_cli sim -d aes -n 5              quick transaction-level run
-     aqed_cli sat file.cnf                 solve a DIMACS instance *)
+     aqed_cli sat file.cnf                 solve a DIMACS instance
+
+   -j N on `check` races N diversified solver configurations (portfolio
+   BMC); on `verify` it sizes the worker pool the FC/RB/SAC obligations are
+   fanned across. *)
 
 module M = Accel.Memctrl
 
@@ -134,20 +139,22 @@ let cmd_list () =
     designs;
   0
 
-let cmd_check design_name bug check depth =
+let cmd_check design_name bug check depth jobs =
   let d = find_design design_name in
+  let portfolio = max 1 jobs in
   let report =
     match String.lowercase_ascii check with
     | "fc" ->
       Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
+        ~portfolio
         (fun () -> d.build ?bug ())
     | "rb" ->
-      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau
+      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
         (fun () -> d.build_rb ?bug ())
     | "sac" -> (
         match d.spec with
         | Some spec ->
-          Aqed.Check.single_action ~max_depth:depth ~spec
+          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio
             (fun () -> d.build ?bug ())
         | None -> failwith "this design has no registered SAC spec")
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
@@ -157,6 +164,37 @@ let cmd_check design_name bug check depth =
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
   if Aqed.Check.found_bug report then 1 else 0
+
+(* The full flow as a batch: FC, RB and (when a spec is registered) SAC as
+   independent obligations fanned across the domain pool, with the
+   obligation cache deduplicating structurally identical instances. Unlike
+   [Check.verify] this does not stop at the first bug — all checks run. *)
+let cmd_verify design_name bug depth jobs =
+  let d = find_design design_name in
+  let obligations =
+    [
+      Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared
+        (fun () -> d.build ?bug ());
+      Aqed.Check.prepare_rb ~max_depth:depth ~tau:d.tau
+        (fun () -> d.build_rb ?bug ());
+    ]
+    @ (match d.spec with
+       | Some spec ->
+         [ Aqed.Check.prepare_sac ~max_depth:depth ~spec
+             (fun () -> d.build ?bug ()) ]
+       | None -> [])
+  in
+  let cache = Aqed.Check.create_cache () in
+  let batch = Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache obligations in
+  Format.printf "%a@." Aqed.Check.pp_batch batch;
+  let reports = Aqed.Check.batch_reports batch in
+  List.iter
+    (fun r ->
+      match r.Aqed.Check.verdict with
+      | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
+      | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ())
+    reports;
+  if List.exists Aqed.Check.found_bug reports then 1 else 0
 
 let cmd_sim design_name bug count =
   let d = find_design design_name in
@@ -234,6 +272,11 @@ let depth_arg =
 let check_arg =
   Arg.(value & opt string "fc" & info [ "c"; "check" ] ~doc:"Check: fc, rb or sac.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ]
+           ~doc:"Parallelism: portfolio width for check, pool workers for verify.")
+
 let count_arg =
   Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of random transactions.")
 
@@ -244,11 +287,19 @@ let list_cmd =
     Term.(const (fun () -> wrap cmd_list) $ const ())
 
 let check_cmd =
-  let run d b c k = wrap (fun () -> cmd_check d b c k) in
+  let run d b c k j = wrap (fun () -> cmd_check d b c k j) in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run an A-QED check (exit code 1 when a bug is found)")
-    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg)
+    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg)
+
+let verify_cmd =
+  let run d b k j = wrap (fun () -> cmd_verify d b k j) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the full A-QED flow (FC, RB, SAC) on the parallel batch \
+             driver (exit code 1 when any check finds a bug)")
+    Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in
@@ -269,4 +320,6 @@ let () =
     Cmd.info "aqed_cli" ~version:"1.0"
       ~doc:"A-QED pre-silicon verification of hardware accelerators"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; sim_cmd; sat_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; check_cmd; verify_cmd; sim_cmd; sat_cmd ]))

@@ -20,6 +20,37 @@ let pp_outcome fmt = function
   | Bounded_ok k -> Format.fprintf fmt "no counterexample up to depth %d" k
   | Proved k -> Format.fprintf fmt "proved by %d-induction" k
 
+(* ---- portfolio configurations ---- *)
+
+type solver_config = {
+  seed : int;
+  restart_base : int;
+  phase_init : bool;
+  phase_saving : bool;
+}
+
+let default_config =
+  { seed = 0; restart_base = 100; phase_init = false; phase_saving = true }
+
+(* Diversification menu: the first entry is always the default (so a
+   1-member portfolio is the sequential engine), later members vary the
+   VSIDS tie-break seed, the restart cadence and the polarity heuristic. *)
+let portfolio_configs n =
+  let restarts = [| 100; 400; 50; 200 |] in
+  List.init (max 1 n) (fun i ->
+      if i = 0 then default_config
+      else
+        {
+          seed = i;
+          restart_base = restarts.(i mod Array.length restarts);
+          phase_init = i mod 3 = 1;
+          phase_saving = i mod 4 <> 3;
+        })
+
+let solver_of_config (c : solver_config) =
+  Solver.create ~seed:c.seed ~restart_base:c.restart_base
+    ~phase_init:c.phase_init ~phase_saving:c.phase_saving ()
+
 (* The transition relation of a circuit, shared by all frames: one AIG with
    the property cone, assumption cones and latch next-state cones. *)
 type relation = {
@@ -155,11 +186,15 @@ let export_aiger circuit ~prop oc =
       bad = [ rel.bad ];
     }
 
-let check ?(max_depth = 64) ?(trace_regs = true) circuit ~prop =
+(* The sequential bounded search over one (shared, read-only) relation,
+   parameterized by a solver configuration and an optional cancellation
+   flag. The flag is polled both inside the CDCL loop (via
+   [Solver.set_cancel]) and between frames, so a losing portfolio member
+   stops within a bounded amount of work wherever it happens to be. *)
+let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
   let t0 = Unix.gettimeofday () in
-  let rel = build_relation circuit ~prop in
-  let solver = Solver.create () in
-  let name = prop_name circuit prop in
+  let solver = solver_of_config config in
+  (match cancel with Some f -> Solver.set_cancel solver f | None -> ());
   let finish outcome depth =
     {
       outcome;
@@ -170,6 +205,9 @@ let check ?(max_depth = 64) ?(trace_regs = true) circuit ~prop =
     }
   in
   let rec go envs_rev depth =
+    (match cancel with
+     | Some f when Atomic.get f -> raise Solver.Cancelled
+     | Some _ | None -> ());
     if depth > max_depth then finish (Bounded_ok max_depth) max_depth
     else begin
       let binding =
@@ -188,6 +226,58 @@ let check ?(max_depth = 64) ?(trace_regs = true) circuit ~prop =
     end
   in
   go [] 1
+
+(* Race one search per configuration, each in its own domain, on the shared
+   relation (Tseitin encoding only reads the AIG). The first finisher
+   publishes its report and trips the cancellation flag; losers unwind on
+   [Solver.Cancelled] and are discarded. Every member explores depths in
+   order, so the winning outcome and counterexample depth are the same
+   whichever configuration lands first — only the solver statistics and
+   wall time depend on the race. *)
+let race_portfolio configs run =
+  let cancel = Atomic.make false in
+  let lock = Mutex.create () in
+  let winner = ref None in
+  let error = ref None in
+  let domains =
+    List.map
+      (fun config ->
+        Domain.spawn (fun () ->
+            match run ~config ~cancel:(Some cancel) with
+            | r ->
+              Mutex.lock lock;
+              (match !winner with
+               | None ->
+                 winner := Some r;
+                 Atomic.set cancel true
+               | Some _ -> ());
+              Mutex.unlock lock
+            | exception Solver.Cancelled -> ()
+            | exception e ->
+              Mutex.lock lock;
+              (match !error with
+               | None ->
+                 error := Some e;
+                 Atomic.set cancel true
+               | Some _ -> ());
+              Mutex.unlock lock))
+      configs
+  in
+  List.iter Domain.join domains;
+  match (!winner, !error) with
+  | Some r, _ -> r
+  | None, Some e -> raise e
+  | None, None -> failwith "Bmc.race_portfolio: no member finished"
+
+let check ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1) circuit
+    ~prop =
+  let rel = build_relation circuit ~prop in
+  let name = prop_name circuit prop in
+  let run ~config ~cancel =
+    bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel
+  in
+  if portfolio <= 1 then run ~config:default_config ~cancel:None
+  else race_portfolio (portfolio_configs portfolio) run
 
 (* Simple k-induction step: frames 0..k from a free start state, property
    assumed in frames 0..k-1, violated in frame k. UNSAT means any reachable
@@ -245,3 +335,45 @@ let prove ?(max_depth = 64) circuit ~prop =
     end
   in
   go [] 1
+
+(* ---- structural obligation key ---- *)
+
+(* Serializes everything the BMC outcome depends on — the AIG gate
+   structure, the bad edge, the assumption edges and the latch wiring with
+   reset values — and digests it. Input names are deliberately excluded:
+   obligations that bit-blast to the same graph (the same sub-check
+   regenerated for another bug variant or configuration) get the same key,
+   which is exactly what the obligation cache wants. *)
+let obligation_key circuit ~prop =
+  let rel = build_relation circuit ~prop in
+  let buf = Buffer.create (16 * Aig.nb_nodes rel.aig) in
+  let add_int n =
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+  in
+  let add_lit (l : Aig.lit) = add_int (l :> int) in
+  add_int (Aig.nb_nodes rel.aig);
+  for idx = 0 to Aig.nb_nodes rel.aig - 1 do
+    match Aig.fanins rel.aig idx with
+    | Some (a, b) ->
+      add_lit a;
+      add_lit b
+    | None -> add_int (-1)
+  done;
+  add_lit rel.bad;
+  add_int (List.length rel.assume_lits);
+  List.iter add_lit rel.assume_lits;
+  add_int (List.length rel.latches);
+  List.iter
+    (fun (l : Rtl.Blast.latch) ->
+      let w = Array.length l.cur in
+      add_int w;
+      Array.iter add_lit l.cur;
+      Array.iter add_lit l.next;
+      for i = 0 to w - 1 do
+        Buffer.add_char buf (if Bitvec.bit l.init i then '1' else '0')
+      done)
+    rel.latches;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

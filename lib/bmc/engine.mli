@@ -28,12 +28,41 @@ type report = {
   aig_nodes : int;
 }
 
+(** {1 Portfolio solving}
+
+    A portfolio races one bounded search per solver configuration, each in
+    its own domain, on a shared read-only transition relation. The first
+    finisher trips a cancellation flag polled inside every other member's
+    CDCL loop ({!Sat.Solver.set_cancel}) and between their frames; losers
+    unwind and are discarded. Because every member explores depths in
+    order, the winning outcome and counterexample depth are identical to
+    the sequential engine's — diversification only changes which member
+    gets there first (and how fast). *)
+
+type solver_config = {
+  seed : int;            (** VSIDS tie-break seed; 0 disables *)
+  restart_base : int;    (** conflicts per Luby restart unit *)
+  phase_init : bool;     (** polarity of never-assigned variables *)
+  phase_saving : bool;   (** keep last polarity per variable *)
+}
+
+val default_config : solver_config
+(** The sequential engine's configuration. *)
+
+val portfolio_configs : int -> solver_config list
+(** [portfolio_configs n] is [n] diversified configurations; the first is
+    always {!default_config}. *)
+
 val check :
-  ?max_depth:int -> ?trace_regs:bool -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
+  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int ->
+  Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
   report
 (** Searches depths 1, 2, ... [max_depth] (default 64) for a counterexample.
     [trace_regs] (default true) includes reconstructed register values in the
-    trace. The property signal must be 1 bit wide and belong to the circuit. *)
+    trace. The property signal must be 1 bit wide and belong to the circuit.
+    [portfolio] (default 1) races that many diversified solver
+    configurations and returns the first report; [1] runs the sequential
+    engine with no extra domains. *)
 
 val prove :
   ?max_depth:int -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> report
@@ -44,6 +73,15 @@ val prove :
     bound even for true properties. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val obligation_key : Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> string
+(** A digest of the bit-blasted obligation: the AIG gate structure, the bad
+    edge, the assumption edges and the latch wiring with reset values —
+    everything the BMC outcome depends on, and nothing it does not (input
+    names are excluded). Two circuits with equal keys have identical BMC
+    behaviour at every depth, so the key indexes the obligation cache;
+    repeated sub-obligations across bug variants and configurations hash
+    equal and are solved once. *)
 
 val export_aiger : Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> out_channel -> unit
 (** Writes the bit-blasted transition relation as ASCII AIGER with a single

@@ -14,10 +14,10 @@ type report = {
   solver_stats : Sat.Solver.stats;
 }
 
-let run_bmc name ~max_depth ~induction circuit prop =
+let run_bmc ?(portfolio = 1) name ~max_depth ~induction circuit prop =
   let bmc_report =
     if induction then Bmc.Engine.prove ~max_depth circuit ~prop
-    else Bmc.Engine.check ~max_depth circuit ~prop
+    else Bmc.Engine.check ~max_depth ~portfolio circuit ~prop
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
@@ -44,37 +44,101 @@ let auto_cnt_width cnt_width ~max_depth ~floor =
   | Some w -> w
   | None -> max 2 (bits_for (max (max_depth + 2) (floor + 2)))
 
-let functional_consistency ?(max_depth = 32) ?cnt_width ?shared ?lanes
+(* ---- prepared obligations ----
+
+   An obligation is the instrumentation recipe for one BMC run: a builder
+   producing the monitored circuit and property, plus the solve parameters.
+   Keeping the build as a closure (rather than an already-built circuit)
+   lets the batch driver construct each instance inside the worker domain
+   that solves it, and lets the obligation cache skip construction details
+   entirely — the key is the structural hash of the bit-blasted instance. *)
+
+type obligation = {
+  ob_name : string;
+  ob_check : string;
+  ob_max_depth : int;
+  ob_induction : bool;
+  ob_build : unit -> Ir.circuit * Ir.signal;
+}
+
+let obligation_name o = o.ob_name
+
+let prepare_fc ?name ?(max_depth = 32) ?cnt_width ?shared ?lanes
     ?(induction = false) build =
   let cnt_width = auto_cnt_width cnt_width ~max_depth ~floor:0 in
-  let iface = build () in
-  let shared_sig = Option.map (fun f -> f iface) shared in
-  let monitor =
-    match lanes with
-    | None -> Fc_monitor.add ~cnt_width ?shared:shared_sig iface
-    | Some lanes -> Fc_monitor.add_batch ~cnt_width ?shared:shared_sig ~lanes iface
-  in
-  run_bmc "FC" ~max_depth ~induction iface.Iface.circuit monitor.Fc_monitor.prop
+  {
+    ob_name = (match name with Some n -> n | None -> "FC");
+    ob_check = "FC";
+    ob_max_depth = max_depth;
+    ob_induction = induction;
+    ob_build =
+      (fun () ->
+        let iface = build () in
+        let shared_sig = Option.map (fun f -> f iface) shared in
+        let monitor =
+          match lanes with
+          | None -> Fc_monitor.add ~cnt_width ?shared:shared_sig iface
+          | Some lanes ->
+            Fc_monitor.add_batch ~cnt_width ?shared:shared_sig ~lanes iface
+        in
+        (iface.Iface.circuit, monitor.Fc_monitor.prop));
+  }
 
-let response_bound ?(max_depth = 32) ?cnt_width ~tau ?in_min
+let prepare_rb ?name ?(max_depth = 32) ?cnt_width ~tau ?in_min
     ?starvation_bound ?(induction = false) build =
   let floor =
     max tau (match starvation_bound with Some b -> b | None -> tau)
   in
   let cnt_width = auto_cnt_width cnt_width ~max_depth ~floor in
-  let iface = build () in
-  let monitor = Rb_monitor.add ~cnt_width ~tau ?in_min ?starvation_bound iface in
-  let prop =
-    Ir.logand monitor.Rb_monitor.response_prop
-      monitor.Rb_monitor.starvation_prop
-  in
-  run_bmc "RB" ~max_depth ~induction iface.Iface.circuit prop
+  {
+    ob_name = (match name with Some n -> n | None -> "RB");
+    ob_check = "RB";
+    ob_max_depth = max_depth;
+    ob_induction = induction;
+    ob_build =
+      (fun () ->
+        let iface = build () in
+        let monitor =
+          Rb_monitor.add ~cnt_width ~tau ?in_min ?starvation_bound iface
+        in
+        let prop =
+          Ir.logand monitor.Rb_monitor.response_prop
+            monitor.Rb_monitor.starvation_prop
+        in
+        (iface.Iface.circuit, prop));
+  }
 
-let single_action ?(max_depth = 32) ~spec ?(induction = false) build =
-  let iface = build () in
-  let monitor = Sac_monitor.add ~spec iface in
-  run_bmc "SAC" ~max_depth ~induction iface.Iface.circuit
-    monitor.Sac_monitor.prop
+let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false) build =
+  {
+    ob_name = (match name with Some n -> n | None -> "SAC");
+    ob_check = "SAC";
+    ob_max_depth = max_depth;
+    ob_induction = induction;
+    ob_build =
+      (fun () ->
+        let iface = build () in
+        let monitor = Sac_monitor.add ~spec iface in
+        (iface.Iface.circuit, monitor.Sac_monitor.prop));
+  }
+
+let run_obligation ?portfolio ob =
+  let circuit, prop = ob.ob_build () in
+  run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
+    ~induction:ob.ob_induction circuit prop
+
+let functional_consistency ?max_depth ?cnt_width ?shared ?lanes ?induction
+    ?portfolio build =
+  run_obligation ?portfolio
+    (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction build)
+
+let response_bound ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
+    ?induction ?portfolio build =
+  run_obligation ?portfolio
+    (prepare_rb ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
+       ?induction build)
+
+let single_action ?max_depth ~spec ?induction ?portfolio build =
+  run_obligation ?portfolio (prepare_sac ?max_depth ~spec ?induction build)
 
 let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
 
@@ -95,6 +159,103 @@ let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
       | None -> [ fc; rb ]
       | Some spec -> [ fc; rb; single_action ?max_depth ~spec ~induction build ]
   end
+
+(* ---- the parallel batch driver ---- *)
+
+type cache = (string, report) Parallel.Cache.t
+
+let create_cache () = Parallel.Cache.create ()
+let cache_stats = Parallel.Cache.stats
+let cache_hit_rate = Parallel.Cache.hit_rate
+
+type batch_entry = {
+  entry_name : string;
+  entry_report : report;
+  entry_cached : bool;
+  entry_wall : float;
+}
+
+type batch_result = {
+  entries : batch_entry list;
+  batch_wall : float;
+  batch_jobs : int;
+  batch_hits : int;
+  batch_misses : int;
+}
+
+(* Solve one obligation, through the cache when one is given. The cache key
+   is the structural hash of the bit-blasted instance plus the solve
+   parameters; [Parallel.Cache] is single-flight, so identical obligations
+   landing on different workers at the same time still solve once. *)
+let solve_obligation ?cache ?portfolio ob =
+  let t0 = Unix.gettimeofday () in
+  let cached, report =
+    match cache with
+    | None -> (false, run_obligation ?portfolio ob)
+    | Some c ->
+      let circuit, prop = ob.ob_build () in
+      let key =
+        Printf.sprintf "%s:%s:d%d:i%b"
+          (Bmc.Engine.obligation_key circuit ~prop)
+          ob.ob_check ob.ob_max_depth ob.ob_induction
+      in
+      Parallel.Cache.find_or_compute c key (fun () ->
+          run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
+            ~induction:ob.ob_induction circuit prop)
+  in
+  {
+    entry_name = ob.ob_name;
+    entry_report = report;
+    entry_cached = cached;
+    entry_wall = Unix.gettimeofday () -. t0;
+  }
+
+let run_batch ?jobs ?pool ?cache ?portfolio obligations =
+  let t0 = Unix.gettimeofday () in
+  let before =
+    match cache with
+    | None -> Parallel.Cache.{ hits = 0; misses = 0; entries = 0 }
+    | Some c -> Parallel.Cache.stats c
+  in
+  let solve ob = solve_obligation ?cache ?portfolio ob in
+  let entries, nworkers =
+    match pool with
+    | Some p -> (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p)
+    | None ->
+      Parallel.Pool.with_pool ?workers:jobs (fun p ->
+          (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p))
+  in
+  let after =
+    match cache with
+    | None -> before
+    | Some c -> Parallel.Cache.stats c
+  in
+  {
+    entries;
+    batch_wall = Unix.gettimeofday () -. t0;
+    batch_jobs = nworkers;
+    batch_hits = after.Parallel.Cache.hits - before.Parallel.Cache.hits;
+    batch_misses = after.Parallel.Cache.misses - before.Parallel.Cache.misses;
+  }
+
+let batch_reports b = List.map (fun e -> e.entry_report) b.entries
+
+let pp_batch fmt b =
+  Format.fprintf fmt "batch: %d obligations, %d workers, %.3fs wall"
+    (List.length b.entries) b.batch_jobs b.batch_wall;
+  if b.batch_hits + b.batch_misses > 0 then
+    Format.fprintf fmt " (cache: %d hit%s / %d solved)" b.batch_hits
+      (if b.batch_hits = 1 then "" else "s")
+      b.batch_misses;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@\n  %-28s %6.3fs%s  " e.entry_name e.entry_wall
+        (if e.entry_cached then " (cached)" else "");
+      (match e.entry_report.verdict with
+       | Bug t -> Format.fprintf fmt "BUG at depth %d" (Bmc.Trace.length t)
+       | No_bug_up_to k -> Format.fprintf fmt "clean to %d" k
+       | Proved k -> Format.fprintf fmt "proved at %d" k))
+    b.entries
 
 let pp_report fmt r =
   (match r.verdict with

@@ -31,6 +31,7 @@ val functional_consistency :
   ?shared:(Iface.t -> Rtl.Ir.signal) ->
   ?lanes:int ->
   ?induction:bool ->
+  ?portfolio:int ->
   (unit -> Iface.t) -> report
 (** The specification-free A-QED check (Def. 2 / Fig. 4): searches for an
     input sequence where a repeated (action, data) yields a different
@@ -46,6 +47,7 @@ val response_bound :
   ?in_min:int ->
   ?starvation_bound:int ->
   ?induction:bool ->
+  ?portfolio:int ->
   (unit -> Iface.t) -> report
 (** The RB check (Def. 3 / Sec. IV.C): both the response property and the
     no-starvation property are checked (as their conjunction). *)
@@ -54,8 +56,14 @@ val single_action :
   ?max_depth:int ->
   spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
+  ?portfolio:int ->
   (unit -> Iface.t) -> report
-(** The SAC check (Def. 7) against a combinational [spec]. *)
+(** The SAC check (Def. 7) against a combinational [spec].
+
+    On every check, [portfolio] (default 1) races that many diversified
+    solver configurations per BMC run and keeps the first answer — see
+    {!Bmc.Engine.check}. Ignored when [induction] is set (the inductive
+    path is sequential). *)
 
 val verify :
   ?max_depth:int ->
@@ -75,3 +83,95 @@ val trace_length : report -> int option
 (** Counterexample length in cycles, when a bug was found. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Prepared obligations and the parallel batch driver}
+
+    The A-QED flow over a design family is a pile of independent BMC
+    obligations — FC, RB and SAC for every configuration and bug variant.
+    A {!obligation} packages one of them {e unsolved}: the instrumentation
+    recipe plus solve parameters. {!run_batch} fans a list of them across a
+    {!Parallel.Pool} of domains and returns the reports in input order,
+    whatever the scheduling; with a {!cache}, structurally identical
+    instances (the same sub-check regenerated across bug variants, as in
+    Table 1's 26 configurations) are solved once and answered from the
+    cache afterwards. *)
+
+type obligation
+
+val obligation_name : obligation -> string
+
+val prepare_fc :
+  ?name:string ->
+  ?max_depth:int ->
+  ?cnt_width:int ->
+  ?shared:(Iface.t -> Rtl.Ir.signal) ->
+  ?lanes:int ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> obligation
+(** {!functional_consistency}, packaged instead of run. [name] labels the
+    batch entry (default ["FC"]). *)
+
+val prepare_rb :
+  ?name:string ->
+  ?max_depth:int ->
+  ?cnt_width:int ->
+  tau:int ->
+  ?in_min:int ->
+  ?starvation_bound:int ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> obligation
+
+val prepare_sac :
+  ?name:string ->
+  ?max_depth:int ->
+  spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
+  ?induction:bool ->
+  (unit -> Iface.t) -> obligation
+
+val run_obligation : ?portfolio:int -> obligation -> report
+(** Solves one obligation on the calling domain (the sequential baseline
+    the batch driver is measured against). *)
+
+type cache
+(** A concurrent obligation cache, keyed by
+    {!Bmc.Engine.obligation_key} plus the solve parameters. Shareable
+    across batches and domains; single-flight. *)
+
+val create_cache : unit -> cache
+val cache_stats : cache -> Parallel.Cache.stats
+val cache_hit_rate : cache -> float
+
+type batch_entry = {
+  entry_name : string;
+  entry_report : report;
+  entry_cached : bool;   (** answered from the cache *)
+  entry_wall : float;    (** seconds spent on this entry's worker, including
+                             cache lookup (near zero on a hit) *)
+}
+
+type batch_result = {
+  entries : batch_entry list;  (** positionally matches the input list *)
+  batch_wall : float;
+  batch_jobs : int;
+  batch_hits : int;            (** cache hits within this batch *)
+  batch_misses : int;
+}
+
+val run_batch :
+  ?jobs:int ->
+  ?pool:Parallel.Pool.t ->
+  ?cache:cache ->
+  ?portfolio:int ->
+  obligation list -> batch_result
+(** Fans the obligations across a worker pool. [pool] reuses an existing
+    pool; otherwise a fresh one with [jobs] workers (default
+    {!Parallel.Pool.default_workers}) is created and shut down around the
+    batch. Each worker builds, instruments and solves its obligation
+    locally; results come back in input order. [jobs = 1] is the
+    sequential semantics on one worker domain. [portfolio] additionally
+    races solver configurations {e within} each obligation — useful when
+    obligations are few and cores are many. *)
+
+val batch_reports : batch_result -> report list
+
+val pp_batch : Format.formatter -> batch_result -> unit

@@ -1,0 +1,89 @@
+type 'v slot = In_flight | Value of 'v
+
+type ('k, 'v) t = {
+  m : Mutex.t;
+  c : Condition.t;                  (* signaled when an in-flight slot lands *)
+  tbl : ('k, 'v slot) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    tbl = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let find_or_compute t k f =
+  Mutex.lock t.m;
+  let rec get () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Value v) ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.m;
+      (true, v)
+    | Some In_flight ->
+      Condition.wait t.c t.m;
+      get ()
+    | None ->
+      Hashtbl.replace t.tbl k In_flight;
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.m;
+      (match f () with
+       | v ->
+         Mutex.lock t.m;
+         Hashtbl.replace t.tbl k (Value v);
+         Condition.broadcast t.c;
+         Mutex.unlock t.m;
+         (false, v)
+       | exception e ->
+         Mutex.lock t.m;
+         Hashtbl.remove t.tbl k;
+         Condition.broadcast t.c;
+         Mutex.unlock t.m;
+         raise e)
+  in
+  get ()
+
+let mem t k =
+  Mutex.lock t.m;
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Value _) -> true
+    | Some In_flight | None -> false
+  in
+  Mutex.unlock t.m;
+  r
+
+let stats t =
+  Mutex.lock t.m;
+  let entries =
+    Hashtbl.fold
+      (fun _ s n -> match s with Value _ -> n + 1 | In_flight -> n)
+      t.tbl 0
+  in
+  let r = { hits = t.hits; misses = t.misses; entries } in
+  Mutex.unlock t.m;
+  r
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  Mutex.lock t.m;
+  let drop =
+    Hashtbl.fold
+      (fun k s acc -> match s with Value _ -> k :: acc | In_flight -> acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) drop;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.m

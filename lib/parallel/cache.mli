@@ -1,0 +1,38 @@
+(** A concurrent single-flight memo cache.
+
+    Safe to use from any number of domains. When several workers ask for the
+    same key at once, exactly one computes it and the others block until the
+    value lands ("single flight"), so a batch of identical obligations costs
+    one solve. A failed computation is not cached; the next asker retries.
+
+    Used by {!Aqed.Check} to memoize BMC obligations keyed by the structural
+    hash of the bit-blasted instance, so sub-obligations shared across bug
+    variants and configurations are solved once. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;      (** lookups answered from the table (incl. waits on an
+                       in-flight computation of the same key) *)
+  misses : int;    (** lookups that ran the computation *)
+  entries : int;   (** values currently stored *)
+}
+
+val create : unit -> ('k, 'v) t
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
+(** [find_or_compute t k f] returns [(hit, v)]: the cached value when
+    present ([hit = true]), otherwise [f ()], stored under [k]. Re-raises
+    [f]'s exception without caching anything. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** True when a completed value is stored (in-flight keys excluded). *)
+
+val stats : ('k, 'v) t -> stats
+
+val hit_rate : ('k, 'v) t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drops completed entries (and the counters); in-flight computations
+    finish and store their value normally. *)

@@ -1,0 +1,250 @@
+(* Work-stealing domain pool. Lock order is [pool.lock] before any deque
+   mutex; paths that touch a deque without holding [pool.lock] never take a
+   second lock, so the ordering is acyclic. *)
+
+(* ---- per-worker deque (ring buffer) ----
+
+   The owner pushes and pops at the back; thieves take from the front. Each
+   deque is guarded by its own mutex: tasks here are SAT solves and circuit
+   builds, so lock traffic is noise next to task cost and a mutex beats a
+   subtle lock-free Chase-Lev deque. *)
+
+type deque = {
+  dm : Mutex.t;
+  mutable buf : (unit -> unit) option array;
+  mutable head : int;    (* index of the front element *)
+  mutable count : int;
+}
+
+let deque_create () =
+  { dm = Mutex.create (); buf = Array.make 16 None; head = 0; count = 0 }
+
+let deque_grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.count - 1 do
+    buf.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0
+
+let push_back d f =
+  Mutex.lock d.dm;
+  if d.count = Array.length d.buf then deque_grow d;
+  d.buf.((d.head + d.count) mod Array.length d.buf) <- Some f;
+  d.count <- d.count + 1;
+  Mutex.unlock d.dm
+
+let take d i =
+  let f = d.buf.(i) in
+  d.buf.(i) <- None;
+  d.count <- d.count - 1;
+  f
+
+let pop_back d =
+  Mutex.lock d.dm;
+  let f =
+    if d.count = 0 then None
+    else take d ((d.head + d.count - 1) mod Array.length d.buf)
+  in
+  Mutex.unlock d.dm;
+  f
+
+let steal_front d =
+  Mutex.lock d.dm;
+  let f =
+    if d.count = 0 then None
+    else begin
+      let f = take d d.head in
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      f
+    end
+  in
+  Mutex.unlock d.dm;
+  f
+
+(* ---- pool ---- *)
+
+type t = {
+  deques : deque array;
+  lock : Mutex.t;                    (* guards rr / stopping / sleeping *)
+  cond : Condition.t;                (* signaled whenever work arrives *)
+  mutable rr : int;                  (* round-robin cursor, external submits *)
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t array;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+let is_pending = function Pending -> true | Done _ | Failed _ -> false
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+(* Which pool (and worker slot) the current domain belongs to, so [await]
+   can help instead of idling and [submit] can push to the owner's deque. *)
+let dls_key : (t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let self () = !(Domain.DLS.get dls_key)
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let workers p = Array.length p.deques
+
+(* Scan for a task: own deque back first (when a worker), then steal from
+   the front of the others, starting after our own slot to spread thieves. *)
+let find_task p me =
+  let n = Array.length p.deques in
+  let own = if me >= 0 then pop_back p.deques.(me) else None in
+  match own with
+  | Some _ as f -> f
+  | None ->
+    let start = if me >= 0 then me + 1 else 0 in
+    let rec scan k =
+      if k = n then None
+      else
+        match steal_front p.deques.((start + k) mod n) with
+        | Some _ as f -> f
+        | None -> scan (k + 1)
+    in
+    scan 0
+
+let worker_loop p me () =
+  Domain.DLS.get dls_key := Some (p, me);
+  let rec go () =
+    match find_task p me with
+    | Some f -> f (); go ()
+    | None ->
+      Mutex.lock p.lock;
+      (* Re-scan under the lock: a submit signals while holding it, so a
+         task pushed between our scan and this point cannot be missed. *)
+      (match find_task p me with
+       | Some f ->
+         Mutex.unlock p.lock;
+         f ();
+         go ()
+       | None ->
+         if p.stopping then Mutex.unlock p.lock
+         else begin
+           Condition.wait p.cond p.lock;
+           Mutex.unlock p.lock;
+           go ()
+         end)
+  in
+  go ()
+
+let create ?workers () =
+  let n =
+    match workers with
+    | None -> default_workers ()
+    | Some n -> min 128 (max 1 n)
+  in
+  let p =
+    {
+      deques = Array.init n (fun _ -> deque_create ());
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      rr = 0;
+      stopping = false;
+      joined = false;
+      domains = [||];
+    }
+  in
+  p.domains <- Array.init n (fun i -> Domain.spawn (worker_loop p i));
+  p
+
+let submit p f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let task () =
+    let result = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock fut.fm;
+    fut.state <- result;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock p.lock;
+  if p.stopping then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Pool.submit: pool has been shut down"
+  end;
+  let slot =
+    match self () with
+    | Some (q, me) when q == p -> me   (* worker: keep locality, push own *)
+    | Some _ | None ->
+      let s = p.rr in
+      p.rr <- (p.rr + 1) mod Array.length p.deques;
+      s
+  in
+  push_back p.deques.(slot) task;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.lock;
+  fut
+
+let await fut =
+  let finish = function
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending -> assert false
+  in
+  match self () with
+  | None ->
+    (* External caller: plain blocking wait. *)
+    Mutex.lock fut.fm;
+    while is_pending fut.state do
+      Condition.wait fut.fc fut.fm
+    done;
+    let st = fut.state in
+    Mutex.unlock fut.fm;
+    finish st
+  | Some (p, me) ->
+    (* A worker awaiting lends itself to the queue: run other tasks while
+       the wanted one is pending, block only when nothing is runnable. *)
+    let rec help () =
+      Mutex.lock fut.fm;
+      if not (is_pending fut.state) then begin
+        let st = fut.state in
+        Mutex.unlock fut.fm;
+        finish st
+      end
+      else begin
+        Mutex.unlock fut.fm;
+        match find_task p me with
+        | Some f ->
+          f ();
+          help ()
+        | None ->
+          Mutex.lock fut.fm;
+          if is_pending fut.state then Condition.wait fut.fc fut.fm;
+          Mutex.unlock fut.fm;
+          help ()
+      end
+    in
+    help ()
+
+let map_list p f xs =
+  let futs = List.map (fun x -> submit p (fun () -> f x)) xs in
+  List.map await futs
+
+let shutdown p =
+  Mutex.lock p.lock;
+  p.stopping <- true;
+  Condition.broadcast p.cond;
+  let join_now = not p.joined in
+  p.joined <- true;
+  Mutex.unlock p.lock;
+  if join_now then Array.iter Domain.join p.domains
+
+let with_pool ?workers f =
+  let p = create ?workers () in
+  match f p with
+  | v ->
+    shutdown p;
+    v
+  | exception e ->
+    shutdown p;
+    raise e

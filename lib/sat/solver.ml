@@ -11,6 +11,8 @@ type clause = {
 
 type result = Sat | Unsat
 
+exception Cancelled
+
 type stats = {
   decisions : int;
   propagations : int;
@@ -75,6 +77,14 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable ok : bool;                 (* false once the empty clause is derived *)
+  (* Configuration (portfolio diversification knobs) *)
+  mutable rng : int;                 (* xorshift state; 0 = no tie-breaking *)
+  mutable restart_base : int;        (* conflicts per Luby unit *)
+  mutable phase_init : bool;         (* initial saved phase of fresh vars *)
+  mutable phase_saving : bool;       (* when false, always branch phase_init *)
+  (* Cooperative cancellation: polled periodically from the CDCL loop. *)
+  mutable cancel : bool Atomic.t option;
+  mutable poll : int;
   (* Proof recording (learned clauses in derivation order, reversed) *)
   mutable proof_enabled : bool;
   mutable proof_rev : int list list;
@@ -86,14 +96,15 @@ type t = {
   mutable n_learned : int;
 }
 
-let create () =
+let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
+    ?(phase_saving = true) () =
   {
     nvars = 0;
     assign = Array.make 16 0;
     level = Array.make 16 0;
     reason = Array.make 16 dummy_clause;
     activity = Array.make 16 0.;
-    phase = Array.make 16 false;
+    phase = Array.make 16 phase_init;
     seen = Array.make 16 false;
     heap_pos = Array.make 16 (-1);
     watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
@@ -109,6 +120,12 @@ let create () =
     var_inc = 1.0;
     cla_inc = 1.0;
     ok = true;
+    rng = abs seed;
+    restart_base = max 1 restart_base;
+    phase_init;
+    phase_saving;
+    cancel = None;
+    poll = 0;
     proof_enabled = false;
     proof_rev = [];
     n_decisions = 0;
@@ -120,6 +137,26 @@ let create () =
 
 let lit_index lit = if lit > 0 then 2 * lit else (2 * (-lit)) + 1
 let var_of lit = abs lit
+
+(* xorshift64; only consulted when a non-zero seed was given. *)
+let next_random s =
+  let x = s.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x2545F491 else x in
+  s.rng <- x;
+  x
+
+let set_cancel s flag = s.cancel <- Some flag
+
+let check_cancel s =
+  s.poll <- s.poll + 1;
+  if s.poll land 255 = 0 then
+    match s.cancel with
+    | Some flag when Atomic.get flag -> raise Cancelled
+    | Some _ | None -> ()
 
 let nb_vars s = s.nvars
 
@@ -191,7 +228,7 @@ let grow_var_arrays s needed =
     s.level <- grow s.level 0;
     s.reason <- grow s.reason dummy_clause;
     s.activity <- grow s.activity 0.;
-    s.phase <- grow s.phase false;
+    s.phase <- grow s.phase s.phase_init;
     s.seen <- grow s.seen false;
     s.heap_pos <- grow s.heap_pos (-1);
     s.trail <- grow s.trail 0;
@@ -210,6 +247,11 @@ let grow_var_arrays s needed =
 let new_var s =
   s.nvars <- s.nvars + 1;
   grow_var_arrays s (s.nvars + 1);
+  (* Seeded VSIDS tie-breaking: a sub-1e-6 initial activity perturbs the
+     branching order among untouched variables without ever outweighing a
+     real conflict bump (var_inc starts at 1.0). *)
+  if s.rng <> 0 then
+    s.activity.(s.nvars) <- float_of_int (next_random s land 0xFFFF) *. 1e-12;
   heap_insert s s.nvars;
   s.nvars
 
@@ -230,7 +272,7 @@ let enqueue s lit reason =
   s.assign.(v) <- (if lit > 0 then 1 else -1);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
-  s.phase.(v) <- lit > 0;
+  if s.phase_saving then s.phase.(v) <- lit > 0;
   s.trail.(s.trail_size) <- lit;
   s.trail_size <- s.trail_size + 1
 
@@ -548,6 +590,7 @@ let search s ~assumptions ~restart_budget =
   let conflicts = ref 0 in
   try
     while true do
+      check_cancel s;
       let conflict = propagate s in
       if conflict != dummy_clause then begin
         s.n_conflicts <- s.n_conflicts + 1;
@@ -611,17 +654,26 @@ let solve ?(assumptions = []) s =
       Unsat
     end
     else begin
-      let rec loop i =
-        let budget = 100 * luby i in
-        match search s ~assumptions ~restart_budget:budget with
-        | Some r -> r
-        | None -> loop (i + 1)
-      in
-      let r = loop 1 in
-      (match r with
-       | Sat -> ()
-       | Unsat -> cancel_until s 0);
-      r
+      try
+        let rec loop i =
+          let budget = s.restart_base * luby i in
+          match search s ~assumptions ~restart_budget:budget with
+          | Some r -> r
+          | None -> loop (i + 1)
+        in
+        let r = loop 1 in
+        (match r with
+         | Sat -> ()
+         | Unsat -> cancel_until s 0);
+        r
+      with Cancelled ->
+        (* Defensive reset so a cancelled solver can be re-entered (the
+           portfolio reuses losers): drop the assumption decision levels and
+           restart propagation from the base of the trail, revalidating any
+           level-0 units a truncated propagation pass left half-processed. *)
+        cancel_until s 0;
+        s.qhead <- 0;
+        raise Cancelled
     end
   end
 

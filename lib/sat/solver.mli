@@ -25,7 +25,29 @@ type stats = {
   clauses : int;
 }
 
-val create : unit -> t
+exception Cancelled
+(** Raised out of {!solve} when the registered cancellation flag was
+    observed set (see {!set_cancel}). The solver remains usable: the
+    assumption levels are unwound and propagation state is reset, so a
+    later {!solve} on the same instance is sound. *)
+
+val create :
+  ?seed:int ->
+  ?restart_base:int ->
+  ?phase_init:bool ->
+  ?phase_saving:bool ->
+  unit -> t
+(** The optional knobs diversify search for portfolio solving; the defaults
+    reproduce the historical configuration exactly.
+
+    [seed] (default 0 = off) seeds an xorshift PRNG that perturbs the
+    initial VSIDS activity of each fresh variable by less than [1e-6], so
+    equal-activity ties break differently per seed without overriding
+    learned activity. [restart_base] (default 100) scales the Luby restart
+    sequence (conflicts per unit). [phase_init] (default false) is the
+    branching polarity of never-assigned variables. [phase_saving]
+    (default true) keeps the last assigned polarity per variable; when
+    false, every decision uses [phase_init]. *)
 
 val new_var : t -> int
 (** Allocates a fresh variable and returns its index (positive). *)
@@ -39,7 +61,13 @@ val add_clause : t -> int list -> unit
 
 val solve : ?assumptions:int list -> t -> result
 (** Solves under the given assumption literals. The solver can be re-solved
-    with different assumptions; clauses persist across calls. *)
+    with different assumptions; clauses persist across calls. Raises
+    {!Cancelled} if a flag registered with {!set_cancel} becomes set. *)
+
+val set_cancel : t -> bool Atomic.t -> unit
+(** Registers a cancellation flag shared with other domains. The CDCL loop
+    polls it every 256 iterations and raises {!Cancelled} when set — the
+    mechanism the portfolio uses to stop losing solvers. *)
 
 val value : t -> int -> bool
 (** [value s v] is the value of variable [v] in the model of the last [Sat]

@@ -17,4 +17,5 @@ let () =
       Test_hls.suite;
       Test_accel.suite;
       Test_testbench.suite;
+      Test_parallel.suite;
     ]
