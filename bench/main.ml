@@ -13,9 +13,12 @@
 
    `-j N` sizes the domain pool: table2 then runs both the sequential
    baseline and the parallel batch driver, checks the outcomes agree and
-   reports the speedup. Every run also emits machine-readable
-   BENCH_results.json (per-table wall times, solver stats, speedups) so the
-   perf trajectory is tracked across PRs. *)
+   reports the speedup. `-p N` additionally races N diversified solver
+   configurations inside each obligation. Every run also emits
+   machine-readable BENCH_results.json (schema 2: run metadata, per-table
+   wall times, solver stats, speedups, and a final snapshot of the global
+   telemetry metrics registry) so the perf trajectory is tracked across
+   PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -74,13 +77,66 @@ let rec json_out buf = function
 let json_results : (string * json) list ref = ref []
 let record key v = json_results := (key, v) :: !json_results
 
-let write_json_results ~jobs ~total_wall =
+(* The revision being measured, so results files can be compared across PRs;
+   absent outside a git checkout. *)
+let git_rev () =
+  match
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> Some rev
+    | _ -> None
+  with
+  | rev -> rev
+  | exception _ -> None
+
+(* Global metrics registry snapshot ([Telemetry.metrics ()]) at the moment
+   results are written — counters and histograms accumulated over every
+   solve the bench performed. *)
+let json_of_metrics () =
+  Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Telemetry.Counter n -> Int n
+           | Telemetry.Gauge n -> Int n
+           | Telemetry.Histogram h ->
+             Obj
+               [
+                 ("count", Int h.Telemetry.count);
+                 ("sum_s", Num h.Telemetry.sum_s);
+                 ( "buckets",
+                   Arr
+                     (List.concat_map
+                        (fun (le_s, n) ->
+                          if n = 0 then []
+                          else [ Obj [ ("le_s", Num le_s); ("n", Int n) ] ])
+                        h.Telemetry.buckets) );
+               ] ))
+       (Telemetry.metrics ()))
+
+let write_json_results ~jobs ~portfolio ~total_wall =
   let oc = open_out "BENCH_results.json" in
   let buf = Buffer.create 4096 in
   json_out buf
     (Obj
-       ([ ("schema", Int 1); ("jobs", Int jobs); ("total_wall_s", Num total_wall) ]
-        @ List.rev !json_results));
+       ([
+          ("schema", Int 2);
+          ( "meta",
+            Obj
+              ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
+                 ("ocaml", Str Sys.ocaml_version) ]
+               @ (match git_rev () with
+                  | Some rev -> [ ("git_rev", Str rev) ]
+                  | None -> [])) );
+          ("jobs", Int jobs);
+          ("total_wall_s", Num total_wall);
+        ]
+        @ List.rev !json_results
+        @ [ ("metrics", json_of_metrics ()) ]));
   Buffer.add_char buf '\n';
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -356,7 +412,7 @@ let same_outcome (a : Aqed.Check.report) (b : Aqed.Check.report) =
   | Aqed.Check.Proved k1, Aqed.Check.Proved k2 -> k1 = k2
   | _, _ -> false
 
-let print_table2 ~jobs () =
+let print_table2 ~jobs ~portfolio () =
   let specs = table2_specs () in
   let t0 = Unix.gettimeofday () in
   let seq_reports = List.map (fun s -> Aqed.Check.run_obligation s.ob) specs in
@@ -391,14 +447,15 @@ let print_table2 ~jobs () =
              specs seq_reports) );
     ]
   in
-  if jobs <= 1 then record "table2" (Obj base_fields)
+  if jobs <= 1 && portfolio <= 1 then record "table2" (Obj base_fields)
   else begin
     (* Re-solve the same obligations on the domain pool and hold the result
        to the sequential baseline: identical outcomes and depths, or the
        row is flagged (and the JSON records the mismatch). *)
     let cache = Aqed.Check.create_cache () in
     let batch =
-      Aqed.Check.run_batch ~jobs ~cache (List.map (fun s -> s.ob) specs)
+      Aqed.Check.run_batch ~jobs ~cache ~portfolio
+        (List.map (fun s -> s.ob) specs)
     in
     let par_reports = Aqed.Check.batch_reports batch in
     let matches = List.map2 same_outcome seq_reports par_reports in
@@ -408,8 +465,10 @@ let print_table2 ~jobs () =
         seq_wall /. batch.Aqed.Check.batch_wall
       else 0.
     in
-    pf "parallel batch (-j %d): %.3fs wall vs %.3fs sequential — %.2fx speedup\n"
-      jobs batch.Aqed.Check.batch_wall seq_wall speedup;
+    pf "parallel batch (-j %d%s): %.3fs wall vs %.3fs sequential — %.2fx speedup\n"
+      jobs
+      (if portfolio > 1 then Printf.sprintf " -p %d" portfolio else "")
+      batch.Aqed.Check.batch_wall seq_wall speedup;
     pf "outcomes/depths vs sequential: %s\n"
       (if all_match then "identical" else "MISMATCH");
     List.iter2
@@ -429,6 +488,7 @@ let print_table2 ~jobs () =
                 Obj
                   [
                     ("jobs", Int jobs);
+                    ("portfolio", Int portfolio);
                     ("wall_s", Num batch.Aqed.Check.batch_wall);
                     ("speedup", Num speedup);
                     ("outcomes_match", Bool all_match);
@@ -712,17 +772,21 @@ let print_ablations () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  let rec parse args jobs targets =
-    match args with
-    | [] -> (jobs, List.rev targets)
-    | "-j" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some j when j >= 1 -> parse rest j targets
-        | Some _ | None -> failwith "bench: -j expects a positive integer")
-    | "-j" :: [] -> failwith "bench: -j expects a positive integer"
-    | t :: rest -> parse rest jobs (t :: targets)
+  let pos_int flag n =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> v
+    | Some _ | None ->
+      failwith (Printf.sprintf "bench: %s expects a positive integer" flag)
   in
-  let jobs, targets = parse args 1 [] in
+  let rec parse args jobs portfolio targets =
+    match args with
+    | [] -> (jobs, portfolio, List.rev targets)
+    | "-j" :: n :: rest -> parse rest (pos_int "-j" n) portfolio targets
+    | "-p" :: n :: rest -> parse rest jobs (pos_int "-p" n) targets
+    | [ ("-j" | "-p") ] -> failwith "bench: -j/-p expect a positive integer"
+    | t :: rest -> parse rest jobs portfolio (t :: targets)
+  in
+  let jobs, portfolio, targets = parse args 1 1 [] in
   let targets =
     if targets = [] then [ "table1"; "fig5"; "table2"; "fig2" ] else targets
   in
@@ -733,12 +797,13 @@ let () =
       (match t with
        | "table1" -> print_table1 ()
        | "fig5" -> print_fig5 ()
-       | "table2" -> print_table2 ~jobs ()
+       | "table2" -> print_table2 ~jobs ~portfolio ()
        | "fig2" -> print_fig2 ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
        | "all" ->
-         print_table1 (); print_fig5 (); print_table2 ~jobs (); print_fig2 ();
+         print_table1 (); print_fig5 ();
+         print_table2 ~jobs ~portfolio (); print_fig2 ();
          print_ablations (); print_kernels ()
        | other ->
          pf "unknown bench target %S (try: table1 fig5 table2 fig2 kernels ablate all)\n"
@@ -747,4 +812,4 @@ let () =
     targets;
   let total = Unix.gettimeofday () -. t0 in
   pf "\ntotal bench time: %.1fs\n" total;
-  write_json_results ~jobs ~total_wall:total
+  write_json_results ~jobs ~portfolio ~total_wall:total

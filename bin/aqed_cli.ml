@@ -2,13 +2,19 @@
 
      aqed_cli list                         enumerate designs and bugs
      aqed_cli check -d fifo -b fifo_clock_gate -c fc [-k 14] [-j 4]
-     aqed_cli verify -d fifo [-b bug] [-j 4]   full flow on the domain pool
+     aqed_cli verify -d fifo [-b bug] [-j 4] [-p 2]   full flow, domain pool
      aqed_cli sim -d aes -n 5              quick transaction-level run
      aqed_cli sat file.cnf                 solve a DIMACS instance
 
    -j N on `check` races N diversified solver configurations (portfolio
    BMC); on `verify` it sizes the worker pool the FC/RB/SAC obligations are
-   fanned across. *)
+   fanned across (-p additionally races a portfolio inside each obligation).
+
+   Observability (check and verify): --trace FILE writes a Chrome
+   trace_event JSON of solver/BMC/pool/check spans (load in Perfetto),
+   --progress streams rate-limited progress lines to stderr during long
+   solves, --stats prints per-check solver statistics and cache hit/miss
+   counts after each report. *)
 
 module M = Accel.Memctrl
 
@@ -139,7 +145,31 @@ let cmd_list () =
     designs;
   0
 
-let cmd_check design_name bug check depth jobs =
+(* Telemetry wiring shared by check and verify: --trace enables span
+   recording and exports the buffers on the way out (also on failure),
+   --progress installs a stderr reporter sampled from the CDCL loop and
+   between BMC frames. *)
+let with_telemetry ~trace ~progress f =
+  if trace <> None then Telemetry.enable ();
+  if progress then
+    Telemetry.Progress.configure ~interval:0.5 (fun line ->
+        Printf.eprintf "[aqed] %s\n%!" line);
+  let finish () =
+    if progress then Telemetry.Progress.disable ();
+    match trace with
+    | None -> ()
+    | Some path ->
+      Telemetry.disable ();
+      Telemetry.export_file path;
+      Printf.eprintf
+        "trace: %d events written to %s (load in Perfetto or chrome://tracing)\n%!"
+        (Telemetry.nb_events ()) path
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+let cmd_check design_name bug check depth jobs stats =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
   let report =
@@ -160,6 +190,9 @@ let cmd_check design_name bug check depth jobs =
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
   in
   Format.printf "%a@." Aqed.Check.pp_report report;
+  if stats then
+    Format.printf "  solver: %a@." Sat.Solver.pp_stats
+      report.Aqed.Check.solver_stats;
   (match report.Aqed.Check.verdict with
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
@@ -169,7 +202,7 @@ let cmd_check design_name bug check depth jobs =
    independent obligations fanned across the domain pool, with the
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
-let cmd_verify design_name bug depth jobs =
+let cmd_verify design_name bug depth jobs portfolio stats =
   let d = find_design design_name in
   let obligations =
     [
@@ -185,8 +218,23 @@ let cmd_verify design_name bug depth jobs =
        | None -> [])
   in
   let cache = Aqed.Check.create_cache () in
-  let batch = Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache obligations in
+  let batch =
+    Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache
+      ~portfolio:(max 1 portfolio) obligations
+  in
   Format.printf "%a@." Aqed.Check.pp_batch batch;
+  if stats then begin
+    List.iter
+      (fun (e : Aqed.Check.batch_entry) ->
+        Format.printf "  %-28s %a@." e.Aqed.Check.entry_name
+          Sat.Solver.pp_stats
+          e.Aqed.Check.entry_report.Aqed.Check.solver_stats)
+      batch.Aqed.Check.entries;
+    let cs = Aqed.Check.cache_stats cache in
+    Format.printf "  cache: %d hits / %d misses / %d entries (%.0f%% hit rate)@."
+      cs.Parallel.Cache.hits cs.Parallel.Cache.misses cs.Parallel.Cache.entries
+      (100. *. Aqed.Check.cache_hit_rate cache)
+  end;
   let reports = Aqed.Check.batch_reports batch in
   List.iter
     (fun r ->
@@ -277,8 +325,32 @@ let jobs_arg =
        & info [ "j"; "jobs" ]
            ~doc:"Parallelism: portfolio width for check, pool workers for verify.")
 
+let portfolio_arg =
+  Arg.(value & opt int 1
+       & info [ "p"; "portfolio" ]
+           ~doc:"Race N diversified solver configurations inside each \
+                 obligation (portfolio BMC), on top of the -j worker pool.")
+
 let count_arg =
   Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of random transactions.")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print solver statistics (and cache hit/miss counts for \
+                 verify) after each report.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace_event JSON of solver, BMC, pool and \
+                 check spans to $(docv) (load in Perfetto).")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Stream rate-limited progress lines (conflicts/sec, current \
+                 BMC frame) to stderr during long solves.")
 
 let wrap f = try f () with Failure msg -> prerr_endline ("error: " ^ msg); 2
 
@@ -287,19 +359,27 @@ let list_cmd =
     Term.(const (fun () -> wrap cmd_list) $ const ())
 
 let check_cmd =
-  let run d b c k j = wrap (fun () -> cmd_check d b c k j) in
+  let run d b c k j stats trace progress =
+    wrap (fun () ->
+        with_telemetry ~trace ~progress (fun () -> cmd_check d b c k j stats))
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run an A-QED check (exit code 1 when a bug is found)")
-    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg)
+    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
+          $ stats_arg $ trace_arg $ progress_arg)
 
 let verify_cmd =
-  let run d b k j = wrap (fun () -> cmd_verify d b k j) in
+  let run d b k j p stats trace progress =
+    wrap (fun () ->
+        with_telemetry ~trace ~progress (fun () -> cmd_verify d b k j p stats))
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run the full A-QED flow (FC, RB, SAC) on the parallel batch \
              driver (exit code 1 when any check finds a bug)")
-    Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg)
+    Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
+          $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in

@@ -20,6 +20,20 @@ let pp_outcome fmt = function
   | Bounded_ok k -> Format.fprintf fmt "no counterexample up to depth %d" k
   | Proved k -> Format.fprintf fmt "proved by %d-induction" k
 
+let outcome_label = function
+  | Cex _ -> "cex"
+  | Bounded_ok _ -> "bounded_ok"
+  | Proved _ -> "proved"
+
+(* Telemetry series for the engine layer: frame throughput, the depth the
+   engine is currently working at, per-frame solve latency, and how the
+   portfolio races end. *)
+let m_frames = Telemetry.Counter.make "bmc.frames"
+let g_frame_depth = Telemetry.Gauge.make "bmc.frame_depth"
+let h_frame_solve = Telemetry.Histogram.make "bmc.frame_solve_s"
+let m_portfolio_wins = Telemetry.Counter.make "bmc.portfolio.wins"
+let m_portfolio_cancelled = Telemetry.Counter.make "bmc.portfolio.cancelled"
+
 (* ---- portfolio configurations ---- *)
 
 type solver_config = {
@@ -192,6 +206,16 @@ let export_aiger circuit ~prop oc =
    [Solver.set_cancel]) and between frames, so a losing portfolio member
    stops within a bounded amount of work wherever it happens to be. *)
 let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
+  Telemetry.Span.with_ "bmc.search"
+    ~args:
+      [ ("prop", Telemetry.Str name);
+        ("seed", Telemetry.Int config.seed);
+        ("restart_base", Telemetry.Int config.restart_base);
+        ("max_depth", Telemetry.Int max_depth) ]
+    ~end_args:(fun r ->
+      [ ("outcome", Telemetry.Str (outcome_label r.outcome));
+        ("frames", Telemetry.Int r.frames_explored) ])
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let solver = solver_of_config config in
   (match cancel with Some f -> Solver.set_cancel solver f | None -> ());
@@ -210,12 +234,28 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
      | Some _ | None -> ());
     if depth > max_depth then finish (Bounded_ok max_depth) max_depth
     else begin
+      Telemetry.Progress.tick (fun () ->
+          Printf.sprintf "bmc %s: frame %d/%d" name depth max_depth);
+      let tf = Unix.gettimeofday () in
       let binding =
         match envs_rev with [] -> Bind_init | prev :: _ -> Bind_prev prev
       in
-      let env = make_frame solver rel binding in
+      let env, answer =
+        Telemetry.Span.with_ "bmc.frame"
+          ~args:[ ("depth", Telemetry.Int depth) ]
+          ~end_args:(fun (_, a) ->
+            [ ( "answer",
+                Telemetry.Str
+                  (match a with Violated -> "violated" | Clean -> "clean") ) ])
+          (fun () ->
+            let env = make_frame solver rel binding in
+            (env, query_frame solver env rel.bad))
+      in
+      Telemetry.Counter.incr m_frames;
+      Telemetry.Gauge.set g_frame_depth depth;
+      Telemetry.Histogram.observe h_frame_solve (Unix.gettimeofday () -. tf);
       let envs_rev = env :: envs_rev in
-      match query_frame solver env rel.bad with
+      match answer with
       | Violated ->
         let trace =
           extract_trace solver rel (List.rev envs_rev) ~prop_name:name
@@ -249,10 +289,16 @@ let race_portfolio configs run =
               (match !winner with
                | None ->
                  winner := Some r;
-                 Atomic.set cancel true
+                 Atomic.set cancel true;
+                 Telemetry.Counter.incr m_portfolio_wins;
+                 Telemetry.Span.instant "bmc.portfolio.win"
+                   ~args:[ ("seed", Telemetry.Int config.seed) ]
                | Some _ -> ());
               Mutex.unlock lock
-            | exception Solver.Cancelled -> ()
+            | exception Solver.Cancelled ->
+              Telemetry.Counter.incr m_portfolio_cancelled;
+              Telemetry.Span.instant "bmc.portfolio.cancelled"
+                ~args:[ ("seed", Telemetry.Int config.seed) ]
             | exception e ->
               Mutex.lock lock;
               (match !error with
@@ -330,7 +376,13 @@ let prove ?(max_depth = 64) circuit ~prop =
         in
         finish (Cex trace) depth
       | Clean ->
-        if induction_step rel depth then finish (Proved depth) depth
+        let proved =
+          Telemetry.Span.with_ "bmc.induction"
+            ~args:[ ("k", Telemetry.Int depth) ]
+            ~end_args:(fun ok -> [ ("proved", Telemetry.Bool ok) ])
+            (fun () -> induction_step rel depth)
+        in
+        if proved then finish (Proved depth) depth
         else go envs_rev (depth + 1)
     end
   in

@@ -9,7 +9,15 @@
 
     The property is a 1-bit signal expected to hold in {e every} cycle
     (a safety property / invariant), as in the A-QED checks
-    [dup_done -> fc_check] and the RB property. *)
+    [dup_done -> fc_check] and the RB property.
+
+    Observability: each bounded search emits a [bmc.search] telemetry span
+    enclosing one [bmc.frame] span per depth (k-induction steps emit
+    [bmc.induction]); portfolio race outcomes appear as
+    [bmc.portfolio.win]/[bmc.portfolio.cancelled] instants. The engine feeds
+    the [bmc.frames] counter, the [bmc.frame_depth] gauge and the
+    [bmc.frame_solve_s] latency histogram, and reports the current frame
+    through {!Telemetry.Progress} between frames. *)
 
 type outcome =
   | Cex of Trace.t

@@ -14,14 +14,40 @@ type report = {
   solver_stats : Sat.Solver.stats;
 }
 
+let m_obligations = Telemetry.Counter.make "check.obligations"
+let m_bugs = Telemetry.Counter.make "check.bugs"
+
 let run_bmc ?(portfolio = 1) name ~max_depth ~induction circuit prop =
+  Telemetry.Counter.incr m_obligations;
+  Telemetry.Span.with_ "check"
+    ~args:
+      [ ("check", Telemetry.Str name);
+        ("max_depth", Telemetry.Int max_depth);
+        ("induction", Telemetry.Bool induction);
+        ("portfolio", Telemetry.Int portfolio) ]
+    ~end_args:(fun r ->
+      [ ( "verdict",
+          Telemetry.Str
+            (match r.verdict with
+             | Bug _ -> "bug"
+             | No_bug_up_to _ -> "clean"
+             | Proved _ -> "proved") );
+        ( "depth",
+          Telemetry.Int
+            (match r.verdict with
+             | Bug t -> Bmc.Trace.length t
+             | No_bug_up_to k | Proved k -> k) );
+        ("wall_s", Telemetry.Float r.wall_time) ])
+  @@ fun () ->
   let bmc_report =
     if induction then Bmc.Engine.prove ~max_depth circuit ~prop
     else Bmc.Engine.check ~max_depth ~portfolio circuit ~prop
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
-    | Bmc.Engine.Cex t -> Bug t
+    | Bmc.Engine.Cex t ->
+      Telemetry.Counter.incr m_bugs;
+      Bug t
     | Bmc.Engine.Bounded_ok k -> No_bug_up_to k
     | Bmc.Engine.Proved k -> Proved k
   in
@@ -148,16 +174,23 @@ let trace_length r =
   | No_bug_up_to _ | Proved _ -> None
 
 let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
-    ?(induction = false) build =
-  let fc = functional_consistency ?max_depth ?cnt_width ?shared ~induction build in
+    ?(induction = false) ?portfolio build =
+  let fc =
+    functional_consistency ?max_depth ?cnt_width ?shared ~induction ?portfolio
+      build
+  in
   if found_bug fc then [ fc ]
   else begin
-    let rb = response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction build in
+    let rb =
+      response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction ?portfolio
+        build
+    in
     if found_bug rb then [ fc; rb ]
     else
       match spec with
       | None -> [ fc; rb ]
-      | Some spec -> [ fc; rb; single_action ?max_depth ~spec ~induction build ]
+      | Some spec ->
+        [ fc; rb; single_action ?max_depth ~spec ~induction ?portfolio build ]
   end
 
 (* ---- the parallel batch driver ---- *)

@@ -73,10 +73,13 @@ val verify :
   ?shared:(Iface.t -> Rtl.Ir.signal) ->
   ?spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
+  ?portfolio:int ->
   (unit -> Iface.t) -> report list
 (** The full A-QED flow: FC, then RB, then SAC when a [spec] is provided.
     Stops at the first [Bug] (reports up to that point are returned,
-    bug last), since the paper's flow debugs one counterexample at a time. *)
+    bug last), since the paper's flow debugs one counterexample at a time.
+    [portfolio] is threaded to every underlying check — each BMC run races
+    that many diversified solver configurations ({!Bmc.Engine.check}). *)
 
 val found_bug : report -> bool
 val trace_length : report -> int option

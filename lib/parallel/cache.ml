@@ -1,5 +1,13 @@
 type 'v slot = In_flight | Value of 'v
 
+(* Telemetry series, aggregated across every cache instance (per-instance
+   numbers stay in [stats]). A single-flight wait wakeup counts under
+   [cache.wait_wakeups]; the loser still lands in [cache.hits] when the
+   winning computation publishes. *)
+let m_hits = Telemetry.Counter.make "cache.hits"
+let m_misses = Telemetry.Counter.make "cache.misses"
+let m_waits = Telemetry.Counter.make "cache.wait_wakeups"
+
 type ('k, 'v) t = {
   m : Mutex.t;
   c : Condition.t;                  (* signaled when an in-flight slot lands *)
@@ -25,14 +33,17 @@ let find_or_compute t k f =
     match Hashtbl.find_opt t.tbl k with
     | Some (Value v) ->
       t.hits <- t.hits + 1;
+      Telemetry.Counter.incr m_hits;
       Mutex.unlock t.m;
       (true, v)
     | Some In_flight ->
+      Telemetry.Counter.incr m_waits;
       Condition.wait t.c t.m;
       get ()
     | None ->
       Hashtbl.replace t.tbl k In_flight;
       t.misses <- t.misses + 1;
+      Telemetry.Counter.incr m_misses;
       Mutex.unlock t.m;
       (match f () with
        | v ->

@@ -2,6 +2,12 @@
    mutex; paths that touch a deque without holding [pool.lock] never take a
    second lock, so the ordering is acyclic. *)
 
+(* Telemetry series: submitted vs executed tasks and cross-deque steals
+   (worker utilization shows up as pool.task spans on each domain track). *)
+let m_submits = Telemetry.Counter.make "pool.submit_count"
+let m_tasks = Telemetry.Counter.make "pool.task_count"
+let m_steals = Telemetry.Counter.make "pool.steal_count"
+
 (* ---- per-worker deque (ring buffer) ----
 
    The owner pushes and pops at the back; thieves take from the front. Each
@@ -109,7 +115,9 @@ let find_task p me =
       if k = n then None
       else
         match steal_front p.deques.((start + k) mod n) with
-        | Some _ as f -> f
+        | Some _ as f ->
+          Telemetry.Counter.incr m_steals;
+          f
         | None -> scan (k + 1)
     in
     scan 0
@@ -159,9 +167,15 @@ let create ?workers () =
   p
 
 let submit p f =
+  Telemetry.Counter.incr m_submits;
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
   let task () =
-    let result = match f () with v -> Done v | exception e -> Failed e in
+    Telemetry.Counter.incr m_tasks;
+    let result =
+      match Telemetry.Span.with_ "pool.task" f with
+      | v -> Done v
+      | exception e -> Failed e
+    in
     Mutex.lock fut.fm;
     fut.state <- result;
     Condition.broadcast fut.fc;

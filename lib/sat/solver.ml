@@ -94,7 +94,18 @@ type t = {
   mutable n_conflicts : int;
   mutable n_restarts : int;
   mutable n_learned : int;
+  (* Telemetry: wall-clock start and conflict count at [solve] entry, so the
+     progress hook can report conflicts/sec for the current solve. *)
+  mutable solve_t0 : float;
+  mutable solve_c0 : int;
 }
+
+(* Global telemetry series, bumped by the per-solve deltas at solve exit (the
+   CDCL loop itself keeps plain per-solver fields and stays untouched). *)
+let m_conflicts = Telemetry.Counter.make "sat.conflicts"
+let m_decisions = Telemetry.Counter.make "sat.decisions"
+let m_propagations = Telemetry.Counter.make "sat.propagations"
+let m_restarts = Telemetry.Counter.make "sat.restarts"
 
 let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     ?(phase_saving = true) () =
@@ -133,6 +144,8 @@ let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     n_conflicts = 0;
     n_restarts = 0;
     n_learned = 0;
+    solve_t0 = 0.;
+    solve_c0 = 0;
   }
 
 let lit_index lit = if lit > 0 then 2 * lit else (2 * (-lit)) + 1
@@ -153,10 +166,21 @@ let set_cancel s flag = s.cancel <- Some flag
 
 let check_cancel s =
   s.poll <- s.poll + 1;
-  if s.poll land 255 = 0 then
-    match s.cancel with
-    | Some flag when Atomic.get flag -> raise Cancelled
-    | Some _ | None -> ()
+  if s.poll land 255 = 0 then begin
+    (match s.cancel with
+     | Some flag when Atomic.get flag -> raise Cancelled
+     | Some _ | None -> ());
+    (* Piggyback the progress sample on the cancellation-poll cadence: the
+       fast path below is one Atomic.get when no reporter is configured. *)
+    Telemetry.Progress.tick (fun () ->
+        let conflicts = s.n_conflicts - s.solve_c0 in
+        let dt = Telemetry.now_s () -. s.solve_t0 in
+        Printf.sprintf
+          "sat: %d conflicts (%.0f/s), %d restarts, %d learned, level %d"
+          conflicts
+          (if dt > 1e-9 then float_of_int conflicts /. dt else 0.)
+          s.n_restarts s.n_learned (Vec.size s.trail_lim))
+  end
 
 let nb_vars s = s.nvars
 
@@ -611,6 +635,8 @@ let search s ~assumptions ~restart_budget =
       else begin
         if !conflicts >= restart_budget then begin
           s.n_restarts <- s.n_restarts + 1;
+          Telemetry.Span.instant "sat.restart"
+            ~args:[ ("conflicts", Telemetry.Int s.n_conflicts) ];
           cancel_until s 0;
           raise Exit
         end;
@@ -644,7 +670,7 @@ let search s ~assumptions ~restart_budget =
   with Exit -> None
      | Done r -> Some r
 
-let solve ?(assumptions = []) s =
+let solve_body ~assumptions s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -676,6 +702,37 @@ let solve ?(assumptions = []) s =
         raise Cancelled
     end
   end
+
+(* Wrap the search in a telemetry span and publish the per-solve statistic
+   deltas to the global series (also on Cancelled, so portfolio losers'
+   effort is accounted). *)
+let solve ?(assumptions = []) s =
+  s.solve_t0 <- Telemetry.now_s ();
+  s.solve_c0 <- s.n_conflicts;
+  let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
+  let account () =
+    Telemetry.Counter.add m_conflicts (s.n_conflicts - s.solve_c0);
+    Telemetry.Counter.add m_decisions (s.n_decisions - d0);
+    Telemetry.Counter.add m_propagations (s.n_propagations - p0);
+    Telemetry.Counter.add m_restarts (s.n_restarts - r0)
+  in
+  match
+    Telemetry.Span.with_ "sat.solve"
+      ~args:
+        [ ("vars", Telemetry.Int s.nvars);
+          ("clauses", Telemetry.Int (Vec.size s.clauses));
+          ("assumptions", Telemetry.Int (List.length assumptions)) ]
+      ~end_args:(fun r ->
+        [ ("result", Telemetry.Str (match r with Sat -> "sat" | Unsat -> "unsat"));
+          ("conflicts", Telemetry.Int (s.n_conflicts - s.solve_c0)) ])
+      (fun () -> solve_body ~assumptions s)
+  with
+  | r ->
+    account ();
+    r
+  | exception e ->
+    account ();
+    raise e
 
 let value s v =
   if v <= 0 || v > s.nvars then invalid_arg "Solver.value";

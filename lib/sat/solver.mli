@@ -7,7 +7,14 @@
 
     Variables are positive integers allocated with {!new_var}. A literal is a
     non-zero integer: [v] is the positive literal of variable [v] and [-v] its
-    negation (DIMACS convention). *)
+    negation (DIMACS convention).
+
+    Observability: every {!solve} is wrapped in a [sat.solve] telemetry span
+    (restart markers as [sat.restart] instants) and its statistic deltas feed
+    the global [sat.*] counters; the cancellation-poll site doubles as the
+    {!Telemetry.Progress} sampling hook, reporting conflicts/sec during long
+    solves. All of it is a few atomic reads per call site when telemetry is
+    disabled (the default). *)
 
 type t
 

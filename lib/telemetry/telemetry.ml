@@ -1,0 +1,327 @@
+(* Zero-dependency observability substrate: span tracing into per-domain
+   buffers (exported as Chrome trace_event JSON for Perfetto), a registry of
+   atomic metrics, and rate-limited progress reporting. The disabled fast
+   path of every event-recording entry point is one [Atomic.get]. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+let now_s = Unix.gettimeofday
+
+(* ---- global enable flag (tracing only; metrics are always live) ---- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+(* ---- per-domain event buffers ----
+
+   One buffer per domain, reached through DLS: recording an event touches no
+   lock and no shared cache line. The global registry (all buffers ever
+   created, for export) is only locked when a fresh domain records its first
+   event, and at export/reset time. *)
+
+type event = {
+  ph : char;                        (* 'B' begin / 'E' end / 'i' instant *)
+  ev_name : string;
+  ts_us : float;
+  tid : int;
+  ev_args : (string * arg) list;
+}
+
+type buffer = {
+  buf_tid : int;
+  mutable events : event list;      (* newest first *)
+  mutable last_ts : float;
+}
+
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { buf_tid = (Domain.self () :> int); events = []; last_ts = 0. } in
+      Mutex.lock registry_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_lock;
+      b)
+
+(* Timestamps are microseconds since process start, not since the epoch:
+   at epoch magnitude (~1.8e15 µs) a float's resolution is worse than the
+   sub-µs bump below, and the exporter's fixed-point rendering would emit
+   duplicate timestamps. Relative times keep full sub-µs precision for any
+   plausible process lifetime. *)
+let t0_s = now_s ()
+
+(* Strictly increasing per buffer, so per-track event order survives any
+   consumer-side sorting (and the round-trip test can assert it). *)
+let stamp b =
+  let t = (now_s () -. t0_s) *. 1e6 in
+  let t = if t <= b.last_ts then b.last_ts +. 0.01 else t in
+  b.last_ts <- t;
+  t
+
+let push ph name args =
+  let b = Domain.DLS.get buffer_key in
+  b.events <-
+    { ph; ev_name = name; ts_us = stamp b; tid = b.buf_tid; ev_args = args }
+    :: b.events
+
+let reset_events () =
+  Mutex.lock registry_lock;
+  List.iter (fun b -> b.events <- []) !buffers;
+  Mutex.unlock registry_lock
+
+let nb_events () =
+  Mutex.lock registry_lock;
+  let n = List.fold_left (fun acc b -> acc + List.length b.events) 0 !buffers in
+  Mutex.unlock registry_lock;
+  n
+
+module Span = struct
+  let instant ?(args = []) name =
+    if Atomic.get enabled_flag then push 'i' name args
+
+  let with_ ?(args = []) ?end_args name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      push 'B' name args;
+      match f () with
+      | v ->
+        let ea = match end_args with None -> [] | Some g -> g v in
+        push 'E' name ea;
+        v
+      | exception e ->
+        push 'E' name [ ("exn", Str (Printexc.to_string e)) ];
+        raise e
+    end
+end
+
+(* ---- metrics registry ---- *)
+
+type histogram_snapshot = {
+  count : int;
+  sum_s : float;
+  buckets : (float * int) list;     (* (upper bound in seconds, count) *)
+}
+
+type metric_value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of histogram_snapshot
+
+type hist = {
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum_ns : int Atomic.t;
+}
+
+type metric =
+  | M_counter of int Atomic.t
+  | M_gauge of int Atomic.t
+  | M_hist of hist
+
+let metrics_lock = Mutex.create ()
+let metrics_tbl : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make cast =
+  Mutex.lock metrics_lock;
+  let m =
+    match Hashtbl.find_opt metrics_tbl name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add metrics_tbl name m;
+      m
+  in
+  Mutex.unlock metrics_lock;
+  match cast m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      ("Telemetry: metric " ^ name ^ " already registered with another type")
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make name =
+    register name
+      (fun () -> M_counter (Atomic.make 0))
+      (function M_counter a -> Some a | M_gauge _ | M_hist _ -> None)
+
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get = Atomic.get
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let make name =
+    register name
+      (fun () -> M_gauge (Atomic.make 0))
+      (function M_gauge a -> Some a | M_counter _ | M_hist _ -> None)
+
+  let set = Atomic.set
+  let get = Atomic.get
+end
+
+module Histogram = struct
+  type t = hist
+
+  (* Bucket [i] covers observations in (2^(i-1), 2^i] microseconds; bucket 0
+     takes everything at or below 1 µs. 2^39 µs is about 6.4 days. *)
+  let nbuckets = 40
+
+  let make name =
+    register name
+      (fun () ->
+        M_hist
+          {
+            h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            h_sum_ns = Atomic.make 0;
+          })
+      (function M_hist h -> Some h | M_counter _ | M_gauge _ -> None)
+
+  let bucket_of_us us =
+    if us <= 1. then 0
+    else begin
+      let i = ref 0 and v = ref 1. in
+      while !v < us && !i < nbuckets - 1 do
+        v := !v *. 2.;
+        incr i
+      done;
+      !i
+    end
+
+  let observe h seconds =
+    let s = if Float.is_finite seconds && seconds > 0. then seconds else 0. in
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum_ns (int_of_float (s *. 1e9)));
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of_us (s *. 1e6)) 1)
+
+  let count h = Atomic.get h.h_count
+
+  let snapshot h =
+    let buckets = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      let n = Atomic.get h.h_buckets.(i) in
+      if n > 0 then
+        buckets := (Float.pow 2. (float_of_int i) *. 1e-6, n) :: !buckets
+    done;
+    {
+      count = Atomic.get h.h_count;
+      sum_s = float_of_int (Atomic.get h.h_sum_ns) *. 1e-9;
+      buckets = !buckets;
+    }
+end
+
+let metrics () =
+  Mutex.lock metrics_lock;
+  let all = Hashtbl.fold (fun k m acc -> (k, m) :: acc) metrics_tbl [] in
+  Mutex.unlock metrics_lock;
+  all
+  |> List.map (fun (k, m) ->
+      ( k,
+        match m with
+        | M_counter a -> Counter (Atomic.get a)
+        | M_gauge a -> Gauge (Atomic.get a)
+        | M_hist h -> Histogram (Histogram.snapshot h) ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- progress reporting ---- *)
+
+module Progress = struct
+  type cfg = { interval : float; sink : string -> unit }
+
+  let config : cfg option Atomic.t = Atomic.make None
+  let last_key = Domain.DLS.new_key (fun () -> ref 0.)
+
+  let configure ?(interval = 1.0) sink =
+    Atomic.set config (Some { interval = Float.max 0. interval; sink })
+
+  let disable () = Atomic.set config None
+  let active () = Atomic.get config <> None
+
+  let tick line =
+    match Atomic.get config with
+    | None -> ()
+    | Some { interval; sink } ->
+      let last = Domain.DLS.get last_key in
+      let t = now_s () in
+      if t -. !last >= interval then begin
+        last := t;
+        sink (line ())
+      end
+end
+
+(* ---- Chrome trace_event export ---- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let arg_out buf = function
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    Buffer.add_string buf
+      (if Float.is_finite f then Printf.sprintf "%.6f" f else "null")
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let event_out buf pid e =
+  Buffer.add_string buf "{\"name\":\"";
+  escape buf e.ev_name;
+  Buffer.add_string buf
+    (Printf.sprintf "\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.2f" e.ph
+       pid e.tid e.ts_us);
+  if e.ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  (match e.ev_args with
+   | [] -> ()
+   | args ->
+     Buffer.add_string buf ",\"args\":{";
+     List.iteri
+       (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_char buf '"';
+         escape buf k;
+         Buffer.add_string buf "\":";
+         arg_out buf v)
+       args;
+     Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let export oc =
+  Mutex.lock registry_lock;
+  let bufs = List.rev_map (fun b -> List.rev b.events) !buffers in
+  Mutex.unlock registry_lock;
+  let pid = Unix.getpid () in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (List.iter (fun e ->
+         if !first then first := false else Buffer.add_char buf ',';
+         Buffer.add_char buf '\n';
+         event_out buf pid e))
+    bufs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  output_string oc (Buffer.contents buf)
+
+let export_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export oc)

@@ -1,0 +1,138 @@
+(** Observability substrate: span tracing, a metrics registry and progress
+    reporting. Built on plain OCaml 5 ([Domain.DLS], [Atomic], [Mutex]) with
+    no external dependencies.
+
+    {b Tracing} is globally off by default. Every recording entry point
+    ({!Span.with_}, {!Span.instant}) checks one [Atomic.get] and returns
+    immediately when disabled, so leaving instrumentation in hot-ish paths
+    (per SAT solve, per BMC frame, per pool task) costs a few nanoseconds
+    per call site. When enabled, events are appended to a {e per-domain}
+    buffer reached through domain-local storage — no lock, no shared cache
+    line — and exported afterwards as Chrome [trace_event] JSON, loadable in
+    Perfetto ({: https://ui.perfetto.dev}) or [chrome://tracing].
+
+    {b Metrics} (counters, gauges, log-scale histograms) are always live:
+    they are single atomic words updated at coarse sites (once per solve,
+    per frame, per steal...), cheap enough to never gate. {!metrics} takes a
+    snapshot for embedding in benchmark results.
+
+    {b Progress} is a rate-limited reporting channel polled from long-running
+    loops (the CDCL search, between BMC frames). Disabled it is one
+    [Atomic.get] per tick; configured, it invokes the sink at most once per
+    interval per domain.
+
+    Export and {!reset_events} read or clear every domain's buffer and are
+    meant to run while no other domain is recording (after pool shutdown /
+    domain join); recording itself is safe from any domain at any time. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+(** Argument values attached to trace events (rendered into the JSON
+    [args] object). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Turn span/instant recording on. Metrics are unaffected (always live). *)
+
+val disable : unit -> unit
+
+val now_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exported so instrumented
+    libraries need no direct [unix] dependency. *)
+
+module Span : sig
+  val with_ :
+    ?args:(string * arg) list ->
+    ?end_args:('a -> (string * arg) list) ->
+    string -> (unit -> 'a) -> 'a
+  (** [with_ ~args name f] runs [f], recording a begin event before and an
+      end event after (also on exception, with the exception text as an
+      argument — begin/end pairs are always balanced). [end_args] computes
+      extra arguments from the result (e.g. a verdict); trace viewers merge
+      begin and end arguments. When tracing is disabled this is exactly
+      [f ()]. *)
+
+  val instant : ?args:(string * arg) list -> string -> unit
+  (** A zero-duration marker event (restart, portfolio win...). *)
+end
+
+(** {1 Metrics}
+
+    Metrics are interned by name in a global registry: [make] returns the
+    existing metric when the name is already registered (so call sites in
+    different libraries can share a series) and raises [Invalid_argument]
+    if the name is bound to a different metric type. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> int -> unit
+  val get : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Log-scale (power-of-two) buckets over microseconds, from 1 µs up. *)
+
+  val observe : t -> float -> unit
+  (** [observe h seconds] records one observation (clamped to [>= 0]). *)
+
+  val count : t -> int
+end
+
+type histogram_snapshot = {
+  count : int;
+  sum_s : float;
+  buckets : (float * int) list;
+      (** (upper bound in seconds, count) per non-empty bucket, ascending *)
+}
+
+type metric_value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of histogram_snapshot
+
+val metrics : unit -> (string * metric_value) list
+(** Snapshot of every registered metric, sorted by name. *)
+
+(** {1 Progress} *)
+
+module Progress : sig
+  val configure : ?interval:float -> (string -> unit) -> unit
+  (** Install a sink for progress lines. [interval] (default 1.0 s) is the
+      minimum spacing between reports {e per domain}. *)
+
+  val disable : unit -> unit
+  val active : unit -> bool
+
+  val tick : (unit -> string) -> unit
+  (** Called from long-running loops. No-op unless a sink is configured and
+      the domain's interval has elapsed; only then is the thunk evaluated
+      and the line delivered. *)
+end
+
+(** {1 Export} *)
+
+val export : out_channel -> unit
+(** Write all recorded events as Chrome [trace_event] JSON
+    ([{"traceEvents": [...]}]). Events are grouped per domain (tid = domain
+    id) with strictly increasing timestamps within each domain. *)
+
+val export_file : string -> unit
+
+val nb_events : unit -> int
+(** Number of currently buffered events (0 when tracing never ran). *)
+
+val reset_events : unit -> unit
+(** Clear every domain's event buffer. Metrics are not reset. *)

@@ -18,4 +18,5 @@ let () =
       Test_accel.suite;
       Test_testbench.suite;
       Test_parallel.suite;
+      Test_telemetry.suite;
     ]
