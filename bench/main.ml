@@ -5,20 +5,23 @@
      fig5     bug-detection coverage comparison
      table2   A-QED on the HLS designs (AES v1-v4, dataflow, optical flow, GSM)
      fig2     the motivating clock-enable example
+     reduce   structural-reduction A/B: same obligations with and without
+              the Logic.Reduce pipeline; exits 1 on any verdict mismatch
      kernels  Bechamel micro-benchmarks of the substrate (SAT, BMC, sim)
      ablate   ablations called out in DESIGN.md
 
    Run with no argument for the paper artefacts (table1 fig5 table2 fig2);
-   pass subcommand names to select; `all` adds ablations and kernels.
+   pass subcommand names to select; `all` adds reduce, ablations and
+   kernels.
 
    `-j N` sizes the domain pool: table2 then runs both the sequential
    baseline and the parallel batch driver, checks the outcomes agree and
    reports the speedup. `-p N` additionally races N diversified solver
    configurations inside each obligation. Every run also emits
-   machine-readable BENCH_results.json (schema 2: run metadata, per-table
-   wall times, solver stats, speedups, and a final snapshot of the global
-   telemetry metrics registry) so the perf trajectory is tracked across
-   PRs. *)
+   machine-readable BENCH_results.json (schema 3: run metadata, per-table
+   wall times, solver stats, speedups, pre/post reduction node and clause
+   counts, and a final snapshot of the global telemetry metrics registry)
+   so the perf trajectory is tracked across PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -77,6 +80,10 @@ let rec json_out buf = function
 let json_results : (string * json) list ref = ref []
 let record key v = json_results := (key, v) :: !json_results
 
+(* Set when a target detects a regression (e.g. a verdict changing under
+   reduction); the bench still writes its JSON, then exits non-zero. *)
+let bench_failed = ref false
+
 (* The revision being measured, so results files can be compared across PRs;
    absent outside a git checkout. *)
 let git_rev () =
@@ -124,7 +131,7 @@ let write_json_results ~jobs ~portfolio ~total_wall =
   json_out buf
     (Obj
        ([
-          ("schema", Int 2);
+          ("schema", Int 3);
           ( "meta",
             Obj
               ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
@@ -154,25 +161,45 @@ let json_of_solver_stats (s : Sat.Solver.stats) =
       ("learned", Int s.Sat.Solver.learned);
     ]
 
-let json_of_report (r : Aqed.Check.report) =
+let json_of_reduce_stats (s : Logic.Reduce.stats) =
   Obj
     [
-      ("check", Str r.Aqed.Check.check);
-      ( "verdict",
-        Str
-          (match r.Aqed.Check.verdict with
-           | Aqed.Check.Bug _ -> "bug"
-           | Aqed.Check.No_bug_up_to _ -> "clean"
-           | Aqed.Check.Proved _ -> "proved") );
-      ( "depth",
-        Int
-          (match r.Aqed.Check.verdict with
-           | Aqed.Check.Bug t -> Bmc.Trace.length t
-           | Aqed.Check.No_bug_up_to k | Aqed.Check.Proved k -> k) );
-      ("wall_s", Num r.Aqed.Check.wall_time);
-      ("aig_nodes", Int r.Aqed.Check.aig_nodes);
-      ("solver", json_of_solver_stats r.Aqed.Check.solver_stats);
+      ("nodes_before", Int s.Logic.Reduce.nodes_before);
+      ("nodes_after", Int s.Logic.Reduce.nodes_after);
+      ("latches_before", Int s.Logic.Reduce.latches_before);
+      ("latches_after", Int s.Logic.Reduce.latches_after);
+      ("coi_dropped_latches", Int s.Logic.Reduce.coi_dropped_latches);
+      ("const_latches", Int s.Logic.Reduce.const_latches);
+      ("sweep_classes", Int s.Logic.Reduce.sweep_classes);
+      ("sweep_queries", Int s.Logic.Reduce.sweep_queries);
+      ("sweep_merged", Int s.Logic.Reduce.sweep_merged);
+      ("sweep_limited", Int s.Logic.Reduce.sweep_limited);
     ]
+
+let json_of_report (r : Aqed.Check.report) =
+  Obj
+    ([
+       ("check", Str r.Aqed.Check.check);
+       ( "verdict",
+         Str
+           (match r.Aqed.Check.verdict with
+            | Aqed.Check.Bug _ -> "bug"
+            | Aqed.Check.No_bug_up_to _ -> "clean"
+            | Aqed.Check.Proved _ -> "proved") );
+       ( "depth",
+         Int
+           (match r.Aqed.Check.verdict with
+            | Aqed.Check.Bug t -> Bmc.Trace.length t
+            | Aqed.Check.No_bug_up_to k | Aqed.Check.Proved k -> k) );
+       ("wall_s", Num r.Aqed.Check.wall_time);
+       ("aig_nodes", Int r.Aqed.Check.aig_nodes);
+       ("aig_nodes_raw", Int r.Aqed.Check.aig_nodes_raw);
+       ("solver", json_of_solver_stats r.Aqed.Check.solver_stats);
+     ]
+     @
+     match r.Aqed.Check.reduce_stats with
+     | None -> []
+     | Some s -> [ ("reduce", json_of_reduce_stats s) ])
 
 (* The A-QED flow on one memctrl configuration: FC, then RB (with the
    clock-enable customization of Sec. IV.C), then SAC with the
@@ -542,6 +569,129 @@ let print_fig2 () =
      | Aqed.Check.Proved k -> Printf.sprintf "proved at depth %d" k
      | Aqed.Check.Bug _ -> "UNEXPECTED BUG")
 
+(* ---- reduction A/B ---- *)
+
+(* The same obligation solved twice — with the structural reduction
+   pipeline (the default) and with --no-reduce — must produce the same
+   verdict at the same depth; the A/B also quantifies what reduction buys
+   in AIG nodes and in encoded CNF size (solver variables + clauses over
+   the whole run, which is the per-frame encoding summed across the depths
+   both runs explore identically). Any verdict or depth mismatch fails the
+   bench (exit 1) — this is the CI smoke for the pipeline's soundness
+   invariant. *)
+let reduce_suite () =
+  [
+    (* The sweep showcase: the checker datapath is functionally equal but
+       structurally disjoint from the functional one, so only SAT sweeping
+       (opt-in, [~sweep:true]; ignored when [~reduce:false]) can collapse
+       it. *)
+    ( "dualpath/FC bug (sweep)",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"dualpath/FC" ~max_depth:12 ~reduce
+          ~sweep:true
+          (fun () -> Accel.Dualpath.build ~bug:true ()) );
+    ( "dualpath/FC (sweep)",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"dualpath/FC" ~max_depth:10 ~reduce
+          ~sweep:true
+          (fun () -> Accel.Dualpath.build ()) );
+    ( "memctrl-fifo/FC",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:10 ~reduce
+          (fun () -> M.build M.Fifo_mode ()) );
+    ( "fig2/FC bug",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"fig2/FC" ~max_depth:16 ~reduce
+          (fun () -> Accel.Fig2.build ~bug:true ()) );
+    ( "AES v1/FC",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"AES v1/FC" ~max_depth:18
+          ~shared:Accel.Aes.shared_key ~reduce
+          (fun () -> Accel.Aes.build ~version:1 ()) );
+    ( "GSM/FC bug",
+      fun ~reduce ->
+        Aqed.Check.prepare_fc ~name:"GSM/FC" ~max_depth:16 ~reduce
+          (fun () -> Accel.Gsm.build ~bug:true ()) );
+    ( "Dataflow/RB bug",
+      fun ~reduce ->
+        Aqed.Check.prepare_rb ~name:"Dataflow/RB" ~max_depth:16
+          ~tau:Accel.Dataflow.tau ~reduce
+          (fun () -> Accel.Dataflow.build ~bug:true ()) );
+    ( "Optical Flow/RB bug",
+      fun ~reduce ->
+        Aqed.Check.prepare_rb ~name:"Optical Flow/RB" ~max_depth:16
+          ~tau:Accel.Optflow.tau ~reduce
+          (fun () -> Accel.Optflow.build ~bug:true ()) );
+  ]
+
+let print_reduce () =
+  pf "\n== Reduction pipeline A/B (verdict parity vs --no-reduce) ==\n";
+  pf "%s\n" (line 100);
+  pf "%-20s %-8s %5s | %9s %9s | %12s %12s %7s\n" "obligation" "verdict"
+    "depth" "aig raw" "reduced" "v+c raw" "v+c reduced" "drop";
+  pf "%s\n" (line 100);
+  let encoded (r : Aqed.Check.report) =
+    r.Aqed.Check.solver_stats.Sat.Solver.max_var
+    + r.Aqed.Check.solver_stats.Sat.Solver.clauses
+  in
+  let best_drop = ref 0. in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let on = Aqed.Check.run_obligation (make ~reduce:true) in
+        let off = Aqed.Check.run_obligation (make ~reduce:false) in
+        let ok = same_outcome on off in
+        if not ok then bench_failed := true;
+        let e_on = encoded on and e_off = encoded off in
+        let drop =
+          if e_off > 0 then 1. -. (float_of_int e_on /. float_of_int e_off)
+          else 0.
+        in
+        if drop > !best_drop then best_drop := drop;
+        let verdict, depth =
+          match on.Aqed.Check.verdict with
+          | Aqed.Check.Bug t -> ("bug", Bmc.Trace.length t)
+          | Aqed.Check.No_bug_up_to k -> ("clean", k)
+          | Aqed.Check.Proved k -> ("proved", k)
+        in
+        pf "%-20s %-8s %5d | %9d %9d | %12d %12d %6.0f%%%s\n" name verdict
+          depth on.Aqed.Check.aig_nodes_raw on.Aqed.Check.aig_nodes e_off e_on
+          (100. *. drop)
+          (if ok then "" else "  << VERDICT MISMATCH");
+        Obj
+          ([
+             ("name", Str name);
+             ("outcomes_match", Bool ok);
+             ("verdict", Str verdict);
+             ("depth", Int depth);
+             ("aig_nodes_raw", Int on.Aqed.Check.aig_nodes_raw);
+             ("aig_nodes_reduced", Int on.Aqed.Check.aig_nodes);
+             ( "encoded_raw",
+               json_of_solver_stats off.Aqed.Check.solver_stats );
+             ( "encoded_reduced",
+               json_of_solver_stats on.Aqed.Check.solver_stats );
+             ("vars_clauses_drop", Num drop);
+             ("wall_s_reduced", Num on.Aqed.Check.wall_time);
+             ("wall_s_raw", Num off.Aqed.Check.wall_time);
+           ]
+           @
+           match on.Aqed.Check.reduce_stats with
+           | None -> []
+           | Some s -> [ ("reduce", json_of_reduce_stats s) ]))
+      (reduce_suite ())
+  in
+  pf "%s\n" (line 100);
+  pf "best vars+clauses drop: %.0f%%%s\n" (100. *. !best_drop)
+    (if !bench_failed then "  (FAILURE: some verdict changed under reduction)"
+     else "");
+  record "reduce"
+    (Obj
+       [
+         ("outcomes_match", Bool (not !bench_failed));
+         ("best_vars_clauses_drop", Num !best_drop);
+         ("rows", Arr rows);
+       ])
+
 (* ---- kernels (Bechamel) ---- *)
 
 let bechamel_tests () =
@@ -799,17 +949,19 @@ let () =
        | "fig5" -> print_fig5 ()
        | "table2" -> print_table2 ~jobs ~portfolio ()
        | "fig2" -> print_fig2 ()
+       | "reduce" -> print_reduce ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
        | "all" ->
          print_table1 (); print_fig5 ();
          print_table2 ~jobs ~portfolio (); print_fig2 ();
-         print_ablations (); print_kernels ()
+         print_reduce (); print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;
   let total = Unix.gettimeofday () -. t0 in
   pf "\ntotal bench time: %.1fs\n" total;
-  write_json_results ~jobs ~portfolio ~total_wall:total
+  write_json_results ~jobs ~portfolio ~total_wall:total;
+  if !bench_failed then exit 1

@@ -125,6 +125,9 @@ let designs =
     simple_design "fig2" "the paper's Fig. 2 motivating example"
       ~build:(fun ~bug () -> Accel.Fig2.build ~bug ())
       ~tau:8 ~golden_one:Accel.Fig2.f;
+    simple_design "dualpath" "self-checking dual-datapath accelerator"
+      ~build:(fun ~bug () -> Accel.Dualpath.build ~bug ())
+      ~tau:Accel.Dualpath.tau ~golden_one:Accel.Dualpath.reference;
   ]
 
 let find_design name =
@@ -169,30 +172,45 @@ let with_telemetry ~trace ~progress f =
   | v -> finish (); v
   | exception e -> finish (); raise e
 
-let cmd_check design_name bug check depth jobs stats =
+let cmd_check design_name bug check depth jobs stats no_reduce sweep =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
+  let reduce = not no_reduce in
   let report =
     match String.lowercase_ascii check with
     | "fc" ->
       Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
-        ~portfolio
+        ~portfolio ~reduce ~sweep
         (fun () -> d.build ?bug ())
     | "rb" ->
-      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
+      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio ~reduce
+        ~sweep
         (fun () -> d.build_rb ?bug ())
     | "sac" -> (
         match d.spec with
         | Some spec ->
-          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio
+          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~reduce
+            ~sweep
             (fun () -> d.build ?bug ())
         | None -> failwith "this design has no registered SAC spec")
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
   in
   Format.printf "%a@." Aqed.Check.pp_report report;
-  if stats then
+  if stats then begin
     Format.printf "  solver: %a@." Sat.Solver.pp_stats
       report.Aqed.Check.solver_stats;
+    match report.Aqed.Check.reduce_stats with
+    | None -> ()
+    | Some s ->
+      Format.printf
+        "  reduce: nodes %d -> %d, latches %d -> %d (coi -%d, const %d), \
+         sweep %d/%d merged (%d classes, %d limited)@."
+        s.Logic.Reduce.nodes_before s.Logic.Reduce.nodes_after
+        s.Logic.Reduce.latches_before s.Logic.Reduce.latches_after
+        s.Logic.Reduce.coi_dropped_latches s.Logic.Reduce.const_latches
+        s.Logic.Reduce.sweep_merged s.Logic.Reduce.sweep_queries
+        s.Logic.Reduce.sweep_classes s.Logic.Reduce.sweep_limited
+  end;
   (match report.Aqed.Check.verdict with
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
@@ -202,18 +220,19 @@ let cmd_check design_name bug check depth jobs stats =
    independent obligations fanned across the domain pool, with the
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
-let cmd_verify design_name bug depth jobs portfolio stats =
+let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep =
   let d = find_design design_name in
+  let reduce = not no_reduce in
   let obligations =
     [
-      Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared
+      Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared ~reduce ~sweep
         (fun () -> d.build ?bug ());
-      Aqed.Check.prepare_rb ~max_depth:depth ~tau:d.tau
+      Aqed.Check.prepare_rb ~max_depth:depth ~tau:d.tau ~reduce ~sweep
         (fun () -> d.build_rb ?bug ());
     ]
     @ (match d.spec with
        | Some spec ->
-         [ Aqed.Check.prepare_sac ~max_depth:depth ~spec
+         [ Aqed.Check.prepare_sac ~max_depth:depth ~spec ~reduce ~sweep
              (fun () -> d.build ?bug ()) ]
        | None -> [])
   in
@@ -281,7 +300,16 @@ let cmd_sim design_name bug count =
 let cmd_sat certify path =
   let cnf = Sat.Dimacs.parse_file path in
   let t0 = Unix.gettimeofday () in
-  let result, model = Sat.Dimacs.solve cnf in
+  (* Post-parse cleanup: the same subsumption sweep the reduction pipeline
+     uses. Equivalence-preserving, so the model below also satisfies the
+     original formula (and --certify re-solves the original anyway). *)
+  let cleaned = Sat.Simplify.subsume cnf.Sat.Dimacs.clauses in
+  let n_before = List.length cnf.Sat.Dimacs.clauses in
+  let n_after = List.length cleaned in
+  if n_after < n_before then
+    Printf.printf "c subsume: %d -> %d clauses\n" n_before n_after;
+  let cnf' = { cnf with Sat.Dimacs.clauses = cleaned } in
+  let result, model = Sat.Dimacs.solve cnf' in
   (match result with
    | Sat.Solver.Sat ->
      print_endline "s SATISFIABLE";
@@ -352,6 +380,23 @@ let progress_arg =
            ~doc:"Stream rate-limited progress lines (conflicts/sec, current \
                  BMC frame) to stderr during long solves.")
 
+let no_reduce_arg =
+  Arg.(value & flag
+       & info [ "no-reduce" ]
+           ~doc:"Skip the structural reduction pipeline (COI, constant \
+                 propagation, SAT sweeping) and encode the raw bit-blasted \
+                 relation. Verdicts and counterexample depths are identical \
+                 either way; this is the A/B escape hatch.")
+
+let sweep_arg =
+  Arg.(value & flag
+       & info [ "sweep" ]
+           ~doc:"Enable SAT sweeping (fraiging) inside the reduction \
+                 pipeline. Equivalence-preserving, but the few proven merges \
+                 can perturb the solver enough to cost more than they save \
+                 on some obligations, so it is off by default. Ignored with \
+                 $(b,--no-reduce).")
+
 let wrap f = try f () with Failure msg -> prerr_endline ("error: " ^ msg); 2
 
 let list_cmd =
@@ -359,27 +404,30 @@ let list_cmd =
     Term.(const (fun () -> wrap cmd_list) $ const ())
 
 let check_cmd =
-  let run d b c k j stats trace progress =
+  let run d b c k j stats trace progress no_reduce sweep =
     wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () -> cmd_check d b c k j stats))
+        with_telemetry ~trace ~progress (fun () ->
+            cmd_check d b c k j stats no_reduce sweep))
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run an A-QED check (exit code 1 when a bug is found)")
     Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
-          $ stats_arg $ trace_arg $ progress_arg)
+          $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg)
 
 let verify_cmd =
-  let run d b k j p stats trace progress =
+  let run d b k j p stats trace progress no_reduce sweep =
     wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () -> cmd_verify d b k j p stats))
+        with_telemetry ~trace ~progress (fun () ->
+            cmd_verify d b k j p stats no_reduce sweep))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run the full A-QED flow (FC, RB, SAC) on the parallel batch \
              driver (exit code 1 when any check finds a bug)")
     Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
-          $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg)
+          $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
+          $ no_reduce_arg $ sweep_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in

@@ -1,0 +1,53 @@
+module Ir = Rtl.Ir
+
+let data_width = 16
+let tau = 4
+
+let reference x = ((3 * x) + 1) land ((1 lsl data_width) - 1)
+
+(* A self-checking accelerator in the duplicate-and-compare style: the
+   result 3x+1 is computed twice through structurally different datapaths —
+   the functional one as (x<<1 + x) + 1, the checker as (x<<2 - x) + 1 —
+   and the checker gates out_valid on their agreement. The two cones are
+   functionally identical but share no gates (an adder chain vs a
+   subtractor), so structural hashing at bit-blast time cannot merge them;
+   SAT sweeping proves the sixteen output-bit pairs equivalent, the
+   comparator folds to constant true, and the whole checker cone drops out
+   of the encoded relation. *)
+let build ?(bug = false) () =
+  let c = Ir.create (if bug then "dualpath_buggy" else "dualpath") in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width ()
+  in
+
+  let busy = Ir.reg0 c "dp_busy" 1 in
+  let op = Ir.reg0 c "dp_op" data_width in
+  let toggle = Ir.reg0 c "dp_toggle" 1 in
+
+  let in_ready = Ir.lognot busy in
+  let in_fire = Ir.logand in_valid in_ready in
+
+  (* Operand capture. The bug gates the write enable with a hidden toggle
+     that flips on every accepted transaction: every second transaction
+     computes on the previous operand — a stale-register FC violation the
+     self-check cannot see (both datapaths read the same stale value). *)
+  let op_en =
+    if bug then Ir.logand in_fire (Ir.lognot toggle) else in_fire
+  in
+  Ir.connect c op (Ir.mux op_en in_data op);
+  Ir.connect c toggle (Ir.mux in_fire (Ir.lognot toggle) toggle);
+
+  let one = Ir.constant c ~width:data_width 1 in
+  let main = Ir.add (Ir.add (Ir.sll op 1) op) one in
+  let shadow = Ir.add (Ir.sub (Ir.sll op 2) op) one in
+  let ok = Ir.eq main shadow in
+
+  let out_valid = Ir.logand busy ok in
+  let out_fire = Ir.logand out_valid out_ready in
+  Ir.connect c busy
+    (Ir.mux in_fire (Ir.vdd c) (Ir.mux out_fire (Ir.gnd c) busy));
+
+  Ir.output c "in_ready" in_ready;
+  Ir.output c "out_valid" out_valid;
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid ~out_data:main
+    ~out_ready ()

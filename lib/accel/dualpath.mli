@@ -1,0 +1,26 @@
+(** A self-checking accelerator with a redundant shadow datapath.
+
+    The design computes [3x + 1] (mod 2^16) twice: the functional path as
+    [(x<<1 + x) + 1] and a checker path as [(x<<2 - x) + 1], gating
+    [out_valid] on their agreement — the duplicate-and-compare pattern of
+    fault-tolerant datapaths. The two cones are functionally equivalent but
+    structurally disjoint, which makes this the showcase for the SAT
+    sweeping pass of {!Logic.Reduce}: sweeping proves the output-bit pairs
+    equal, the comparator folds away and the whole checker cone leaves the
+    encoded relation (the bit-blaster's structural hashing alone cannot see
+    the equivalence).
+
+    The injected bug is a stale operand register: a hidden toggle drops the
+    operand write enable on every second accepted transaction, so that
+    transaction computes on its predecessor's operand. Both datapaths read
+    the same stale register, so the self-check passes — only a functional
+    consistency check across repeated inputs catches it. *)
+
+val data_width : int
+
+val reference : int -> int
+(** Golden output [3x + 1] (mod 2^16). *)
+
+val build : ?bug:bool -> unit -> Aqed.Iface.t
+
+val tau : int

@@ -13,6 +13,8 @@ type report = {
   wall_time : float;
   solver_stats : Solver.stats;
   aig_nodes : int;
+  aig_nodes_raw : int;
+  reduce_stats : Logic.Reduce.stats option;
 }
 
 let pp_outcome fmt = function
@@ -66,29 +68,93 @@ let solver_of_config (c : solver_config) =
     ~phase_init:c.phase_init ~phase_saving:c.phase_saving ()
 
 (* The transition relation of a circuit, shared by all frames: one AIG with
-   the property cone, assumption cones and latch next-state cones. *)
+   the property cone, assumption cones and latch next-state cones — after
+   the structural reduction pipeline unless the caller opted out. Latches
+   are kept bit-level (reduction drops and folds individual bits); the
+   signal-level views [input_sigs]/[reg_sigs] are for trace display, with
+   edges mapped into the reduced graph (bits outside the cone of influence
+   map to constant false — their values cannot matter). *)
 type relation = {
   aig : Aig.t;
   bad : Aig.lit;                                  (* NOT property *)
   assume_lits : Aig.lit list;
-  latches : Rtl.Blast.latch list;
+  latch_bits : (Aig.lit * Aig.lit * bool) array;  (* cur, next, init *)
   input_sigs : (Rtl.Ir.signal * Aig.lit array) list;
+  reg_sigs : (Rtl.Ir.signal * Aig.lit array) list;
+  raw_nodes : int;                                (* before reduction *)
+  reduce_stats : Logic.Reduce.stats option;
 }
 
-let build_relation circuit ~prop =
+(* [constants] gates the reachable-constant-latch pass: folding reachability
+   facts into the relation is sound for bounded checks from reset but can
+   strengthen a k-induction step (turning Bounded_ok into Proved), so the
+   induction path builds its relation without it.
+   [sweep] (default off here, though on in [Logic.Reduce.run]) gates SAT
+   sweeping: on this repository's obligations the proven merges are few
+   (2-4% of nodes) and their CNF savings are reproducibly outweighed on
+   some instances by the solver-trajectory perturbation — the AES FC
+   obligation solves 4x slower at depth 13 with its 22 merges applied —
+   so the engine treats sweeping as an explicit opt-in (CLI [--sweep]). *)
+let build_relation ?(reduce = true) ?(constants = true) ?(sweep = false)
+    circuit ~prop =
   if Rtl.Ir.width prop <> 1 then
     invalid_arg "Bmc: property must be a 1-bit signal";
   let blast = Rtl.Blast.create circuit in
   let bad = Aig.not_ (Rtl.Blast.lit1 blast prop) in
   let assume_lits = List.map (Rtl.Blast.lit1 blast) (Rtl.Ir.assumes circuit) in
   Rtl.Blast.finalize blast;
-  {
-    aig = Rtl.Blast.aig blast;
-    bad;
-    assume_lits;
-    latches = Rtl.Blast.latches blast;
-    input_sigs = Rtl.Blast.input_bits blast;
-  }
+  let aig = Rtl.Blast.aig blast in
+  let latches = Rtl.Blast.latches blast in
+  let input_sigs = Rtl.Blast.input_bits blast in
+  let latch_bits =
+    Array.of_list
+      (List.concat_map
+         (fun (l : Rtl.Blast.latch) ->
+           List.init (Array.length l.cur) (fun i ->
+               (l.cur.(i), l.next.(i), Bitvec.bit l.init i)))
+         latches)
+  in
+  let reg_sigs = List.map (fun (l : Rtl.Blast.latch) -> (l.reg, l.cur)) latches in
+  if not reduce then
+    {
+      aig;
+      bad;
+      assume_lits;
+      latch_bits;
+      input_sigs;
+      reg_sigs;
+      raw_nodes = Aig.nb_nodes aig;
+      reduce_stats = None;
+    }
+  else begin
+    let red =
+      Logic.Reduce.run ~constants ~sweep aig ~bad ~assumes:assume_lits
+        ~latches:
+          (Array.map
+             (fun (cur, next, init) -> { Logic.Reduce.cur; next; init })
+             latch_bits)
+    in
+    let map_or_false l =
+      match Logic.Reduce.map red l with Some e -> e | None -> Aig.false_
+    in
+    {
+      aig = red.Logic.Reduce.aig;
+      bad = red.Logic.Reduce.bad;
+      assume_lits = red.Logic.Reduce.assumes;
+      latch_bits =
+        Array.map
+          (fun (l : Logic.Reduce.latch) -> (l.cur, l.next, l.init))
+          red.Logic.Reduce.latches;
+      input_sigs =
+        List.map
+          (fun (s, bits) -> (s, Array.map map_or_false bits))
+          input_sigs;
+      reg_sigs =
+        List.map (fun (s, bits) -> (s, Array.map map_or_false bits)) reg_sigs;
+      raw_nodes = Aig.nb_nodes aig;
+      reduce_stats = Some red.Logic.Reduce.stats;
+    }
+  end
 
 (* One frame: a Tseitin instantiation of the relation with the latch inputs
    bound to the reset constants (frame 0), to the previous frame's
@@ -98,21 +164,29 @@ type binding =
   | Bind_prev of Tseitin.env
   | Bind_free
 
-let make_frame solver rel binding =
+(* [consts], when given, is the temporal-decomposition row for this frame
+   ({!Logic.Reduce.frame_constants}): a latch bit known to hold a constant
+   at this cycle on every execution is bound directly, and its transition
+   cone in the previous frame is never encoded. The omitted equality is
+   implied by the unrolling, so the satisfying assignments are unchanged. *)
+let m_temporal = Telemetry.Counter.make "bmc.temporal_consts"
+
+let make_frame ?consts solver rel binding =
   let env = Tseitin.create solver rel.aig in
-  List.iter
-    (fun (l : Rtl.Blast.latch) ->
-      Array.iteri
-        (fun i cur ->
-          match binding with
-          | Bind_init -> Tseitin.bind_const env cur (Bitvec.bit l.init i)
-          | Bind_prev prev -> (
-              match Tseitin.value_of prev l.next.(i) with
-              | Tseitin.Cst b -> Tseitin.bind_const env cur b
-              | Tseitin.Lit s -> Tseitin.bind env cur s)
-          | Bind_free -> ())
-        l.cur)
-    rel.latches;
+  Array.iteri
+    (fun i (cur, next, init) ->
+      let known = match consts with Some row -> row.(i) | None -> None in
+      match binding, known with
+      | Bind_init, _ -> Tseitin.bind_const env cur init
+      | Bind_prev _, Some b ->
+        Telemetry.Counter.incr m_temporal;
+        Tseitin.bind_const env cur b
+      | Bind_prev prev, None -> (
+          match Tseitin.value_of prev next with
+          | Tseitin.Cst b -> Tseitin.bind_const env cur b
+          | Tseitin.Lit s -> Tseitin.bind env cur s)
+      | Bind_free, _ -> ())
+    rel.latch_bits;
   List.iter (fun a -> Tseitin.assert_true env a) rel.assume_lits;
   env
 
@@ -140,9 +214,8 @@ let extract_trace solver rel envs ~prop_name ~trace_regs =
           if not trace_regs then []
           else
             List.map
-              (fun (l : Rtl.Blast.latch) ->
-                (sig_name l.reg, read_bits env l.cur))
-              rel.latches
+              (fun (s, bits) -> (sig_name s, read_bits env bits))
+              rel.reg_sigs
         in
         { Trace.inputs; regs })
       envs
@@ -160,8 +233,16 @@ let prop_name circuit prop =
 (* Outcome of asking for a violation in one frame. *)
 type frame_answer = Violated | Clean
 
+(* The bad cone is only ever asserted (assumed true here, clause-blocked
+   below), so a positive-polarity Plaisted–Greenbaum encoding would
+   suffice for soundness — but not for speed: the one-sided cone stays in
+   the incremental instance across all later depths with crippled unit
+   propagation, and the [-bad_lit] block stops pruning. Measured on the
+   AES FC obligation this costs ~50% more conflicts at depth 10 and >4x
+   wall time at depth 13, so the engine asks for the full biconditional
+   ([Pos] remains available for one-shot queries). *)
 let query_frame solver env bad =
-  match Tseitin.value_of env bad with
+  match Tseitin.value_of ~pol:Tseitin.Both env bad with
   | Tseitin.Cst false -> Clean
   | Tseitin.Cst true -> Violated
   | Tseitin.Lit bad_lit -> (
@@ -172,20 +253,17 @@ let query_frame solver env bad =
         Solver.add_clause solver [ -bad_lit ];
         Clean)
 
+(* Exports the unreduced relation: bit-exact with the source circuit (full
+   symbol table, every latch), and equisatisfiable at every depth with what
+   the engine solves after reduction. *)
 let export_aiger circuit ~prop oc =
-  let rel = build_relation circuit ~prop in
+  let rel = build_relation ~reduce:false circuit ~prop in
   let inputs =
     List.concat_map
       (fun (_, bits) -> Array.to_list bits)
       rel.input_sigs
   in
-  let latches =
-    List.concat_map
-      (fun (l : Rtl.Blast.latch) ->
-        List.init (Array.length l.cur) (fun i ->
-            (l.cur.(i), l.next.(i), Bitvec.bit l.init i)))
-      rel.latches
-  in
+  let latches = Array.to_list rel.latch_bits in
   let outputs =
     List.mapi
       (fun i a -> (Some (Printf.sprintf "constraint_%d" i), a))
@@ -205,7 +283,8 @@ let export_aiger circuit ~prop oc =
    flag. The flag is polled both inside the CDCL loop (via
    [Solver.set_cancel]) and between frames, so a losing portfolio member
    stops within a bounded amount of work wherever it happens to be. *)
-let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
+let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
+    ~cancel =
   Telemetry.Span.with_ "bmc.search"
     ~args:
       [ ("prop", Telemetry.Str name);
@@ -226,6 +305,8 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
       wall_time = Unix.gettimeofday () -. t0;
       solver_stats = Solver.stats solver;
       aig_nodes = Aig.nb_nodes rel.aig;
+      aig_nodes_raw = rel.raw_nodes;
+      reduce_stats = rel.reduce_stats;
     }
   in
   let rec go envs_rev depth =
@@ -240,6 +321,14 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
       let binding =
         match envs_rev with [] -> Bind_init | prev :: _ -> Bind_prev prev
       in
+      (* Frame at depth [d] models cycle [d - 1]; depth 1 is the reset frame
+         and already binds every latch, so temporal constants only matter
+         from depth 2 on. *)
+      let consts =
+        match frame_consts with
+        | Some rows when depth >= 2 -> Some rows.(depth - 1)
+        | Some _ | None -> None
+      in
       let env, answer =
         Telemetry.Span.with_ "bmc.frame"
           ~args:[ ("depth", Telemetry.Int depth) ]
@@ -248,7 +337,7 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel =
                 Telemetry.Str
                   (match a with Violated -> "violated" | Clean -> "clean") ) ])
           (fun () ->
-            let env = make_frame solver rel binding in
+            let env = make_frame ?consts solver rel binding in
             (env, query_frame solver env rel.bad))
       in
       Telemetry.Counter.incr m_frames;
@@ -315,15 +404,99 @@ let race_portfolio configs run =
   | None, Some e -> raise e
   | None, None -> failwith "Bmc.race_portfolio: no member finished"
 
-let check ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1) circuit
+(* ---- prepared obligations ---- *)
+
+(* One bit-blast (and one reduction) per obligation: the prepared relation
+   feeds both the cache key and the search, instead of rebuilding the
+   relation once for the key and again for the check. *)
+type prepared = {
+  rel : relation;
+  prepared_name : string;
+  prepared_key : string Lazy.t;
+}
+
+(* Serializes everything the BMC outcome depends on — the AIG gate
+   structure, the bad edge, the assumption edges and the latch wiring with
+   reset values — and digests it. Input names are deliberately excluded:
+   obligations that bit-blast to the same graph (the same sub-check
+   regenerated for another bug variant or configuration) get the same key,
+   which is exactly what the obligation cache wants. The reduction pipeline
+   is deterministic, so keying the *reduced* graph is stable — and
+   obligations that only differ outside their cones of influence now hash
+   equal too. *)
+let key_of_relation rel =
+  let buf = Buffer.create (16 * Aig.nb_nodes rel.aig) in
+  let add_int n =
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+  in
+  let add_lit (l : Aig.lit) = add_int (l :> int) in
+  add_int (Aig.nb_nodes rel.aig);
+  for idx = 0 to Aig.nb_nodes rel.aig - 1 do
+    match Aig.fanins rel.aig idx with
+    | Some (a, b) ->
+      add_lit a;
+      add_lit b
+    | None -> add_int (-1)
+  done;
+  add_lit rel.bad;
+  add_int (List.length rel.assume_lits);
+  List.iter add_lit rel.assume_lits;
+  add_int (Array.length rel.latch_bits);
+  Array.iter
+    (fun (cur, next, init) ->
+      add_lit cur;
+      add_lit next;
+      Buffer.add_char buf (if init then '1' else '0'))
+    rel.latch_bits;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let prepare ?(reduce = true) ?(sweep = false) ?(induction = false) circuit
     ~prop =
-  let rel = build_relation circuit ~prop in
-  let name = prop_name circuit prop in
+  let rel =
+    build_relation ~reduce ~constants:(not induction) ~sweep circuit ~prop
+  in
+  {
+    rel;
+    prepared_name = prop_name circuit prop;
+    prepared_key = lazy (key_of_relation rel);
+  }
+
+let prepared_key p = Lazy.force p.prepared_key
+let prepared_stats p = p.rel.reduce_stats
+
+let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1) p =
+  (* Temporal decomposition rides the [reduce] switch: with reduction off the
+     engine must encode exactly the raw relation (that is the --no-reduce
+     contract the A/B regression leans on). The chain below is rooted at
+     reset, which is precisely when {!Logic.Reduce.frame_constants} is
+     sound; the rows are computed once and shared read-only by every
+     portfolio member. *)
+  let frame_consts =
+    match p.rel.reduce_stats with
+    | None -> None
+    | Some _ ->
+      Some
+        (Logic.Reduce.frame_constants p.rel.aig
+           ~latches:
+             (Array.map
+                (fun (cur, next, init) -> { Logic.Reduce.cur; next; init })
+                p.rel.latch_bits)
+           ~depth:max_depth)
+  in
   let run ~config ~cancel =
-    bounded_search rel ~name ~max_depth ~trace_regs ~config ~cancel
+    bounded_search p.rel ~name:p.prepared_name ~max_depth ~trace_regs
+      ~frame_consts ~config ~cancel
   in
   if portfolio <= 1 then run ~config:default_config ~cancel:None
   else race_portfolio (portfolio_configs portfolio) run
+
+let check ?max_depth ?trace_regs ?portfolio ?(reduce = true) ?(sweep = false)
+    circuit ~prop =
+  check_prepared ?max_depth ?trace_regs ?portfolio
+    (prepare ~reduce ~sweep circuit ~prop)
 
 (* Simple k-induction step: frames 0..k from a free start state, property
    assumed in frames 0..k-1, violated in frame k. UNSAT means any reachable
@@ -346,11 +519,11 @@ let induction_step rel k =
     envs;
   Solver.solve solver = Solver.Unsat
 
-let prove ?(max_depth = 64) circuit ~prop =
+let prove_prepared ?(max_depth = 64) p =
   let t0 = Unix.gettimeofday () in
-  let rel = build_relation circuit ~prop in
+  let rel = p.rel in
   let solver = Solver.create () in
-  let name = prop_name circuit prop in
+  let name = p.prepared_name in
   let finish outcome depth =
     {
       outcome;
@@ -358,6 +531,8 @@ let prove ?(max_depth = 64) circuit ~prop =
       wall_time = Unix.gettimeofday () -. t0;
       solver_stats = Solver.stats solver;
       aig_nodes = Aig.nb_nodes rel.aig;
+      aig_nodes_raw = rel.raw_nodes;
+      reduce_stats = rel.reduce_stats;
     }
   in
   let rec go envs_rev depth =
@@ -388,44 +563,8 @@ let prove ?(max_depth = 64) circuit ~prop =
   in
   go [] 1
 
-(* ---- structural obligation key ---- *)
+let prove ?max_depth ?(reduce = true) ?(sweep = false) circuit ~prop =
+  prove_prepared ?max_depth (prepare ~reduce ~sweep ~induction:true circuit ~prop)
 
-(* Serializes everything the BMC outcome depends on — the AIG gate
-   structure, the bad edge, the assumption edges and the latch wiring with
-   reset values — and digests it. Input names are deliberately excluded:
-   obligations that bit-blast to the same graph (the same sub-check
-   regenerated for another bug variant or configuration) get the same key,
-   which is exactly what the obligation cache wants. *)
-let obligation_key circuit ~prop =
-  let rel = build_relation circuit ~prop in
-  let buf = Buffer.create (16 * Aig.nb_nodes rel.aig) in
-  let add_int n =
-    Buffer.add_char buf (Char.chr (n land 0xff));
-    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
-    Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
-    Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
-  in
-  let add_lit (l : Aig.lit) = add_int (l :> int) in
-  add_int (Aig.nb_nodes rel.aig);
-  for idx = 0 to Aig.nb_nodes rel.aig - 1 do
-    match Aig.fanins rel.aig idx with
-    | Some (a, b) ->
-      add_lit a;
-      add_lit b
-    | None -> add_int (-1)
-  done;
-  add_lit rel.bad;
-  add_int (List.length rel.assume_lits);
-  List.iter add_lit rel.assume_lits;
-  add_int (List.length rel.latches);
-  List.iter
-    (fun (l : Rtl.Blast.latch) ->
-      let w = Array.length l.cur in
-      add_int w;
-      Array.iter add_lit l.cur;
-      Array.iter add_lit l.next;
-      for i = 0 to w - 1 do
-        Buffer.add_char buf (if Bitvec.bit l.init i then '1' else '0')
-      done)
-    rel.latches;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+let obligation_key ?(reduce = true) ?(sweep = false) circuit ~prop =
+  prepared_key (prepare ~reduce ~sweep circuit ~prop)

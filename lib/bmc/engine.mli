@@ -33,7 +33,12 @@ type report = {
   frames_explored : int;
   wall_time : float;     (** seconds *)
   solver_stats : Sat.Solver.stats;
-  aig_nodes : int;
+  aig_nodes : int;       (** nodes the engine actually encoded (post-reduction) *)
+  aig_nodes_raw : int;   (** nodes as bit-blasted (equals [aig_nodes] with
+                             reduction off) *)
+  reduce_stats : Logic.Reduce.stats option;
+                         (** per-pass reduction accounting; [None] with
+                             reduction off *)
 }
 
 (** {1 Portfolio solving}
@@ -61,8 +66,61 @@ val portfolio_configs : int -> solver_config list
 (** [portfolio_configs n] is [n] diversified configurations; the first is
     always {!default_config}. *)
 
+(** {1 Prepared obligations}
+
+    [prepare] bit-blasts (and, by default, structurally reduces — see
+    {!Logic.Reduce}) a circuit into a transition relation exactly once; the
+    prepared value then feeds both the obligation-cache key and any number
+    of searches, instead of rebuilding the relation per use. Reduction
+    preserves every verdict and counterexample depth; [~reduce:false] is
+    the escape hatch (CLI [--no-reduce]). *)
+
+type prepared
+
+val prepare :
+  ?reduce:bool -> ?sweep:bool -> ?induction:bool ->
+  Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
+  prepared
+(** [reduce] (default true) runs the structural reduction pipeline.
+    [sweep] (default false) additionally enables SAT sweeping inside the
+    pipeline: equivalence-preserving, but on some obligations the few
+    proven merges perturb the solver enough to cost more than they save
+    (measured 4x slower on the AES FC check), so it is opt-in (CLI
+    [--sweep]). [induction] (default false) must be set when the relation
+    will be used for {!prove_prepared}: it disables the
+    reachable-constant-latch pass, whose reachability facts are sound for
+    bounded search from reset but could strengthen an induction step. *)
+
+val prepared_key : prepared -> string
+(** A digest of the (reduced) obligation: the AIG gate structure, the bad
+    edge, the assumption edges and the latch wiring with reset values —
+    everything the BMC outcome depends on, and nothing it does not (input
+    names are excluded). Two preparations with equal keys have identical
+    BMC behaviour at every depth, so the key indexes the obligation cache;
+    repeated sub-obligations across bug variants and configurations hash
+    equal and are solved once. Reduction is deterministic, so keys are
+    stable — and reduction can only merge more obligations (circuits that
+    differ outside their cones of influence now hash equal too). *)
+
+val prepared_stats : prepared -> Logic.Reduce.stats option
+(** Reduction accounting for a prepared relation; [None] with
+    [~reduce:false]. *)
+
+val check_prepared :
+  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> prepared -> report
+(** Bounded search from reset. When the prepared relation was reduced, the
+    search also applies temporal decomposition
+    ({!Logic.Reduce.frame_constants}): latch bits provably constant at a
+    given cycle are bound to their constants in that frame and their
+    transition cones are never encoded, shrinking the per-frame CNF without
+    changing any verdict or counterexample depth. *)
+
+val prove_prepared : ?max_depth:int -> prepared -> report
+(** The prepared value must come from [prepare ~induction:true]. *)
+
 val check :
-  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int ->
+  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?reduce:bool ->
+  ?sweep:bool ->
   Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
   report
 (** Searches depths 1, 2, ... [max_depth] (default 64) for a counterexample.
@@ -70,10 +128,13 @@ val check :
     trace. The property signal must be 1 bit wide and belong to the circuit.
     [portfolio] (default 1) races that many diversified solver
     configurations and returns the first report; [1] runs the sequential
-    engine with no extra domains. *)
+    engine with no extra domains. [reduce] (default true) runs the
+    structural reduction pipeline first; verdicts and counterexample depths
+    are identical either way. *)
 
 val prove :
-  ?max_depth:int -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> report
+  ?max_depth:int -> ?reduce:bool -> ?sweep:bool ->
+  Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> report
 (** Interleaves the bounded search with simple k-induction: if no
     counterexample exists at depth [k] and the inductive step at [k] is
     unsatisfiable, the property is reported [Proved]. Sound; incomplete
@@ -82,20 +143,19 @@ val prove :
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val obligation_key : Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> string
-(** A digest of the bit-blasted obligation: the AIG gate structure, the bad
-    edge, the assumption edges and the latch wiring with reset values —
-    everything the BMC outcome depends on, and nothing it does not (input
-    names are excluded). Two circuits with equal keys have identical BMC
-    behaviour at every depth, so the key indexes the obligation cache;
-    repeated sub-obligations across bug variants and configurations hash
-    equal and are solved once. *)
+val obligation_key :
+  ?reduce:bool -> ?sweep:bool -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> string
+(** [prepared_key] of a fresh [prepare] — kept for callers that only need
+    the key. *)
 
 val export_aiger : Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> out_channel -> unit
 (** Writes the bit-blasted transition relation as ASCII AIGER with a single
     bad-state property ([not prop]), the format of the hardware
-    model-checking competition — so the exact BMC problems this engine
-    solves can be cross-checked with external tools (ABC, aigbmc...).
+    model-checking competition — so the BMC problems this engine solves can
+    be cross-checked with external tools (ABC, aigbmc...). The export is
+    the {e unreduced} relation (full symbol table, every latch): bit-exact
+    with the source circuit and equisatisfiable at every depth with the
+    reduced relation the engine searches.
     Circuit assumptions become constraint outputs named ["constraint_<i>"]
     in the symbol table (AIGER 1.9 constraint semantics are not encoded
     structurally; external tools must be told to treat them as invariants,

@@ -11,13 +11,18 @@ type report = {
   wall_time : float;
   bmc_frames : int;
   aig_nodes : int;
+  aig_nodes_raw : int;
+  reduce_stats : Logic.Reduce.stats option;
   solver_stats : Sat.Solver.stats;
 }
 
 let m_obligations = Telemetry.Counter.make "check.obligations"
 let m_bugs = Telemetry.Counter.make "check.bugs"
 
-let run_bmc ?(portfolio = 1) name ~max_depth ~induction circuit prop =
+(* The search side of one obligation: takes an already-prepared (bit-blasted
+   and reduced) relation, so preparing once serves both the cache key and
+   the solve. *)
+let run_bmc ?(portfolio = 1) name ~max_depth ~induction prepared =
   Telemetry.Counter.incr m_obligations;
   Telemetry.Span.with_ "check"
     ~args:
@@ -40,8 +45,8 @@ let run_bmc ?(portfolio = 1) name ~max_depth ~induction circuit prop =
         ("wall_s", Telemetry.Float r.wall_time) ])
   @@ fun () ->
   let bmc_report =
-    if induction then Bmc.Engine.prove ~max_depth circuit ~prop
-    else Bmc.Engine.check ~max_depth ~portfolio circuit ~prop
+    if induction then Bmc.Engine.prove_prepared ~max_depth prepared
+    else Bmc.Engine.check_prepared ~max_depth ~portfolio prepared
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
@@ -57,6 +62,8 @@ let run_bmc ?(portfolio = 1) name ~max_depth ~induction circuit prop =
     wall_time = bmc_report.Bmc.Engine.wall_time;
     bmc_frames = bmc_report.Bmc.Engine.frames_explored;
     aig_nodes = bmc_report.Bmc.Engine.aig_nodes;
+    aig_nodes_raw = bmc_report.Bmc.Engine.aig_nodes_raw;
+    reduce_stats = bmc_report.Bmc.Engine.reduce_stats;
     solver_stats = bmc_report.Bmc.Engine.solver_stats;
   }
 
@@ -84,19 +91,29 @@ type obligation = {
   ob_check : string;
   ob_max_depth : int;
   ob_induction : bool;
+  ob_reduce : bool;
+  ob_sweep : bool;
   ob_build : unit -> Ir.circuit * Ir.signal;
 }
 
 let obligation_name o = o.ob_name
 
+(* Bit-blast (and reduce) the obligation's instance exactly once. *)
+let prepare_engine ob =
+  let circuit, prop = ob.ob_build () in
+  Bmc.Engine.prepare ~reduce:ob.ob_reduce ~sweep:ob.ob_sweep
+    ~induction:ob.ob_induction circuit ~prop
+
 let prepare_fc ?name ?(max_depth = 32) ?cnt_width ?shared ?lanes
-    ?(induction = false) build =
+    ?(induction = false) ?(reduce = true) ?(sweep = false) build =
   let cnt_width = auto_cnt_width cnt_width ~max_depth ~floor:0 in
   {
     ob_name = (match name with Some n -> n | None -> "FC");
     ob_check = "FC";
     ob_max_depth = max_depth;
     ob_induction = induction;
+    ob_reduce = reduce;
+    ob_sweep = sweep;
     ob_build =
       (fun () ->
         let iface = build () in
@@ -111,7 +128,8 @@ let prepare_fc ?name ?(max_depth = 32) ?cnt_width ?shared ?lanes
   }
 
 let prepare_rb ?name ?(max_depth = 32) ?cnt_width ~tau ?in_min
-    ?starvation_bound ?(induction = false) build =
+    ?starvation_bound ?(induction = false) ?(reduce = true) ?(sweep = false)
+    build =
   let floor =
     max tau (match starvation_bound with Some b -> b | None -> tau)
   in
@@ -121,6 +139,8 @@ let prepare_rb ?name ?(max_depth = 32) ?cnt_width ~tau ?in_min
     ob_check = "RB";
     ob_max_depth = max_depth;
     ob_induction = induction;
+    ob_reduce = reduce;
+    ob_sweep = sweep;
     ob_build =
       (fun () ->
         let iface = build () in
@@ -134,12 +154,15 @@ let prepare_rb ?name ?(max_depth = 32) ?cnt_width ~tau ?in_min
         (iface.Iface.circuit, prop));
   }
 
-let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false) build =
+let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false)
+    ?(reduce = true) ?(sweep = false) build =
   {
     ob_name = (match name with Some n -> n | None -> "SAC");
     ob_check = "SAC";
     ob_max_depth = max_depth;
     ob_induction = induction;
+    ob_reduce = reduce;
+    ob_sweep = sweep;
     ob_build =
       (fun () ->
         let iface = build () in
@@ -148,23 +171,24 @@ let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false) build =
   }
 
 let run_obligation ?portfolio ob =
-  let circuit, prop = ob.ob_build () in
   run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
-    ~induction:ob.ob_induction circuit prop
+    ~induction:ob.ob_induction (prepare_engine ob)
 
 let functional_consistency ?max_depth ?cnt_width ?shared ?lanes ?induction
-    ?portfolio build =
+    ?portfolio ?reduce ?sweep build =
   run_obligation ?portfolio
-    (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction build)
+    (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction ?reduce ?sweep
+       build)
 
 let response_bound ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
-    ?induction ?portfolio build =
+    ?induction ?portfolio ?reduce ?sweep build =
   run_obligation ?portfolio
     (prepare_rb ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
-       ?induction build)
+       ?induction ?reduce ?sweep build)
 
-let single_action ?max_depth ~spec ?induction ?portfolio build =
-  run_obligation ?portfolio (prepare_sac ?max_depth ~spec ?induction build)
+let single_action ?max_depth ~spec ?induction ?portfolio ?reduce ?sweep build =
+  run_obligation ?portfolio
+    (prepare_sac ?max_depth ~spec ?induction ?reduce ?sweep build)
 
 let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
 
@@ -174,23 +198,25 @@ let trace_length r =
   | No_bug_up_to _ | Proved _ -> None
 
 let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
-    ?(induction = false) ?portfolio build =
+    ?(induction = false) ?portfolio ?reduce ?sweep build =
   let fc =
     functional_consistency ?max_depth ?cnt_width ?shared ~induction ?portfolio
-      build
+      ?reduce ?sweep build
   in
   if found_bug fc then [ fc ]
   else begin
     let rb =
       response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction ?portfolio
-        build
+        ?reduce ?sweep build
     in
     if found_bug rb then [ fc; rb ]
     else
       match spec with
       | None -> [ fc; rb ]
       | Some spec ->
-        [ fc; rb; single_action ?max_depth ~spec ~induction ?portfolio build ]
+        [ fc; rb;
+          single_action ?max_depth ~spec ~induction ?portfolio ?reduce ?sweep
+            build ]
   end
 
 (* ---- the parallel batch driver ---- *)
@@ -226,15 +252,18 @@ let solve_obligation ?cache ?portfolio ob =
     match cache with
     | None -> (false, run_obligation ?portfolio ob)
     | Some c ->
-      let circuit, prop = ob.ob_build () in
+      (* One bit-blast serves both the key and (on a miss) the solve. The
+         key is over the reduced graph, so preparations with different
+         [reduce] settings never collide. *)
+      let prepared = prepare_engine ob in
       let key =
         Printf.sprintf "%s:%s:d%d:i%b"
-          (Bmc.Engine.obligation_key circuit ~prop)
+          (Bmc.Engine.prepared_key prepared)
           ob.ob_check ob.ob_max_depth ob.ob_induction
       in
       Parallel.Cache.find_or_compute c key (fun () ->
           run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
-            ~induction:ob.ob_induction circuit prop)
+            ~induction:ob.ob_induction prepared)
   in
   {
     entry_name = ob.ob_name;

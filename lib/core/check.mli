@@ -21,7 +21,11 @@ type report = {
   verdict : verdict;
   wall_time : float;        (** seconds *)
   bmc_frames : int;
-  aig_nodes : int;
+  aig_nodes : int;          (** relation size the engine encoded (reduced) *)
+  aig_nodes_raw : int;      (** relation size as bit-blasted *)
+  reduce_stats : Logic.Reduce.stats option;
+                            (** reduction accounting; [None] with reduction
+                                off *)
   solver_stats : Sat.Solver.stats;
 }
 
@@ -32,13 +36,21 @@ val functional_consistency :
   ?lanes:int ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> report
 (** The specification-free A-QED check (Def. 2 / Fig. 4): searches for an
     input sequence where a repeated (action, data) yields a different
     output. [shared] selects a batch-shared operand (see {!Fc_monitor.add});
     [lanes] switches to the multiple-input-batch monitor of Sec. IV.B
     ({!Fc_monitor.add_batch}). [induction] (default false) additionally
-    attempts a k-induction proof, so clean designs can report [Proved]. *)
+    attempts a k-induction proof, so clean designs can report [Proved].
+    [reduce] (default true, on every check) runs the structural reduction
+    pipeline ({!Logic.Reduce}) on the bit-blasted relation first; verdicts
+    and counterexample depths are identical either way. [sweep] (default
+    false, on every check) additionally enables SAT sweeping inside that
+    pipeline — equivalence-preserving but not always a win, see
+    {!Bmc.Engine.prepare}. *)
 
 val response_bound :
   ?max_depth:int ->
@@ -48,6 +60,8 @@ val response_bound :
   ?starvation_bound:int ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> report
 (** The RB check (Def. 3 / Sec. IV.C): both the response property and the
     no-starvation property are checked (as their conjunction). *)
@@ -57,6 +71,8 @@ val single_action :
   spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> report
 (** The SAC check (Def. 7) against a combinational [spec].
 
@@ -74,6 +90,8 @@ val verify :
   ?spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> report list
 (** The full A-QED flow: FC, then RB, then SAC when a [spec] is provided.
     Stops at the first [Bug] (reports up to that point are returned,
@@ -110,6 +128,8 @@ val prepare_fc :
   ?shared:(Iface.t -> Rtl.Ir.signal) ->
   ?lanes:int ->
   ?induction:bool ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> obligation
 (** {!functional_consistency}, packaged instead of run. [name] labels the
     batch entry (default ["FC"]). *)
@@ -122,6 +142,8 @@ val prepare_rb :
   ?in_min:int ->
   ?starvation_bound:int ->
   ?induction:bool ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> obligation
 
 val prepare_sac :
@@ -129,6 +151,8 @@ val prepare_sac :
   ?max_depth:int ->
   spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
+  ?reduce:bool ->
+  ?sweep:bool ->
   (unit -> Iface.t) -> obligation
 
 val run_obligation : ?portfolio:int -> obligation -> report
@@ -136,9 +160,11 @@ val run_obligation : ?portfolio:int -> obligation -> report
     the batch driver is measured against). *)
 
 type cache
-(** A concurrent obligation cache, keyed by
-    {!Bmc.Engine.obligation_key} plus the solve parameters. Shareable
-    across batches and domains; single-flight. *)
+(** A concurrent obligation cache, keyed by {!Bmc.Engine.prepared_key}
+    (the structural hash of the reduced relation) plus the solve
+    parameters. The relation is bit-blasted and reduced once per
+    obligation; the same prepared value feeds the key and, on a miss, the
+    solve. Shareable across batches and domains; single-flight. *)
 
 val create_cache : unit -> cache
 val cache_stats : cache -> Parallel.Cache.stats

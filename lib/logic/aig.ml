@@ -38,6 +38,7 @@ let add_node t n =
 let input t name = 2 * add_node t (Input name)
 
 let node_index l = l lsr 1
+let node_lit idx = 2 * idx
 let is_complemented l = l land 1 = 1
 
 let is_input t l =
@@ -107,22 +108,34 @@ let fanins t idx =
   | And (a, b) -> Some (a, b)
   | Const | Input _ -> None
 
-let eval t env l =
-  let cache = Hashtbl.create 64 in
+(* One shared recursive evaluator parameterized over the memo. [eval_many]
+   uses a byte array indexed by node ('\000' unknown, '\001' false, '\002'
+   true): one allocation for any number of roots, no hashing or boxing on
+   the hot path. *)
+let eval_into t env memo l =
   let rec node idx =
-    match Hashtbl.find_opt cache idx with
-    | Some v -> v
-    | None ->
+    match Bytes.unsafe_get memo idx with
+    | '\001' -> false
+    | '\002' -> true
+    | _ ->
       let v =
         match t.nodes.(idx) with
         | Const -> false
         | Input _ -> env idx
         | And (a, b) -> edge a && edge b
       in
-      Hashtbl.add cache idx v;
+      Bytes.unsafe_set memo idx (if v then '\002' else '\001');
       v
   and edge l =
     let v = node (node_index l) in
     if is_complemented l then not v else v
   in
   edge l
+
+let eval_many t env ls =
+  let memo = Bytes.make t.size '\000' in
+  Array.map (eval_into t env memo) ls
+
+let eval t env l =
+  let memo = Bytes.make t.size '\000' in
+  eval_into t env memo l

@@ -56,6 +56,9 @@ val node_index : lit -> int
 (** Index of the node under an edge (complement stripped). Index 0 is the
     constant-false node. *)
 
+val node_lit : int -> lit
+(** The non-complemented edge onto node [idx]: inverse of {!node_index}. *)
+
 val is_complemented : lit -> bool
 
 val fanins : t -> int -> (lit * lit) option
@@ -65,3 +68,9 @@ val fanins : t -> int -> (lit * lit) option
 val eval : t -> (int -> bool) -> lit -> bool
 (** [eval t env l] evaluates edge [l] given input-node values [env idx].
     Linear in the cone of [l]; results are not cached across calls. *)
+
+val eval_many : t -> (int -> bool) -> lit array -> bool array
+(** [eval_many t env ls] evaluates every edge in [ls] under one input
+    assignment, sharing a single array-backed memo across the roots: one
+    allocation per call instead of one hash table per edge, and each node is
+    computed at most once even when the cones overlap. *)

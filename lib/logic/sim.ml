@@ -1,0 +1,60 @@
+(* Word-parallel AIG simulation. One native int carries [word_bits]
+   independent Boolean vectors; a single forward pass over the node array
+   (which is topologically ordered by construction — fanins always have
+   lower indices) evaluates every node under all of them at once.
+
+   The ternary variant runs the same pass over a (ones, zeros) mask pair per
+   node: bit i of [ones] means "provably 1 in vector i", bit i of [zeros]
+   means "provably 0", neither set means X (unknown). AND is exact on this
+   domain: out_ones = a_ones & b_ones, out_zeros = a_zeros | b_zeros;
+   complement swaps the masks. *)
+
+let word_bits = Sys.int_size - 1
+let word_mask = (1 lsl word_bits) - 1
+
+let read w l =
+  let v = w.(Aig.node_index l) in
+  if Aig.is_complemented l then lnot v land word_mask else v
+
+let run aig ~input =
+  let n = Aig.nb_nodes aig in
+  let w = Array.make n 0 in
+  for idx = 1 to n - 1 do
+    w.(idx) <-
+      (match Aig.fanins aig idx with
+       | Some (a, b) -> read w a land read w b
+       | None -> input idx land word_mask)
+  done;
+  w
+
+type ternary = { ones : int array; zeros : int array }
+
+let t_x = (0, 0)
+let t_const b = if b then (word_mask, 0) else (0, word_mask)
+
+let read_ternary t l =
+  let idx = Aig.node_index l in
+  let o = t.ones.(idx) and z = t.zeros.(idx) in
+  if Aig.is_complemented l then (z, o) else (o, z)
+
+(* [Some b] when the edge is a provable constant in vector 0, [None] if X. *)
+let read_ternary0 t l =
+  let o, z = read_ternary t l in
+  if o land 1 <> 0 then Some true else if z land 1 <> 0 then Some false else None
+
+let run_ternary aig ~input =
+  let n = Aig.nb_nodes aig in
+  let t = { ones = Array.make n 0; zeros = Array.make n 0 } in
+  t.zeros.(0) <- word_mask;
+  for idx = 1 to n - 1 do
+    match Aig.fanins aig idx with
+    | Some (a, b) ->
+      let ao, az = read_ternary t a and bo, bz = read_ternary t b in
+      t.ones.(idx) <- ao land bo;
+      t.zeros.(idx) <- az lor bz
+    | None ->
+      let o, z = input idx in
+      t.ones.(idx) <- o land word_mask;
+      t.zeros.(idx) <- z land word_mask land lnot o
+  done;
+  t

@@ -9,6 +9,14 @@
 
 type t
 
+val subsume : int list list -> int list list
+(** One subsumption + self-subsuming-resolution sweep over a raw clause
+    list (occurrence-list indexed, signature-filtered — near-linear in
+    practice). Tautologies are removed and literals sorted. Every model of
+    the result is a model of the input and vice versa, so the sweep is a
+    safe standalone CNF cleanup after encoding, independent of
+    {!simplify}'s variable elimination (no model reconstruction needed). *)
+
 val simplify : ?max_occurrences:int -> Dimacs.cnf -> t
 (** Runs the pipeline to fixpoint. Variables occurring more than
     [max_occurrences] times (default 10) are not eliminated (the classic

@@ -85,6 +85,8 @@ type t = {
   (* Cooperative cancellation: polled periodically from the CDCL loop. *)
   mutable cancel : bool Atomic.t option;
   mutable poll : int;
+  (* Conflict budget for [solve_limited]; [max_int] when unlimited. *)
+  mutable conflict_ceiling : int;
   (* Proof recording (learned clauses in derivation order, reversed) *)
   mutable proof_enabled : bool;
   mutable proof_rev : int list list;
@@ -137,6 +139,7 @@ let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     phase_saving;
     cancel = None;
     poll = 0;
+    conflict_ceiling = max_int;
     proof_enabled = false;
     proof_rev = [];
     n_decisions = 0;
@@ -610,6 +613,9 @@ let pick_branch s =
 
 exception Done of result
 
+(* Internal: the [solve_limited] conflict budget ran out. *)
+exception Limit_hit
+
 let search s ~assumptions ~restart_budget =
   let conflicts = ref 0 in
   try
@@ -623,6 +629,7 @@ let search s ~assumptions ~restart_budget =
           if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev;
           raise (Done Unsat)
         end;
+        if s.n_conflicts >= s.conflict_ceiling then raise Limit_hit;
         let learnt, btlevel = analyze s conflict in
         (* Never backtrack past the assumption levels unless forced: if the
            asserting level is inside the assumptions we must re-examine
@@ -707,6 +714,7 @@ let solve_body ~assumptions s =
    deltas to the global series (also on Cancelled, so portfolio losers'
    effort is accounted). *)
 let solve ?(assumptions = []) s =
+  s.conflict_ceiling <- max_int;
   s.solve_t0 <- Telemetry.now_s ();
   s.solve_c0 <- s.n_conflicts;
   let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
@@ -726,6 +734,55 @@ let solve ?(assumptions = []) s =
         [ ("result", Telemetry.Str (match r with Sat -> "sat" | Unsat -> "unsat"));
           ("conflicts", Telemetry.Int (s.n_conflicts - s.solve_c0)) ])
       (fun () -> solve_body ~assumptions s)
+  with
+  | r ->
+    account ();
+    r
+  | exception e ->
+    account ();
+    raise e
+
+(* A bounded query: give up after [conflicts] conflicts. Used by SAT
+   sweeping, where an inconclusive equivalence candidate is simply not
+   merged. The solver stays reusable after a limit hit — same defensive
+   reset as cancellation (drop assumption levels, re-propagate from the
+   trail base). *)
+let solve_limited ?(assumptions = []) ~conflicts s =
+  if conflicts < 1 then invalid_arg "Solver.solve_limited";
+  s.conflict_ceiling <-
+    (if s.n_conflicts > max_int - conflicts then max_int
+     else s.n_conflicts + conflicts);
+  s.solve_t0 <- Telemetry.now_s ();
+  s.solve_c0 <- s.n_conflicts;
+  let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
+  let account () =
+    s.conflict_ceiling <- max_int;
+    Telemetry.Counter.add m_conflicts (s.n_conflicts - s.solve_c0);
+    Telemetry.Counter.add m_decisions (s.n_decisions - d0);
+    Telemetry.Counter.add m_propagations (s.n_propagations - p0);
+    Telemetry.Counter.add m_restarts (s.n_restarts - r0)
+  in
+  match
+    Telemetry.Span.with_ "sat.solve"
+      ~args:
+        [ ("vars", Telemetry.Int s.nvars);
+          ("limit", Telemetry.Int conflicts);
+          ("assumptions", Telemetry.Int (List.length assumptions)) ]
+      ~end_args:(fun r ->
+        [ ("result",
+           Telemetry.Str
+             (match r with
+              | Some Sat -> "sat"
+              | Some Unsat -> "unsat"
+              | None -> "limit"));
+          ("conflicts", Telemetry.Int (s.n_conflicts - s.solve_c0)) ])
+      (fun () ->
+        match solve_body ~assumptions s with
+        | r -> Some r
+        | exception Limit_hit ->
+          cancel_until s 0;
+          s.qhead <- 0;
+          None)
   with
   | r ->
     account ();

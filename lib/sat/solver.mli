@@ -71,6 +71,14 @@ val solve : ?assumptions:int list -> t -> result
     with different assumptions; clauses persist across calls. Raises
     {!Cancelled} if a flag registered with {!set_cancel} becomes set. *)
 
+val solve_limited : ?assumptions:int list -> conflicts:int -> t -> result option
+(** Like {!solve}, but gives up and returns [None] after [conflicts]
+    conflicts (must be ≥ 1). A definite answer reached within the budget is
+    returned as [Some r]. After [None] the solver is fully reusable — the
+    same reset as {!Cancelled} is applied. This is the bounded-query knob
+    behind SAT sweeping ({!Logic.Reduce}-style fraiging), where an
+    inconclusive candidate pair is simply left unmerged. *)
+
 val set_cancel : t -> bool Atomic.t -> unit
 (** Registers a cancellation flag shared with other domains. The CDCL loop
     polls it every 256 iterations and raises {!Cancelled} when set — the

@@ -76,6 +76,13 @@ let test_optflow_sim () =
   Alcotest.(check (list int)) "gradients"
     (List.map Accel.Optflow.reference ins) outs
 
+let test_dualpath_sim () =
+  let iface = Accel.Dualpath.build () in
+  let ins = [ 0; 1; 2; 1000; 65535; 21845 ] in
+  let outs = run_design iface ins in
+  Alcotest.(check (list int)) "dualpath 3x+1"
+    (List.map Accel.Dualpath.reference ins) outs
+
 let test_gsm_sim () =
   let iface = Accel.Gsm.build () in
   let ins = [ 0; 100; 207; 255; 123 ] in
@@ -239,6 +246,21 @@ let test_aes_clean () =
   in
   Alcotest.(check bool) "aes clean" false (Aqed.Check.found_bug r)
 
+let test_dualpath_fc () =
+  (* The stale-operand bug computes on the previous transaction's operand,
+     so FC catches it; the self-check (shadow datapath) cannot. Run with
+     sweeping on: the shadow cone must not change the verdict. *)
+  let r =
+    Aqed.Check.functional_consistency ~max_depth:12 ~sweep:true
+      (fun () -> Accel.Dualpath.build ~bug:true ())
+  in
+  Alcotest.(check bool) "dualpath FC bug" true (Aqed.Check.found_bug r);
+  let clean =
+    Aqed.Check.functional_consistency ~max_depth:8 ~sweep:true
+      (fun () -> Accel.Dualpath.build ())
+  in
+  Alcotest.(check bool) "dualpath clean" false (Aqed.Check.found_bug clean)
+
 let test_verify_flow () =
   (* Check.verify chains FC -> RB -> SAC (Proposition 1's three premises). *)
   let clean =
@@ -286,6 +308,7 @@ let suite =
       Alcotest.test_case "memctrl pause-safe" `Quick test_memctrl_pause_safe;
       Alcotest.test_case "dataflow simulation" `Quick test_dataflow_sim;
       Alcotest.test_case "optflow simulation" `Quick test_optflow_sim;
+      Alcotest.test_case "dualpath simulation" `Quick test_dualpath_sim;
       Alcotest.test_case "gsm simulation" `Quick test_gsm_sim;
       Alcotest.test_case "aes reference sanity" `Quick test_aes_reference_sanity;
       Alcotest.test_case "bug registry consistent" `Quick test_bug_registry_consistency;
@@ -296,6 +319,7 @@ let suite =
       Alcotest.test_case "dataflow RB bug" `Slow test_dataflow_rb_bug;
       Alcotest.test_case "optflow RB bug" `Slow test_optflow_rb_bug;
       Alcotest.test_case "gsm FC bug" `Slow test_gsm_fc_bug;
+      Alcotest.test_case "dualpath FC bug (sweep)" `Slow test_dualpath_fc;
       Alcotest.test_case "aes v3 FC bug (BMC)" `Slow test_aes_v3_bmc;
       Alcotest.test_case "aes v1/v2/v4 misbehave in sim" `Quick test_aes_versions_misbehave_in_sim;
       Alcotest.test_case "aes clean" `Slow test_aes_clean;

@@ -6,6 +6,7 @@ let () =
       Test_bitvec.suite;
       Test_sat.suite;
       Test_logic.suite;
+      Test_reduce.suite;
       Test_rtl.suite;
       Test_bmc.suite;
       Test_model.suite;

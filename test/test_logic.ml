@@ -149,6 +149,91 @@ let test_tseitin_const () =
    | Tseitin.Cst true | Tseitin.Lit _ -> Alcotest.fail "expected constant false");
   Alcotest.(check bool) "y untouched" true (Aig.is_input g y)
 
+let test_eval_many () =
+  (* eval_many agrees with eval on overlapping cones, for every root. *)
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" and z = Aig.input g "z" in
+  let shared = Aig.xor_ g x y in
+  let roots =
+    [| Aig.or_ g shared (Aig.not_ z);
+       Aig.and_ g shared z;
+       Aig.not_ shared;
+       Aig.true_;
+       x |]
+  in
+  for bits = 0 to 7 do
+    let env idx =
+      if idx = Aig.node_index x then bits land 1 <> 0
+      else if idx = Aig.node_index y then bits land 2 <> 0
+      else bits land 4 <> 0
+    in
+    let got = Aig.eval_many g env roots in
+    Array.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "root %d under %d" i bits)
+          (Aig.eval g env r) got.(i))
+      roots
+  done
+
+let test_tseitin_polarity () =
+  (* Positive-polarity emission (Plaisted–Greenbaum) drops the negative
+     clause half: [v <-> a /\ b] costs 3 stored clauses under [Both], 2
+     under [Pos] (the root-asserting unit is assigned directly, not
+     stored). *)
+  let count pol =
+    let g = Aig.create () in
+    let x = Aig.input g "x" and y = Aig.input g "y" in
+    let f = Aig.and_ g x y in
+    let s = S.create () in
+    let env = Tseitin.create s g in
+    Tseitin.assert_true ~pol env f;
+    ((S.stats s).S.clauses, s)
+  in
+  let n_both, _ = count Tseitin.Both in
+  let n_pos, s_pos = count Tseitin.Pos in
+  Alcotest.(check int) "full biconditional" 3 n_both;
+  Alcotest.(check int) "one-sided encoding" 2 n_pos;
+  (* The reduced encoding still forces both fanins true. *)
+  Alcotest.(check bool) "pos-encoded cone SAT" true (S.solve s_pos = S.Sat)
+
+let prop_tseitin_polarity_equisat =
+  (* Asserting under [Pos] is satisfiable exactly when asserting under
+     [Both] is — on random cones with shared sub-expressions. *)
+  QCheck.Test.make ~name:"polarity-aware encoding is equisatisfiable"
+    ~count:200 (QCheck.make ~print:string_of_int gen_expr) (fun skel ->
+      let run pol =
+        let g = Aig.create () in
+        let inputs = [| Aig.input g "a"; Aig.input g "b" |] in
+        let f = build g inputs skel in
+        let s = S.create () in
+        let env = Tseitin.create s g in
+        Tseitin.assert_true ~pol env f;
+        S.solve s = S.Sat
+      in
+      run Tseitin.Pos = run Tseitin.Both)
+
+let test_tseitin_polarity_completion () =
+  (* Monotone completion: a cone first encoded one-sided gains exactly the
+     missing halves when a later caller asks for [Both], and model readback
+     stays correct. *)
+  let g = Aig.create () in
+  let x = Aig.input g "x" and y = Aig.input g "y" in
+  let f = Aig.and_ g x y in
+  let s = S.create () in
+  let env = Tseitin.create s g in
+  let l1 = Tseitin.sat_lit ~pol:Tseitin.Pos env f in
+  let before = (S.stats s).S.clauses in
+  let l2 = Tseitin.sat_lit ~pol:Tseitin.Both env f in
+  Alcotest.(check int) "same variable" l1 l2;
+  Alcotest.(check int) "exactly the missing half added" (before + 1)
+    (S.stats s).S.clauses;
+  (* With the biconditional complete, forcing the fanins forces the root. *)
+  S.add_clause s [ Tseitin.sat_lit env x ];
+  S.add_clause s [ Tseitin.sat_lit env y ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "root propagated true" true (S.lit_value s l2)
+
 let test_tseitin_rebind () =
   let g = Aig.create () in
   let x = Aig.input g "x" in
@@ -168,8 +253,13 @@ let suite =
       Alcotest.test_case "xor and mux folding" `Quick test_xor_mux;
       Alcotest.test_case "input names" `Quick test_names;
       Alcotest.test_case "evaluation" `Quick test_eval;
+      Alcotest.test_case "eval_many" `Quick test_eval_many;
       Alcotest.test_case "tseitin bind" `Quick test_tseitin_bind;
       Alcotest.test_case "tseitin constants" `Quick test_tseitin_const;
       Alcotest.test_case "tseitin rebind" `Quick test_tseitin_rebind;
+      Alcotest.test_case "tseitin polarity" `Quick test_tseitin_polarity;
+      Alcotest.test_case "tseitin polarity completion" `Quick
+        test_tseitin_polarity_completion;
       QCheck_alcotest.to_alcotest prop_tseitin_equisat;
+      QCheck_alcotest.to_alcotest prop_tseitin_polarity_equisat;
     ] )

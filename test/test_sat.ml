@@ -237,6 +237,72 @@ let test_simplify_eliminates () =
        (List.exists (fun l -> if l > 0 then model.(l) else not model.(abs l)))
        cnf.Sat.Dimacs.clauses)
 
+let test_solve_limited () =
+  (* A definite answer within the budget is returned; a hard instance under
+     a one-conflict budget gives up with [None]. *)
+  let s = S.create () in
+  ignore (fresh_vars s 2);
+  S.add_clause s [ 1; 2 ];
+  (match S.solve_limited ~conflicts:1000 s with
+   | Some S.Sat -> ()
+   | Some S.Unsat | None -> Alcotest.fail "easy SAT within budget");
+  let hard = S.create () in
+  let v = Array.init 7 (fun _ -> Array.make 6 0) in
+  for p = 1 to 6 do
+    for h = 1 to 5 do
+      v.(p).(h) <- S.new_var hard
+    done
+  done;
+  for p = 1 to 6 do
+    S.add_clause hard (List.init 5 (fun h -> v.(p).(h + 1)))
+  done;
+  for h = 1 to 5 do
+    for p1 = 1 to 6 do
+      for p2 = p1 + 1 to 6 do
+        S.add_clause hard [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(5) exceeds a 1-conflict budget" true
+    (S.solve_limited ~conflicts:1 hard = None);
+  (* The same solver finishes once given room. *)
+  Alcotest.(check bool) "php(5) UNSAT with a real budget" true
+    (S.solve hard = S.Unsat)
+
+let test_subsume_cleanup () =
+  (* [1] kills its supersets; self-subsumption strengthens [-1;2] to [2],
+     which then kills [2;3]. *)
+  let out = Sat.Simplify.subsume [ [ 1; 2 ]; [ 1 ]; [ -1; 2 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "unit kept" true (List.mem [ 1 ] out);
+  Alcotest.(check bool) "superset gone" false (List.mem [ 1; 2 ] out);
+  Alcotest.(check bool) "strengthened" true (List.mem [ 2 ] out);
+  Alcotest.(check bool) "strengthened superset gone" false
+    (List.mem [ 2; 3 ] out)
+
+let prop_subsume_equivalent =
+  (* Unlike variable elimination, subsumption + strengthening preserves the
+     set of models exactly, not just satisfiability. *)
+  QCheck.Test.make ~name:"subsume preserves every assignment's verdict"
+    ~count:250 arb_cnf (fun (nvars, clauses) ->
+      let out = Sat.Simplify.subsume clauses in
+      let eval cls assign =
+        List.for_all
+          (List.exists (fun l ->
+               let b = assign.(abs l) in
+               if l > 0 then b else not b))
+          cls
+      in
+      let rec go v assign =
+        if v > nvars then eval clauses assign = eval out assign
+        else begin
+          assign.(v) <- true;
+          go (v + 1) assign
+          && (assign.(v) <- false;
+              go (v + 1) assign)
+        end
+      in
+      go 1 (Array.make (nvars + 1) false))
+
 let prop_simplify_preserves_sat =
   QCheck.Test.make ~name:"preprocessing is equisatisfiable + model extends"
     ~count:250 arb_cnf (fun (nvars, clauses) ->
@@ -300,6 +366,9 @@ let suite =
       QCheck_alcotest.to_alcotest prop_proofs_check;
       Alcotest.test_case "simplify subsumption" `Quick test_simplify_subsumption;
       Alcotest.test_case "simplify variable elimination" `Quick test_simplify_eliminates;
+      Alcotest.test_case "solve_limited conflict budget" `Quick test_solve_limited;
+      Alcotest.test_case "subsume cleanup" `Quick test_subsume_cleanup;
+      QCheck_alcotest.to_alcotest prop_subsume_equivalent;
       QCheck_alcotest.to_alcotest prop_simplify_preserves_sat;
       Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
       Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
