@@ -7,6 +7,10 @@
      fig2     the motivating clock-enable example
      reduce   structural-reduction A/B: same obligations with and without
               the Logic.Reduce pipeline; exits 1 on any verdict mismatch
+     certify  verdict-certification A/B: same obligations uncertified and
+              with ~certify:true (replayed counterexamples, RUP-certified
+              UNSAT frames); exits 1 on any divergence or missing
+              certificate, and records the wall-time overhead
      kernels  Bechamel micro-benchmarks of the substrate (SAT, BMC, sim)
      ablate   ablations called out in DESIGN.md
 
@@ -18,10 +22,11 @@
    baseline and the parallel batch driver, checks the outcomes agree and
    reports the speedup. `-p N` additionally races N diversified solver
    configurations inside each obligation. Every run also emits
-   machine-readable BENCH_results.json (schema 3: run metadata, per-table
+   machine-readable BENCH_results.json (schema 4: run metadata, per-table
    wall times, solver stats, speedups, pre/post reduction node and clause
-   counts, and a final snapshot of the global telemetry metrics registry)
-   so the perf trajectory is tracked across PRs. *)
+   counts, certification overhead, and a final snapshot of the global
+   telemetry metrics registry) so the perf trajectory is tracked across
+   PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -131,7 +136,7 @@ let write_json_results ~jobs ~portfolio ~total_wall =
   json_out buf
     (Obj
        ([
-          ("schema", Int 3);
+          ("schema", Int 4);
           ( "meta",
             Obj
               ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
@@ -692,6 +697,123 @@ let print_reduce () =
          ("rows", Arr rows);
        ])
 
+(* ---- certification A/B ---- *)
+
+(* The same obligations solved uncertified and with [~certify:true]:
+   verdicts and depths must agree, every certified report must carry an
+   actual certificate (a replayed counterexample or RUP-certified frames),
+   and a [Certification_failed] divergence fails the bench (exit 1). The
+   recorded overhead is the acceptance metric for the certification layer:
+   it must stay within 2x of the uncertified wall time over the suite.
+   (The suite runs the bundled designs at their standard bench depths; the
+   forward RUP check is proportional to the clauses the solver learned, so
+   pathologically hard searches — fig2's depth-14 bug, AES at depth 18 —
+   are measured by their own targets, uncertified.) *)
+let certify_suite () =
+  [
+    ( "memctrl-fifo/FC bug",
+      Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:12
+        (fun () -> M.build ~bug:M.Fifo_oversize_ready M.Fifo_mode ()) );
+    ( "memctrl-fifo/FC clean",
+      Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:8
+        (fun () -> M.build M.Fifo_mode ()) );
+    ( "fig2/FC clean",
+      Aqed.Check.prepare_fc ~name:"fig2/FC" ~max_depth:8
+        (fun () -> Accel.Fig2.build ()) );
+    ( "GSM/FC bug",
+      Aqed.Check.prepare_fc ~name:"GSM/FC" ~max_depth:16
+        (fun () -> Accel.Gsm.build ~bug:true ()) );
+    ( "Dataflow/RB bug",
+      Aqed.Check.prepare_rb ~name:"Dataflow/RB" ~max_depth:16
+        ~tau:Accel.Dataflow.tau
+        (fun () -> Accel.Dataflow.build ~bug:true ()) );
+    ( "Optical Flow/RB bug",
+      Aqed.Check.prepare_rb ~name:"Optical Flow/RB" ~max_depth:16
+        ~tau:Accel.Optflow.tau
+        (fun () -> Accel.Optflow.build ~bug:true ()) );
+    ( "dualpath/FC bug",
+      Aqed.Check.prepare_fc ~name:"dualpath/FC" ~max_depth:12
+        (fun () -> Accel.Dualpath.build ~bug:true ()) );
+  ]
+
+let print_certify () =
+  pf "\n== Verdict certification A/B (replay + RUP vs uncertified) ==\n";
+  pf "%s\n" (line 88);
+  pf "%-24s %-8s %5s | %9s %9s %6s | %s\n" "obligation" "verdict" "depth"
+    "plain(s)" "cert(s)" "ratio" "certificate";
+  pf "%s\n" (line 88);
+  let plain_total = ref 0. and cert_total = ref 0. in
+  let rows =
+    List.map
+      (fun (name, ob) ->
+        let plain = Aqed.Check.run_obligation ob in
+        plain_total := !plain_total +. plain.Aqed.Check.wall_time;
+        match Aqed.Check.run_obligation ~certify:true ob with
+        | exception Bmc.Engine.Certification_failed msg ->
+          bench_failed := true;
+          pf "%-24s DIVERGED: %s\n" name msg;
+          Obj [ ("name", Str name); ("diverged", Bool true);
+                ("error", Str msg) ]
+        | cert ->
+          cert_total := !cert_total +. cert.Aqed.Check.wall_time;
+          let ok = same_outcome plain cert in
+          let certified =
+            cert.Aqed.Check.certificate <> Aqed.Check.Uncertified
+          in
+          if not (ok && certified) then bench_failed := true;
+          let cert_str =
+            match cert.Aqed.Check.certificate with
+            | Aqed.Check.Replayed c -> Printf.sprintf "replayed@%d" c
+            | Aqed.Check.Rup_certified k -> Printf.sprintf "rup@%d" k
+            | Aqed.Check.Uncertified -> "UNCERTIFIED"
+          in
+          let verdict, depth =
+            match cert.Aqed.Check.verdict with
+            | Aqed.Check.Bug t -> ("bug", Bmc.Trace.length t)
+            | Aqed.Check.No_bug_up_to k -> ("clean", k)
+            | Aqed.Check.Proved k -> ("proved", k)
+          in
+          let ratio =
+            if plain.Aqed.Check.wall_time > 0. then
+              cert.Aqed.Check.wall_time /. plain.Aqed.Check.wall_time
+            else 1.
+          in
+          pf "%-24s %-8s %5d | %9.3f %9.3f %5.2fx | %s%s\n" name verdict
+            depth plain.Aqed.Check.wall_time cert.Aqed.Check.wall_time ratio
+            cert_str
+            (if ok then "" else "  << VERDICT MISMATCH");
+          Obj
+            [
+              ("name", Str name);
+              ("diverged", Bool false);
+              ("outcomes_match", Bool ok);
+              ("verdict", Str verdict);
+              ("depth", Int depth);
+              ("certificate", Str cert_str);
+              ("wall_s_plain", Num plain.Aqed.Check.wall_time);
+              ("wall_s_certified", Num cert.Aqed.Check.wall_time);
+              ("overhead", Num ratio);
+            ])
+      (certify_suite ())
+  in
+  pf "%s\n" (line 88);
+  let overhead =
+    if !plain_total > 0. then !cert_total /. !plain_total else 1.
+  in
+  pf "suite: %.3fs uncertified, %.3fs certified — %.2fx overhead%s\n"
+    !plain_total !cert_total overhead
+    (if !bench_failed then "  (FAILURE: divergence or verdict mismatch)"
+     else "");
+  record "certify"
+    (Obj
+       [
+         ("zero_divergences", Bool (not !bench_failed));
+         ("wall_s_plain", Num !plain_total);
+         ("wall_s_certified", Num !cert_total);
+         ("overhead", Num overhead);
+         ("rows", Arr rows);
+       ])
+
 (* ---- kernels (Bechamel) ---- *)
 
 let bechamel_tests () =
@@ -950,14 +1072,16 @@ let () =
        | "table2" -> print_table2 ~jobs ~portfolio ()
        | "fig2" -> print_fig2 ()
        | "reduce" -> print_reduce ()
+       | "certify" -> print_certify ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
        | "all" ->
          print_table1 (); print_fig5 ();
          print_table2 ~jobs ~portfolio (); print_fig2 ();
-         print_reduce (); print_ablations (); print_kernels ()
+         print_reduce (); print_certify (); print_ablations ();
+         print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;

@@ -14,7 +14,15 @@
    trace_event JSON of solver/BMC/pool/check spans (load in Perfetto),
    --progress streams rate-limited progress lines to stderr during long
    solves, --stats prints per-check solver statistics and cache hit/miss
-   counts after each report. *)
+   counts after each report.
+
+   Certification (check and verify): --certify cross-checks every verdict
+   through an independent mechanism — counterexamples are replayed (and
+   shrunk) on the cycle-accurate simulator, clean BMC frames are
+   RUP-checked against the solver's proof log. A certified run exits 0
+   whatever the verdict (the exit code then reports certification, and the
+   report line carries the certificate); a divergence between the solver
+   and the checker prints both sides and exits 2. *)
 
 module M = Accel.Memctrl
 
@@ -172,7 +180,7 @@ let with_telemetry ~trace ~progress f =
   | v -> finish (); v
   | exception e -> finish (); raise e
 
-let cmd_check design_name bug check depth jobs stats no_reduce sweep =
+let cmd_check design_name bug check depth jobs stats no_reduce sweep certify =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
   let reduce = not no_reduce in
@@ -180,17 +188,17 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep =
     match String.lowercase_ascii check with
     | "fc" ->
       Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
-        ~portfolio ~reduce ~sweep
+        ~portfolio ~certify ~reduce ~sweep
         (fun () -> d.build ?bug ())
     | "rb" ->
-      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio ~reduce
-        ~sweep
+      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
+        ~certify ~reduce ~sweep
         (fun () -> d.build_rb ?bug ())
     | "sac" -> (
         match d.spec with
         | Some spec ->
-          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~reduce
-            ~sweep
+          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~certify
+            ~reduce ~sweep
             (fun () -> d.build ?bug ())
         | None -> failwith "this design has no registered SAC spec")
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
@@ -214,13 +222,16 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep =
   (match report.Aqed.Check.verdict with
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
-  if Aqed.Check.found_bug report then 1 else 0
+  (* With --certify the exit code reports certification (a confirmed bug
+     is a success; a divergence raised before reaching here and exits 2). *)
+  if Aqed.Check.found_bug report && not certify then 1 else 0
 
 (* The full flow as a batch: FC, RB and (when a spec is registered) SAC as
    independent obligations fanned across the domain pool, with the
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
-let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep =
+let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
+    certify =
   let d = find_design design_name in
   let reduce = not no_reduce in
   let obligations =
@@ -239,7 +250,7 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep =
   let cache = Aqed.Check.create_cache () in
   let batch =
     Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache
-      ~portfolio:(max 1 portfolio) obligations
+      ~portfolio:(max 1 portfolio) ~certify obligations
   in
   Format.printf "%a@." Aqed.Check.pp_batch batch;
   if stats then begin
@@ -261,7 +272,7 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep =
       | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
       | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ())
     reports;
-  if List.exists Aqed.Check.found_bug reports then 1 else 0
+  if List.exists Aqed.Check.found_bug reports && not certify then 1 else 0
 
 let cmd_sim design_name bug count =
   let d = find_design design_name in
@@ -397,37 +408,55 @@ let sweep_arg =
                  on some obligations, so it is off by default. Ignored with \
                  $(b,--no-reduce).")
 
-let wrap f = try f () with Failure msg -> prerr_endline ("error: " ^ msg); 2
+let certify_arg =
+  Arg.(value & flag
+       & info [ "certify" ]
+           ~doc:"Cross-check every verdict: replay (and shrink) \
+                 counterexamples on the cycle-accurate simulator, RUP-check \
+                 each clean BMC frame against the solver's proof log. The \
+                 exit code then reports certification — 0 whatever the \
+                 verdict, 2 on any divergence between solver and checker \
+                 (both sides are printed).")
+
+let wrap f =
+  try f () with
+  | Failure msg -> prerr_endline ("error: " ^ msg); 2
+  | Bmc.Engine.Certification_failed msg ->
+    prerr_endline ("certification FAILED: " ^ msg);
+    2
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List designs and their injectable bugs")
     Term.(const (fun () -> wrap cmd_list) $ const ())
 
 let check_cmd =
-  let run d b c k j stats trace progress no_reduce sweep =
+  let run d b c k j stats trace progress no_reduce sweep certify =
     wrap (fun () ->
         with_telemetry ~trace ~progress (fun () ->
-            cmd_check d b c k j stats no_reduce sweep))
+            cmd_check d b c k j stats no_reduce sweep certify))
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Run an A-QED check (exit code 1 when a bug is found)")
+       ~doc:"Run an A-QED check (exit code 1 when a bug is found; with \
+             $(b,--certify), 0 on a certified verdict and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
-          $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg)
+          $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg
+          $ certify_arg)
 
 let verify_cmd =
-  let run d b k j p stats trace progress no_reduce sweep =
+  let run d b k j p stats trace progress no_reduce sweep certify =
     wrap (fun () ->
         with_telemetry ~trace ~progress (fun () ->
-            cmd_verify d b k j p stats no_reduce sweep))
+            cmd_verify d b k j p stats no_reduce sweep certify))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run the full A-QED flow (FC, RB, SAC) on the parallel batch \
-             driver (exit code 1 when any check finds a bug)")
+             driver (exit code 1 when any check finds a bug; with \
+             $(b,--certify), 0 on certified verdicts and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
           $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
-          $ no_reduce_arg $ sweep_arg)
+          $ no_reduce_arg $ sweep_arg $ certify_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in

@@ -73,9 +73,17 @@ let to_bits v = List.init v.width (bit v)
 
 let to_int v =
   let n = Array.length v.limbs in
+  (* A native int holds 62 value bits; any set bit at position >= 62 means
+     the value cannot be represented. Bit b lives in limb b / limb_bits at
+     offset b mod limb_bits, so the cutoff inside a limb is 62 - i*limb_bits. *)
+  let overflows i =
+    let lo = i * limb_bits in
+    if lo >= 62 then v.limbs.(i) <> 0
+    else v.limbs.(i) lsr (62 - lo) <> 0
+  in
   let rec go i acc =
     if i < 0 then acc
-    else if i * limb_bits >= 62 && v.limbs.(i) <> 0 then
+    else if overflows i then
       failwith "Bitvec.to_int: value does not fit in an int"
     else go (i - 1) ((acc lsl limb_bits) lor v.limbs.(i))
   in

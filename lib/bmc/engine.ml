@@ -1,11 +1,19 @@
 module Aig = Logic.Aig
 module Tseitin = Logic.Tseitin
 module Solver = Sat.Solver
+module Rup = Sat.Rup
 
 type outcome =
   | Cex of Trace.t
   | Bounded_ok of int
   | Proved of int
+
+type certificate =
+  | Replayed of int
+  | Rup_certified of int
+  | Uncertified
+
+exception Certification_failed of string
 
 type report = {
   outcome : outcome;
@@ -15,6 +23,7 @@ type report = {
   aig_nodes : int;
   aig_nodes_raw : int;
   reduce_stats : Logic.Reduce.stats option;
+  certificate : certificate;
 }
 
 let pp_outcome fmt = function
@@ -35,6 +44,18 @@ let g_frame_depth = Telemetry.Gauge.make "bmc.frame_depth"
 let h_frame_solve = Telemetry.Histogram.make "bmc.frame_solve_s"
 let m_portfolio_wins = Telemetry.Counter.make "bmc.portfolio.wins"
 let m_portfolio_cancelled = Telemetry.Counter.make "bmc.portfolio.cancelled"
+
+(* Certification series: counterexamples confirmed by simulator replay,
+   UNSAT frames confirmed by the RUP checker, and divergences of any kind
+   (which also raise {!Certification_failed}). *)
+let m_cert_replayed = Telemetry.Counter.make "cert.replayed"
+let m_cert_rup_valid = Telemetry.Counter.make "cert.rup_valid"
+let m_cert_failures = Telemetry.Counter.make "cert.failures"
+
+let pp_certificate fmt = function
+  | Replayed c -> Format.fprintf fmt "replayed (violation at cycle %d)" c
+  | Rup_certified k -> Format.fprintf fmt "RUP-certified to depth %d" k
+  | Uncertified -> Format.fprintf fmt "uncertified"
 
 (* ---- portfolio configurations ---- *)
 
@@ -233,6 +254,52 @@ let prop_name circuit prop =
 (* Outcome of asking for a violation in one frame. *)
 type frame_answer = Violated | Clean
 
+(* ---- verdict certification ---- *)
+
+(* Per-search RUP certification state: one independent checker fed the
+   problem clauses verbatim, plus a high-water mark into the solver's
+   clause and proof logs so each frame only replays its own delta. *)
+type cert_state = {
+  checker : Rup.checker;
+  mutable cert_mark : Solver.mark;
+}
+
+let cert_fail msg =
+  Telemetry.Counter.incr m_cert_failures;
+  raise (Certification_failed msg)
+
+(* A frame answered Unsat under the single assumption [bad_lit], which the
+   solver can only conclude at decision level 0 — so [-bad_lit] must be
+   implied by unit propagation over the clause database. The certificate:
+   feed the checker this frame's problem clauses (the Tseitin encoding plus
+   the previous frame's blocking clause), replay the clauses learned during
+   the frame as RUP steps, then demand that asserting [bad_lit] propagates
+   to a conflict. Learned clauses never depend on the assumption (conflict
+   analysis resolves only on clauses), so the steps check without it. *)
+let certify_clean_frame cs solver ~depth bad_lit =
+  List.iter (Rup.add_clause cs.checker)
+    (Solver.clauses_since solver cs.cert_mark);
+  List.iteri
+    (fun i step ->
+      if not (Rup.add_step cs.checker step) then
+        cert_fail
+          (Printf.sprintf
+             "frame %d: learned clause #%d is not confirmed by reverse unit \
+              propagation"
+             depth i))
+    (Solver.proof_since solver cs.cert_mark);
+  if not (Rup.check_step cs.checker [ -bad_lit ]) then
+    cert_fail
+      (Printf.sprintf
+         "frame %d: UNSAT answer not confirmed — unit propagation does not \
+          refute the bad literal"
+         depth);
+  (* The blocking clause the search adds next is exactly the fact just
+     certified; install it in the checker's formula for later frames. *)
+  Rup.add_clause cs.checker [ -bad_lit ];
+  Telemetry.Counter.incr m_cert_rup_valid;
+  cs.cert_mark <- Solver.mark solver
+
 (* The bad cone is only ever asserted (assumed true here, clause-blocked
    below), so a positive-polarity Plaisted–Greenbaum encoding would
    suffice for soundness — but not for speed: the one-sided cone stays in
@@ -241,17 +308,112 @@ type frame_answer = Violated | Clean
    AES FC obligation this costs ~50% more conflicts at depth 10 and >4x
    wall time at depth 13, so the engine asks for the full biconditional
    ([Pos] remains available for one-shot queries). *)
-let query_frame solver env bad =
+let query_frame ?cert ~depth solver env bad =
   match Tseitin.value_of ~pol:Tseitin.Both env bad with
-  | Tseitin.Cst false -> Clean
+  | Tseitin.Cst false ->
+    (* The bad cone folded to constant false: clean with no SAT query to
+       certify (the fact is structural, established by the encoder). *)
+    (match cert with
+     | Some _ -> Telemetry.Counter.incr m_cert_rup_valid
+     | None -> ());
+    Clean
   | Tseitin.Cst true -> Violated
   | Tseitin.Lit bad_lit -> (
       match Solver.solve ~assumptions:[ bad_lit ] solver with
       | Solver.Sat -> Violated
       | Solver.Unsat ->
+        (match cert with
+         | Some cs -> certify_clean_frame cs solver ~depth bad_lit
+         | None -> ());
         (* Exclude this frame's violation from future searches. *)
         Solver.add_clause solver [ -bad_lit ];
         Clean)
+
+(* Greedy counterexample shrinking, entirely on the simulator: try forcing
+   each input of each cycle to all-zeros and keep the change whenever the
+   trace still violates at its final cycle (with every circuit assumption
+   still holding — {!Trace.replay_result} aborts otherwise). The result is
+   a locally-minimal witness under per-signal zeroing. *)
+let shrink_trace sim trace prop =
+  let expected = Trace.length trace - 1 in
+  let frames = Array.of_list trace.Trace.frames in
+  let current () = { trace with Trace.frames = Array.to_list frames } in
+  let confirms () = Trace.replay_result sim (current ()) prop = Some expected in
+  Array.iteri
+    (fun c (f : Trace.frame) ->
+      List.iter
+        (fun (name, v) ->
+          if not (Bitvec.is_zero v) then begin
+            let saved = frames.(c) in
+            frames.(c) <-
+              {
+                saved with
+                Trace.inputs =
+                  List.map
+                    (fun (n, w) ->
+                      if String.equal n name then (n, Bitvec.zero (Bitvec.width w))
+                      else (n, w))
+                    saved.Trace.inputs;
+              };
+            if not (confirms ()) then frames.(c) <- saved
+          end)
+        f.Trace.inputs)
+    frames;
+  current ()
+
+(* Register values in a SAT-extracted trace are read from the reduced
+   relation (bits outside the cone of influence read false); after
+   shrinking, recompute them from the simulator so the displayed trace is
+   self-consistent. *)
+let resimulate_regs sim rel trace =
+  match trace.Trace.frames with
+  | [] -> trace
+  | f0 :: _ when f0.Trace.regs = [] -> trace
+  | _ ->
+    Rtl.Sim.reset sim;
+    let sig_name s =
+      match Rtl.Ir.signal_name s with Some n -> n | None -> "?"
+    in
+    let frames =
+      List.map
+        (fun (f : Trace.frame) ->
+          List.iter (fun (n, v) -> Rtl.Sim.set_input sim n v) f.inputs;
+          let regs =
+            List.map
+              (fun (s, _) -> (sig_name s, Rtl.Sim.reg_value sim s))
+              rel.reg_sigs
+          in
+          Rtl.Sim.step sim;
+          { f with Trace.regs })
+        trace.Trace.frames
+    in
+    { trace with Trace.frames = frames }
+
+(* Independent confirmation of a counterexample: replay it on the
+   cycle-accurate simulator (which shares no code with the
+   AIG/Tseitin/CNF pipeline) and require the first violation to land
+   exactly on the trace's final cycle, then shrink. *)
+let certify_cex circuit prop rel trace =
+  let sim = Rtl.Sim.create circuit in
+  let expected = Trace.length trace - 1 in
+  (match Trace.replay_result sim trace prop with
+   | Some c when c = expected -> ()
+   | Some c ->
+     cert_fail
+       (Printf.sprintf
+          "counterexample replay diverged: SAT claims a violation at cycle \
+           %d, the simulator first violates at cycle %d"
+          expected c)
+   | None ->
+     cert_fail
+       (Printf.sprintf
+          "counterexample replay diverged: SAT claims a violation at cycle \
+           %d, the simulator sees none (or an assumption fails)"
+          expected));
+  let trace = shrink_trace sim trace prop in
+  let trace = resimulate_regs sim rel trace in
+  Telemetry.Counter.incr m_cert_replayed;
+  trace
 
 (* Exports the unreduced relation: bit-exact with the source circuit (full
    symbol table, every latch), and equisatisfiable at every depth with what
@@ -283,8 +445,8 @@ let export_aiger circuit ~prop oc =
    flag. The flag is polled both inside the CDCL loop (via
    [Solver.set_cancel]) and between frames, so a losing portfolio member
    stops within a bounded amount of work wherever it happens to be. *)
-let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
-    ~cancel =
+let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
+    ~frame_consts ~config ~cancel =
   Telemetry.Span.with_ "bmc.search"
     ~args:
       [ ("prop", Telemetry.Str name);
@@ -298,7 +460,16 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
   let t0 = Unix.gettimeofday () in
   let solver = solver_of_config config in
   (match cancel with Some f -> Solver.set_cancel solver f | None -> ());
-  let finish outcome depth =
+  let cert =
+    match certify with
+    | None -> None
+    | Some _ ->
+      (* Proof recording must precede the first clause; each portfolio
+         member certifies its own solver run independently. *)
+      Solver.enable_proof solver;
+      Some { checker = Rup.create (); cert_mark = Solver.mark solver }
+  in
+  let finish ?(certificate = Uncertified) outcome depth =
     {
       outcome;
       frames_explored = depth;
@@ -307,13 +478,18 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
       aig_nodes = Aig.nb_nodes rel.aig;
       aig_nodes_raw = rel.raw_nodes;
       reduce_stats = rel.reduce_stats;
+      certificate;
     }
   in
   let rec go envs_rev depth =
     (match cancel with
      | Some f when Atomic.get f -> raise Solver.Cancelled
      | Some _ | None -> ());
-    if depth > max_depth then finish (Bounded_ok max_depth) max_depth
+    if depth > max_depth then
+      let certificate =
+        match cert with Some _ -> Rup_certified max_depth | None -> Uncertified
+      in
+      finish ~certificate (Bounded_ok max_depth) max_depth
     else begin
       Telemetry.Progress.tick (fun () ->
           Printf.sprintf "bmc %s: frame %d/%d" name depth max_depth);
@@ -338,7 +514,7 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
                   (match a with Violated -> "violated" | Clean -> "clean") ) ])
           (fun () ->
             let env = make_frame ?consts solver rel binding in
-            (env, query_frame solver env rel.bad))
+            (env, query_frame ?cert ~depth solver env rel.bad))
       in
       Telemetry.Counter.incr m_frames;
       Telemetry.Gauge.set g_frame_depth depth;
@@ -350,7 +526,14 @@ let bounded_search rel ~name ~max_depth ~trace_regs ~frame_consts ~config
           extract_trace solver rel (List.rev envs_rev) ~prop_name:name
             ~trace_regs
         in
-        finish (Cex trace) depth
+        let trace, certificate =
+          match certify with
+          | Some (circuit, prop) ->
+            let trace = certify_cex circuit prop rel trace in
+            (trace, Replayed (Trace.length trace - 1))
+          | None -> (trace, Uncertified)
+        in
+        finish ~certificate (Cex trace) depth
       | Clean -> go envs_rev (depth + 1)
     end
   in
@@ -413,6 +596,11 @@ type prepared = {
   rel : relation;
   prepared_name : string;
   prepared_key : string Lazy.t;
+  (* The source circuit and property, retained for certification: replaying
+     a counterexample needs the cycle-accurate simulator, which runs on the
+     original IR, not the reduced relation. *)
+  prepared_circuit : Rtl.Ir.circuit;
+  prepared_prop : Rtl.Ir.signal;
 }
 
 (* Serializes everything the BMC outcome depends on — the AIG gate
@@ -462,12 +650,15 @@ let prepare ?(reduce = true) ?(sweep = false) ?(induction = false) circuit
     rel;
     prepared_name = prop_name circuit prop;
     prepared_key = lazy (key_of_relation rel);
+    prepared_circuit = circuit;
+    prepared_prop = prop;
   }
 
 let prepared_key p = Lazy.force p.prepared_key
 let prepared_stats p = p.rel.reduce_stats
 
-let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1) p =
+let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
+    ?(certify = false) p =
   (* Temporal decomposition rides the [reduce] switch: with reduction off the
      engine must encode exactly the raw relation (that is the --no-reduce
      contract the A/B regression leans on). The chain below is rooted at
@@ -486,16 +677,19 @@ let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1) p =
                 p.rel.latch_bits)
            ~depth:max_depth)
   in
+  let certify =
+    if certify then Some (p.prepared_circuit, p.prepared_prop) else None
+  in
   let run ~config ~cancel =
-    bounded_search p.rel ~name:p.prepared_name ~max_depth ~trace_regs
+    bounded_search ~certify p.rel ~name:p.prepared_name ~max_depth ~trace_regs
       ~frame_consts ~config ~cancel
   in
   if portfolio <= 1 then run ~config:default_config ~cancel:None
   else race_portfolio (portfolio_configs portfolio) run
 
-let check ?max_depth ?trace_regs ?portfolio ?(reduce = true) ?(sweep = false)
-    circuit ~prop =
-  check_prepared ?max_depth ?trace_regs ?portfolio
+let check ?max_depth ?trace_regs ?portfolio ?certify ?(reduce = true)
+    ?(sweep = false) circuit ~prop =
+  check_prepared ?max_depth ?trace_regs ?portfolio ?certify
     (prepare ~reduce ~sweep circuit ~prop)
 
 (* Simple k-induction step: frames 0..k from a free start state, property
@@ -533,6 +727,7 @@ let prove_prepared ?(max_depth = 64) p =
       aig_nodes = Aig.nb_nodes rel.aig;
       aig_nodes_raw = rel.raw_nodes;
       reduce_stats = rel.reduce_stats;
+      certificate = Uncertified;
     }
   in
   let rec go envs_rev depth =
@@ -543,7 +738,7 @@ let prove_prepared ?(max_depth = 64) p =
       in
       let env = make_frame solver rel binding in
       let envs_rev = env :: envs_rev in
-      match query_frame solver env rel.bad with
+      match query_frame ~depth solver env rel.bad with
       | Violated ->
         let trace =
           extract_trace solver rel (List.rev envs_rev) ~prop_name:name

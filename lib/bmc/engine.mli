@@ -28,6 +28,48 @@ type outcome =
   | Proved of int
       (** Established by k-induction at the reported depth ({!prove} only). *)
 
+(** {1 Verdict certification}
+
+    With [~certify:true] every answer of a bounded search is cross-checked
+    by an independent mechanism before it is reported.
+
+    A [Cex] is replayed on the cycle-accurate {!Rtl.Sim} simulator, which
+    shares no code with the AIG/Tseitin/CNF pipeline: the first property
+    violation must land exactly on the trace's final cycle with every
+    circuit assumption holding. The confirmed trace is then greedily
+    shrunk (per-cycle inputs forced to zero whenever the violation
+    survives) and its register values re-derived from the simulator.
+
+    A clean frame — the solver answering Unsat under the frame's single
+    [bad] assumption — is certified by reverse unit propagation
+    ({!Sat.Rup}): the frame's problem clauses are fed verbatim to the
+    checker, the clauses learned during the frame are replayed as RUP
+    steps, and asserting the bad literal must propagate to a conflict.
+    A [Bounded_ok] verdict is reported [Rup_certified] only when every
+    frame on the way certified.
+
+    Any divergence raises {!Certification_failed} (and bumps the
+    [cert.failures] counter); successful confirmations feed
+    [cert.replayed] and [cert.rup_valid]. *)
+
+type certificate =
+  | Replayed of int
+      (** Counterexample confirmed by simulator replay; the payload is the
+          violation cycle (always the trace's final frame,
+          [Trace.length t - 1]). *)
+  | Rup_certified of int
+      (** Every UNSAT frame up to the reported depth passed the RUP
+          check. *)
+  | Uncertified
+      (** Certification was not requested (or not applicable: the
+          k-induction path of {!prove} is not certified). *)
+
+exception Certification_failed of string
+(** A certified run diverged: the replay did not confirm the
+    counterexample, or a frame's UNSAT answer was not confirmed by unit
+    propagation. Either indicates a soundness bug in the encode/solve
+    pipeline (or a corrupted proof) and is always worth reporting. *)
+
 type report = {
   outcome : outcome;
   frames_explored : int;
@@ -39,6 +81,7 @@ type report = {
   reduce_stats : Logic.Reduce.stats option;
                          (** per-pass reduction accounting; [None] with
                              reduction off *)
+  certificate : certificate;
 }
 
 (** {1 Portfolio solving}
@@ -107,20 +150,25 @@ val prepared_stats : prepared -> Logic.Reduce.stats option
     [~reduce:false]. *)
 
 val check_prepared :
-  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> prepared -> report
+  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
+  prepared -> report
 (** Bounded search from reset. When the prepared relation was reduced, the
     search also applies temporal decomposition
     ({!Logic.Reduce.frame_constants}): latch bits provably constant at a
     given cycle are bound to their constants in that frame and their
     transition cones are never encoded, shrinking the per-frame CNF without
-    changing any verdict or counterexample depth. *)
+    changing any verdict or counterexample depth.
+
+    [certify] (default false) cross-checks every answer as described under
+    {!type:certificate}, raising {!Certification_failed} on divergence. In
+    a portfolio, each member certifies its own solver run. *)
 
 val prove_prepared : ?max_depth:int -> prepared -> report
 (** The prepared value must come from [prepare ~induction:true]. *)
 
 val check :
-  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?reduce:bool ->
-  ?sweep:bool ->
+  ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
+  ?reduce:bool -> ?sweep:bool ->
   Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
   report
 (** Searches depths 1, 2, ... [max_depth] (default 64) for a counterexample.
@@ -142,6 +190,8 @@ val prove :
     bound even for true properties. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_certificate : Format.formatter -> certificate -> unit
 
 val obligation_key :
   ?reduce:bool -> ?sweep:bool -> Rtl.Ir.circuit -> prop:Rtl.Ir.signal -> string

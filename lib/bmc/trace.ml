@@ -30,16 +30,27 @@ let pp fmt t =
     t.frames;
   Format.fprintf fmt "@]"
 
-let replay sim t prop =
+let replay_result sim t prop =
   Rtl.Sim.reset sim;
-  let violated = ref false in
-  List.iter
-    (fun f ->
+  let rec go cycle = function
+    | [] -> None
+    | f :: rest ->
       List.iter (fun (name, v) -> Rtl.Sim.set_input sim name v) f.inputs;
-      if Bitvec.is_zero (Rtl.Sim.peek sim prop) then violated := true;
-      Rtl.Sim.step sim)
-    t.frames;
-  !violated
+      (* A cycle that breaks a circuit assumption is outside the checked
+         behaviour: the trace witnesses nothing from that point on. *)
+      if not (Rtl.Sim.assumes_hold sim) then None
+      else if Bitvec.is_zero (Rtl.Sim.peek sim prop) then Some cycle
+      else begin
+        Rtl.Sim.step sim;
+        go (cycle + 1) rest
+      end
+  in
+  go 0 t.frames
+
+(* A trace claims a violation in its final frame; a violation anywhere else
+   means the claimed depth is wrong (an encoding bug), so only the exact
+   cycle confirms. *)
+let replay sim t prop = replay_result sim t prop = Some (length t - 1)
 
 (* All signal names appearing in the trace, inputs first. *)
 let signal_rows t =

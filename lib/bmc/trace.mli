@@ -29,7 +29,16 @@ val pp_waveform : Format.formatter -> t -> unit
     hex values. The layout mirrors what a waveform viewer would show for
     the counterexample, which is how the paper's users debug. *)
 
+val replay_result : Rtl.Sim.t -> t -> Rtl.Ir.signal -> int option
+(** [replay_result sim trace prop] resets the simulator, applies the
+    trace's inputs cycle by cycle, and returns the first cycle at which the
+    1-bit property signal reads 0 (i.e. is violated), or [None] if the
+    property holds throughout. Replay aborts with [None] as soon as a
+    circuit assumption fails — a trace that leaves the assumed behaviour
+    witnesses nothing. *)
+
 val replay : Rtl.Sim.t -> t -> Rtl.Ir.signal -> bool
-(** [replay sim trace prop] resets the simulator, applies the trace's inputs
-    cycle by cycle, and returns [true] iff the 1-bit property signal reads 0
-    (i.e. is violated) in some frame — confirming the counterexample. *)
+(** [replay sim trace prop] confirms the counterexample: [true] iff the
+    first violation lands exactly on the trace's final frame. A violation
+    at any earlier cycle (or none at all) means the claimed depth is wrong
+    and the trace is rejected. *)

@@ -5,6 +5,11 @@ type verdict =
   | No_bug_up_to of int
   | Proved of int
 
+type certificate = Bmc.Engine.certificate =
+  | Replayed of int
+  | Rup_certified of int
+  | Uncertified
+
 type report = {
   check : string;
   verdict : verdict;
@@ -14,6 +19,7 @@ type report = {
   aig_nodes_raw : int;
   reduce_stats : Logic.Reduce.stats option;
   solver_stats : Sat.Solver.stats;
+  certificate : certificate;
 }
 
 let m_obligations = Telemetry.Counter.make "check.obligations"
@@ -22,13 +28,15 @@ let m_bugs = Telemetry.Counter.make "check.bugs"
 (* The search side of one obligation: takes an already-prepared (bit-blasted
    and reduced) relation, so preparing once serves both the cache key and
    the solve. *)
-let run_bmc ?(portfolio = 1) name ~max_depth ~induction prepared =
+let run_bmc ?(portfolio = 1) ?(certify = false) name ~max_depth ~induction
+    prepared =
   Telemetry.Counter.incr m_obligations;
   Telemetry.Span.with_ "check"
     ~args:
       [ ("check", Telemetry.Str name);
         ("max_depth", Telemetry.Int max_depth);
         ("induction", Telemetry.Bool induction);
+        ("certify", Telemetry.Bool certify);
         ("portfolio", Telemetry.Int portfolio) ]
     ~end_args:(fun r ->
       [ ( "verdict",
@@ -46,7 +54,7 @@ let run_bmc ?(portfolio = 1) name ~max_depth ~induction prepared =
   @@ fun () ->
   let bmc_report =
     if induction then Bmc.Engine.prove_prepared ~max_depth prepared
-    else Bmc.Engine.check_prepared ~max_depth ~portfolio prepared
+    else Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify prepared
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
@@ -65,6 +73,7 @@ let run_bmc ?(portfolio = 1) name ~max_depth ~induction prepared =
     aig_nodes_raw = bmc_report.Bmc.Engine.aig_nodes_raw;
     reduce_stats = bmc_report.Bmc.Engine.reduce_stats;
     solver_stats = bmc_report.Bmc.Engine.solver_stats;
+    certificate = bmc_report.Bmc.Engine.certificate;
   }
 
 (* Smallest counter width that cannot wrap within the BMC bound (or reach
@@ -170,24 +179,25 @@ let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false)
         (iface.Iface.circuit, monitor.Sac_monitor.prop));
   }
 
-let run_obligation ?portfolio ob =
-  run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
+let run_obligation ?portfolio ?certify ob =
+  run_bmc ?portfolio ?certify ob.ob_check ~max_depth:ob.ob_max_depth
     ~induction:ob.ob_induction (prepare_engine ob)
 
 let functional_consistency ?max_depth ?cnt_width ?shared ?lanes ?induction
-    ?portfolio ?reduce ?sweep build =
-  run_obligation ?portfolio
+    ?portfolio ?certify ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify
     (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction ?reduce ?sweep
        build)
 
 let response_bound ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
-    ?induction ?portfolio ?reduce ?sweep build =
-  run_obligation ?portfolio
+    ?induction ?portfolio ?certify ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify
     (prepare_rb ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
        ?induction ?reduce ?sweep build)
 
-let single_action ?max_depth ~spec ?induction ?portfolio ?reduce ?sweep build =
-  run_obligation ?portfolio
+let single_action ?max_depth ~spec ?induction ?portfolio ?certify ?reduce
+    ?sweep build =
+  run_obligation ?portfolio ?certify
     (prepare_sac ?max_depth ~spec ?induction ?reduce ?sweep build)
 
 let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
@@ -198,16 +208,16 @@ let trace_length r =
   | No_bug_up_to _ | Proved _ -> None
 
 let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
-    ?(induction = false) ?portfolio ?reduce ?sweep build =
+    ?(induction = false) ?portfolio ?certify ?reduce ?sweep build =
   let fc =
     functional_consistency ?max_depth ?cnt_width ?shared ~induction ?portfolio
-      ?reduce ?sweep build
+      ?certify ?reduce ?sweep build
   in
   if found_bug fc then [ fc ]
   else begin
     let rb =
       response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction ?portfolio
-        ?reduce ?sweep build
+        ?certify ?reduce ?sweep build
     in
     if found_bug rb then [ fc; rb ]
     else
@@ -215,8 +225,8 @@ let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
       | None -> [ fc; rb ]
       | Some spec ->
         [ fc; rb;
-          single_action ?max_depth ~spec ~induction ?portfolio ?reduce ?sweep
-            build ]
+          single_action ?max_depth ~spec ~induction ?portfolio ?certify
+            ?reduce ?sweep build ]
   end
 
 (* ---- the parallel batch driver ---- *)
@@ -246,23 +256,25 @@ type batch_result = {
    is the structural hash of the bit-blasted instance plus the solve
    parameters; [Parallel.Cache] is single-flight, so identical obligations
    landing on different workers at the same time still solve once. *)
-let solve_obligation ?cache ?portfolio ob =
+let solve_obligation ?cache ?portfolio ?(certify = false) ob =
   let t0 = Unix.gettimeofday () in
   let cached, report =
     match cache with
-    | None -> (false, run_obligation ?portfolio ob)
+    | None -> (false, run_obligation ?portfolio ~certify ob)
     | Some c ->
       (* One bit-blast serves both the key and (on a miss) the solve. The
          key is over the reduced graph, so preparations with different
-         [reduce] settings never collide. *)
+         [reduce] settings never collide. Certified and uncertified runs
+         are kept apart too: their reports differ (certificate field,
+         shrunk trace), so one must not answer for the other. *)
       let prepared = prepare_engine ob in
       let key =
-        Printf.sprintf "%s:%s:d%d:i%b"
+        Printf.sprintf "%s:%s:d%d:i%b:c%b"
           (Bmc.Engine.prepared_key prepared)
-          ob.ob_check ob.ob_max_depth ob.ob_induction
+          ob.ob_check ob.ob_max_depth ob.ob_induction certify
       in
       Parallel.Cache.find_or_compute c key (fun () ->
-          run_bmc ?portfolio ob.ob_check ~max_depth:ob.ob_max_depth
+          run_bmc ?portfolio ~certify ob.ob_check ~max_depth:ob.ob_max_depth
             ~induction:ob.ob_induction prepared)
   in
   {
@@ -272,14 +284,9 @@ let solve_obligation ?cache ?portfolio ob =
     entry_wall = Unix.gettimeofday () -. t0;
   }
 
-let run_batch ?jobs ?pool ?cache ?portfolio obligations =
+let run_batch ?jobs ?pool ?cache ?portfolio ?certify obligations =
   let t0 = Unix.gettimeofday () in
-  let before =
-    match cache with
-    | None -> Parallel.Cache.{ hits = 0; misses = 0; entries = 0 }
-    | Some c -> Parallel.Cache.stats c
-  in
-  let solve ob = solve_obligation ?cache ?portfolio ob in
+  let solve ob = solve_obligation ?cache ?portfolio ?certify ob in
   let entries, nworkers =
     match pool with
     | Some p -> (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p)
@@ -287,17 +294,24 @@ let run_batch ?jobs ?pool ?cache ?portfolio obligations =
       Parallel.Pool.with_pool ?workers:jobs (fun p ->
           (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p))
   in
-  let after =
+  (* Attribute cache traffic per entry rather than by diffing the global
+     cache counters: with two batches sharing one cache concurrently, the
+     diff charges this batch for the other's lookups. Without a cache the
+     pair stays 0/0, so printers keep eliding the cache summary. *)
+  let batch_hits, batch_misses =
     match cache with
-    | None -> before
-    | Some c -> Parallel.Cache.stats c
+    | None -> (0, 0)
+    | Some _ ->
+      List.fold_left
+        (fun (h, m) e -> if e.entry_cached then (h + 1, m) else (h, m + 1))
+        (0, 0) entries
   in
   {
     entries;
     batch_wall = Unix.gettimeofday () -. t0;
     batch_jobs = nworkers;
-    batch_hits = after.Parallel.Cache.hits - before.Parallel.Cache.hits;
-    batch_misses = after.Parallel.Cache.misses - before.Parallel.Cache.misses;
+    batch_hits;
+    batch_misses;
   }
 
 let batch_reports b = List.map (fun e -> e.entry_report) b.entries
@@ -316,7 +330,10 @@ let pp_batch fmt b =
       (match e.entry_report.verdict with
        | Bug t -> Format.fprintf fmt "BUG at depth %d" (Bmc.Trace.length t)
        | No_bug_up_to k -> Format.fprintf fmt "clean to %d" k
-       | Proved k -> Format.fprintf fmt "proved at %d" k))
+       | Proved k -> Format.fprintf fmt "proved at %d" k);
+      match e.entry_report.certificate with
+      | Uncertified -> ()
+      | c -> Format.fprintf fmt " [%a]" Bmc.Engine.pp_certificate c)
     b.entries
 
 let pp_report fmt r =
@@ -329,4 +346,7 @@ let pp_report fmt r =
        r.wall_time
    | Proved k ->
      Format.fprintf fmt "%s: proved by %d-induction (%.3fs)" r.check k
-       r.wall_time)
+       r.wall_time);
+  match r.certificate with
+  | Uncertified -> ()
+  | c -> Format.fprintf fmt " [%a]" Bmc.Engine.pp_certificate c

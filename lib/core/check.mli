@@ -16,6 +16,21 @@ type verdict =
   | Proved of int
       (** Property established by k-induction. *)
 
+type certificate = Bmc.Engine.certificate =
+  | Replayed of int
+      (** The counterexample was confirmed by simulator replay: the first
+          violation lands on the reported cycle (the trace's final frame).
+          The trace in the report is the shrunk, replay-confirmed one. *)
+  | Rup_certified of int
+      (** Every UNSAT frame up to the reported depth was confirmed by the
+          independent RUP checker ({!Sat.Rup}). *)
+  | Uncertified
+      (** Certification was not requested, or the verdict came from the
+          (uncertified) k-induction path. *)
+(** Re-exported from {!Bmc.Engine.certificate}; see the certification
+    discussion there. A certified run that diverges raises
+    {!Bmc.Engine.Certification_failed} instead of returning. *)
+
 type report = {
   check : string;           (** ["FC"], ["RB"] or ["SAC"] *)
   verdict : verdict;
@@ -27,6 +42,9 @@ type report = {
                             (** reduction accounting; [None] with reduction
                                 off *)
   solver_stats : Sat.Solver.stats;
+  certificate : certificate;
+                            (** [Uncertified] unless the check ran with
+                                [~certify:true] *)
 }
 
 val functional_consistency :
@@ -36,6 +54,7 @@ val functional_consistency :
   ?lanes:int ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?certify:bool ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -60,6 +79,7 @@ val response_bound :
   ?starvation_bound:int ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?certify:bool ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -71,6 +91,7 @@ val single_action :
   spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?certify:bool ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -90,6 +111,7 @@ val verify :
   ?spec:(Rtl.Ir.signal -> Rtl.Ir.signal) ->
   ?induction:bool ->
   ?portfolio:int ->
+  ?certify:bool ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report list
@@ -155,7 +177,7 @@ val prepare_sac :
   ?sweep:bool ->
   (unit -> Iface.t) -> obligation
 
-val run_obligation : ?portfolio:int -> obligation -> report
+val run_obligation : ?portfolio:int -> ?certify:bool -> obligation -> report
 (** Solves one obligation on the calling domain (the sequential baseline
     the batch driver is measured against). *)
 
@@ -191,6 +213,7 @@ val run_batch :
   ?pool:Parallel.Pool.t ->
   ?cache:cache ->
   ?portfolio:int ->
+  ?certify:bool ->
   obligation list -> batch_result
 (** Fans the obligations across a worker pool. [pool] reuses an existing
     pool; otherwise a fresh one with [jobs] workers (default

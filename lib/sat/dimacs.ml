@@ -8,7 +8,9 @@ let parse_string text =
   let nvars = ref (-1) in
   let nclauses_declared = ref 0 in
   let clauses = ref [] in
+  let nclauses = ref 0 in
   let pending = ref [] in
+  let pending_line = ref 0 in
   let lineno = ref 0 in
   let fail msg = failwith (Printf.sprintf "Dimacs: line %d: %s" !lineno msg) in
   let tokens line =
@@ -24,6 +26,7 @@ let parse_string text =
       | "c" :: _ -> ()
       | t :: _ when String.length t > 0 && t.[0] = 'c' -> ()
       | "p" :: rest ->
+        if !nvars >= 0 then fail "duplicate problem line";
         (match rest with
          | [ "cnf"; v; c ] ->
            (match int_of_string_opt v, int_of_string_opt c with
@@ -40,14 +43,23 @@ let parse_string text =
             | None -> fail (Printf.sprintf "bad literal %S" t)
             | Some 0 ->
               clauses := List.rev !pending :: !clauses;
+              incr nclauses;
               pending := []
             | Some l ->
               if abs l > !nvars then fail (Printf.sprintf "literal %d out of range" l);
-              pending := l :: !pending)
+              pending := l :: !pending;
+              pending_line := !lineno)
           toks)
     lines;
-  if !pending <> [] then clauses := List.rev !pending :: !clauses;
+  if !pending <> [] then begin
+    lineno := !pending_line;
+    fail "final clause not terminated by 0"
+  end;
   if !nvars < 0 then failwith "Dimacs: missing problem line";
+  if !nclauses <> !nclauses_declared then
+    failwith
+      (Printf.sprintf "Dimacs: declared %d clauses but found %d"
+         !nclauses_declared !nclauses);
   { nvars = !nvars; clauses = List.rev !clauses }
 
 let parse_file path =

@@ -3,75 +3,236 @@ type verdict =
   | Invalid of int
   | Incomplete
 
-(* Unit propagation to fixpoint over a clause list under an assignment
-   array (0 unset / 1 true / -1 false). Returns [true] when a conflict is
-   reached. Quadratic; fine for certification of test-sized instances. *)
-let propagates_to_conflict clauses assign =
-  let value lit =
-    let v = assign.(abs lit) in
-    if v = 0 then 0 else if (v > 0) = (lit > 0) then 1 else -1
-  in
+(* Incremental RUP checker with its own two-watched-literal propagation.
+   Shares no code with [Solver]: the clause store, watch scheme and
+   propagation loop are reimplemented from scratch so a solver bug cannot
+   certify itself.
+
+   The checker keeps a single root-level trail of permanently implied
+   literals. [check_step] stacks the negation of a candidate clause on top
+   of the root trail, propagates, and unwinds — root assignments are never
+   undone, so satisfied clauses and falsified literals can be dropped at
+   [add_clause] time (a temporary assignment never overrides a root one). *)
+
+type checker = {
+  mutable nvars : int;
+  mutable assign : int array;         (* var -> 0 unset / 1 true / -1 false *)
+  mutable clauses : int array array;  (* clause store; c.(0), c.(1) watched *)
+  mutable n_clauses : int;
+  mutable watch : int array array;    (* lit_index -> clause ids watching it *)
+  mutable watch_n : int array;
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable qhead : int;
+  mutable contra : bool;              (* formula refuted at the root *)
+}
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let create ?(nvars = 0) () =
+  let cap = max 16 (nvars + 1) in
+  {
+    nvars;
+    assign = Array.make cap 0;
+    clauses = Array.make 16 [||];
+    n_clauses = 0;
+    watch = Array.make ((2 * cap) + 2) [||];
+    watch_n = Array.make ((2 * cap) + 2) 0;
+    trail = Array.make cap 0;
+    trail_n = 0;
+    qhead = 0;
+    contra = false;
+  }
+
+let ensure_var ck v =
+  if v > ck.nvars then begin
+    if v >= Array.length ck.assign then begin
+      let cap = max (v + 1) (2 * Array.length ck.assign) in
+      let grow a fill =
+        let b = Array.make cap fill in
+        Array.blit a 0 b 0 (Array.length a);
+        b
+      in
+      ck.assign <- grow ck.assign 0;
+      ck.trail <- grow ck.trail 0;
+      let wcap = (2 * cap) + 2 in
+      let w = Array.make wcap [||] in
+      Array.blit ck.watch 0 w 0 (Array.length ck.watch);
+      ck.watch <- w;
+      let wn = Array.make wcap 0 in
+      Array.blit ck.watch_n 0 wn 0 (Array.length ck.watch_n);
+      ck.watch_n <- wn
+    end;
+    ck.nvars <- v
+  end
+
+(* 1 = true, -1 = false, 0 = unassigned under the current trail. *)
+let value ck lit =
+  let a = ck.assign.(abs lit) in
+  if a = 0 then 0 else if (a > 0) = (lit > 0) then 1 else -1
+
+let enqueue ck lit =
+  ck.trail.(ck.trail_n) <- lit;
+  ck.trail_n <- ck.trail_n + 1;
+  ck.assign.(abs lit) <- (if lit > 0 then 1 else -1)
+
+let watch_add ck lit ci =
+  let idx = lit_index lit in
+  let n = ck.watch_n.(idx) in
+  if n = Array.length ck.watch.(idx) then begin
+    let a = Array.make (max 4 (2 * n)) 0 in
+    Array.blit ck.watch.(idx) 0 a 0 n;
+    ck.watch.(idx) <- a
+  end;
+  ck.watch.(idx).(n) <- ci;
+  ck.watch_n.(idx) <- n + 1
+
+(* Propagate every enqueued literal to fixpoint. Returns [true] on
+   conflict. Standard scheme: when literal L becomes true, scan the clauses
+   watching -L, compact the kept watches in place. *)
+let propagate ck =
   let conflict = ref false in
-  let changed = ref true in
-  while !changed && not !conflict do
-    changed := false;
-    List.iter
-      (fun clause ->
-        if not !conflict then begin
-          let unassigned = ref [] in
-          let satisfied = ref false in
-          List.iter
-            (fun l ->
-              match value l with
-              | 1 -> satisfied := true
-              | 0 -> unassigned := l :: !unassigned
-              | _ -> ())
-            clause;
-          if not !satisfied then
-            match !unassigned with
-            | [] -> conflict := true
-            | [ l ] ->
-              assign.(abs l) <- (if l > 0 then 1 else -1);
-              changed := true
-            | _ :: _ :: _ -> ()
-        end)
-      clauses
+  while (not !conflict) && ck.qhead < ck.trail_n do
+    let lit = ck.trail.(ck.qhead) in
+    ck.qhead <- ck.qhead + 1;
+    let fl = -lit in
+    let idx = lit_index fl in
+    let ws = ck.watch.(idx) in
+    let n = ck.watch_n.(idx) in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = ws.(!i) in
+      incr i;
+      let c = ck.clauses.(ci) in
+      if c.(0) = fl then begin
+        c.(0) <- c.(1);
+        c.(1) <- fl
+      end;
+      let first = c.(0) in
+      if value ck first = 1 then begin
+        ws.(!keep) <- ci;
+        incr keep
+      end
+      else begin
+        let len = Array.length c in
+        let k = ref 2 in
+        while !k < len && value ck c.(!k) = -1 do incr k done;
+        if !k < len then begin
+          (* New watch found; [watch_add] targets a different literal's
+             list, so [ws] stays valid. *)
+          c.(1) <- c.(!k);
+          c.(!k) <- fl;
+          watch_add ck c.(1) ci
+        end
+        else begin
+          ws.(!keep) <- ci;
+          incr keep;
+          if value ck first = -1 then begin
+            while !i < n do
+              ws.(!keep) <- ws.(!i);
+              incr keep;
+              incr i
+            done;
+            conflict := true
+          end
+          else enqueue ck first
+        end
+      end
+    done;
+    ck.watch_n.(idx) <- !keep
   done;
   !conflict
 
-let rup_step nvars clauses step =
-  let assign = Array.make (nvars + 1) 0 in
-  (* Assert the negation of the candidate clause. A literal and its
-     negation both present make the clause a tautology: trivially fine. *)
-  let tautology =
-    List.exists (fun l -> List.mem (-l) step) step
-  in
-  if tautology then true
+let undo_to ck m =
+  for i = ck.trail_n - 1 downto m do
+    ck.assign.(abs ck.trail.(i)) <- 0
+  done;
+  ck.trail_n <- m;
+  ck.qhead <- m
+
+let normalize_clause ck lits =
+  List.iter
+    (fun l ->
+      if l = 0 then invalid_arg "Rup: zero literal";
+      ensure_var ck (abs l))
+    lits;
+  let lits = List.sort_uniq Int.compare lits in
+  if List.exists (fun l -> List.mem (-l) lits) lits then None else Some lits
+
+let add_clause ck lits =
+  if not ck.contra then
+    match normalize_clause ck lits with
+    | None -> ()  (* tautology: never propagates *)
+    | Some lits ->
+      let lits = List.filter (fun l -> value ck l <> -1) lits in
+      if List.exists (fun l -> value ck l = 1) lits then ()
+      else begin
+        match lits with
+        | [] -> ck.contra <- true
+        | [ l ] ->
+          enqueue ck l;
+          if propagate ck then ck.contra <- true
+        | l0 :: l1 :: _ ->
+          let c = Array.of_list lits in
+          if ck.n_clauses = Array.length ck.clauses then begin
+            let a = Array.make (2 * ck.n_clauses) [||] in
+            Array.blit ck.clauses 0 a 0 ck.n_clauses;
+            ck.clauses <- a
+          end;
+          ck.clauses.(ck.n_clauses) <- c;
+          let ci = ck.n_clauses in
+          ck.n_clauses <- ck.n_clauses + 1;
+          watch_add ck l0 ci;
+          watch_add ck l1 ci
+      end
+
+let contradictory ck = ck.contra
+
+let check_step ck step =
+  if ck.contra then true
   else begin
-    List.iter (fun l -> assign.(abs l) <- (if l > 0 then -1 else 1)) step;
-    propagates_to_conflict clauses assign
+    List.iter
+      (fun l ->
+        if l = 0 then invalid_arg "Rup: zero literal";
+        ensure_var ck (abs l))
+      step;
+    let m = ck.trail_n in
+    (* Assert the negation of every literal of the candidate clause. A
+       literal already true (at the root, or from an earlier assertion of
+       this step — which is how a tautological step shows up) conflicts
+       with its asserted negation immediately. Duplicate literals are
+       skipped by the same value test, so the step needs no
+       normalization — this runs once per learned clause of a solver run,
+       and the sort would dominate. *)
+    let immediate = ref false in
+    List.iter
+      (fun l ->
+        if not !immediate then
+          match value ck l with
+          | 1 -> immediate := true
+          | -1 -> ()
+          | _ -> enqueue ck (-l))
+      step;
+    let ok = !immediate || propagate ck in
+    undo_to ck m;
+    ok
   end
 
-(* Duplicate literals would defeat the unit detection above; tautologies
-   never propagate anything. Normalize once up front. *)
-let normalize clauses =
-  List.filter_map
-    (fun c ->
-      let c = List.sort_uniq Int.compare c in
-      if List.exists (fun l -> List.mem (-l) c) c then None else Some c)
-    clauses
+let add_step ck step =
+  let ok = check_step ck step in
+  if ok then add_clause ck step;
+  ok
 
 let check (cnf : Dimacs.cnf) proof =
-  let rec go accepted idx = function
-    | [] ->
-      if List.exists (fun c -> c = []) proof then Valid else Incomplete
+  let ck = create ~nvars:cnf.Dimacs.nvars () in
+  List.iter (add_clause ck) cnf.Dimacs.clauses;
+  let rec go idx = function
+    | [] -> if List.exists (fun c -> c = []) proof then Valid else Incomplete
     | step :: rest ->
-      let step_n = List.sort_uniq Int.compare step in
-      if rup_step cnf.Dimacs.nvars accepted step_n then
-        go (step_n :: accepted) (idx + 1) rest
-      else Invalid idx
+      if add_step ck step then go (idx + 1) rest else Invalid idx
   in
-  go (normalize cnf.Dimacs.clauses) 0 proof
+  go 0 proof
 
 let check_solver_run cnf =
   let s = Solver.create () in

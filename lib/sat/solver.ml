@@ -87,9 +87,16 @@ type t = {
   mutable poll : int;
   (* Conflict budget for [solve_limited]; [max_int] when unlimited. *)
   mutable conflict_ceiling : int;
-  (* Proof recording (learned clauses in derivation order, reversed) *)
+  (* Proof recording (learned clauses in derivation order, reversed).
+     [proof_len] mirrors the length of [proof_rev] so per-frame marks are
+     O(1); [added_rev] keeps the problem clauses exactly as passed to
+     [add_clause] (the database itself simplifies units away), which is what
+     an external RUP check needs as its base formula. *)
   mutable proof_enabled : bool;
   mutable proof_rev : int list list;
+  mutable proof_len : int;
+  mutable added_rev : int list list;
+  mutable added_len : int;
   (* Statistics *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -142,6 +149,9 @@ let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     conflict_ceiling = max_int;
     proof_enabled = false;
     proof_rev = [];
+    proof_len = 0;
+    added_rev = [];
+    added_len = 0;
     n_decisions = 0;
     n_propagations = 0;
     n_conflicts = 0;
@@ -500,6 +510,10 @@ let analyze s conflict =
 
 (* ---- clause attachment ---- *)
 
+let record_proof s lits =
+  s.proof_rev <- lits :: s.proof_rev;
+  s.proof_len <- s.proof_len + 1
+
 (* A clause is registered under each of its two watched literals; when a
    literal L becomes true, the clauses watching -L are scanned. *)
 let attach_clause s c =
@@ -517,6 +531,13 @@ let add_clause s lits =
         if v = 0 || v > s.nvars then
           invalid_arg "Solver.add_clause: literal over unallocated variable")
       lits;
+    (* Keep the clause verbatim: the database below deduplicates, drops
+       satisfied clauses and strips units, so it cannot serve as the formula
+       an external proof checker runs against. *)
+    if s.proof_enabled then begin
+      s.added_rev <- lits :: s.added_rev;
+      s.added_len <- s.added_len + 1
+    end;
     (* Deduplicate; detect tautologies. *)
     let lits = List.sort_uniq Int.compare lits in
     let taut = List.exists (fun l -> List.mem (-l) lits) lits in
@@ -530,12 +551,12 @@ let add_clause s lits =
         match lits with
         | [] ->
           s.ok <- false;
-          if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev
+          if s.proof_enabled then record_proof s []
         | [ l ] ->
           enqueue s l dummy_clause;
           if propagate s != dummy_clause then begin
             s.ok <- false;
-            if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev
+            if s.proof_enabled then record_proof s []
           end
         | l0 :: l1 :: _ ->
           ignore l0; ignore l1;
@@ -547,7 +568,7 @@ let add_clause s lits =
 
 let record_learnt s lits =
   s.n_learned <- s.n_learned + 1;
-  if s.proof_enabled then s.proof_rev <- Array.to_list lits :: s.proof_rev;
+  if s.proof_enabled then record_proof s (Array.to_list lits);
   if Array.length lits = 1 then begin
     cancel_until s 0;
     enqueue s lits.(0) dummy_clause
@@ -626,7 +647,7 @@ let search s ~assumptions ~restart_budget =
         s.n_conflicts <- s.n_conflicts + 1;
         incr conflicts;
         if decision_level s = 0 then begin
-          if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev;
+          if s.proof_enabled then record_proof s [];
           raise (Done Unsat)
         end;
         if s.n_conflicts >= s.conflict_ceiling then raise Limit_hit;
@@ -683,7 +704,7 @@ let solve_body ~assumptions s =
     cancel_until s 0;
     if propagate s != dummy_clause then begin
       s.ok <- false;
-      if s.proof_enabled then s.proof_rev <- [] :: s.proof_rev;
+      if s.proof_enabled then record_proof s [];
       Unsat
     end
     else begin
@@ -821,4 +842,30 @@ let enable_proof s =
     invalid_arg "Solver.enable_proof: clauses already added";
   s.proof_enabled <- true
 
+let proof_enabled s = s.proof_enabled
+
 let proof s = List.rev s.proof_rev
+
+(* ---- incremental proof taps ---- *)
+
+type mark = {
+  m_added : int;
+  m_proof : int;
+}
+
+let mark s = { m_added = s.added_len; m_proof = s.proof_len }
+
+(* First [n] elements of a reversed log, returned in chronological order. *)
+let log_since rev_log len from =
+  let n = len - from in
+  let rec take acc k l =
+    if k = 0 then acc
+    else
+      match l with
+      | x :: tl -> take (x :: acc) (k - 1) tl
+      | [] -> assert false
+  in
+  take [] n rev_log
+
+let clauses_since s m = log_since s.added_rev s.added_len m.m_added
+let proof_since s m = log_since s.proof_rev s.proof_len m.m_proof

@@ -110,3 +110,28 @@ val enable_proof : t -> unit
 val proof : t -> int list list
 (** The learned clauses in derivation order; after an [Unsat] result the
     last entry is the empty clause. Empty when recording is disabled. *)
+
+val proof_enabled : t -> bool
+
+(** {2 Incremental taps}
+
+    Incremental users (the BMC engine certifying one frame at a time) take a
+    {!mark} before a query and read back only the delta afterwards. When
+    recording is enabled the solver also keeps every problem clause exactly
+    as it was passed to {!add_clause} — the internal database simplifies
+    (dedup, tautology and satisfied-clause drop, unit stripping), so it is
+    not a faithful base formula for an external checker. *)
+
+type mark
+(** A snapshot position in the recorded clause and proof logs. *)
+
+val mark : t -> mark
+
+val clauses_since : t -> mark -> int list list
+(** Problem clauses passed to {!add_clause} since the mark, verbatim, in
+    order of addition. Empty when recording is disabled. *)
+
+val proof_since : t -> mark -> int list list
+(** Learned clauses recorded since the mark, in derivation order. Clauses
+    later deleted by database reduction still appear — a deleted learned
+    clause remains implied, so a checker may keep it in its formula. *)

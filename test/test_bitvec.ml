@@ -30,6 +30,38 @@ let test_wide () =
   Alcotest.(check bool) "bit 0 clear" false (Bitvec.bit x 0);
   check_int "extract high one" 1 (Bitvec.extract x ~hi:99 ~lo:99)
 
+let test_to_int_boundary () =
+  (* A native int holds 62 value bits: any value >= 2^62 must fail whatever
+     the width. The interesting widths straddle the boundary — 63 and 64 in
+     particular used to wrap silently into the sign bit because the
+     overflow guard only fired from limb index 2 upward. *)
+  let overflow = Failure "Bitvec.to_int: value does not fit in an int" in
+  let bit62 w = Bitvec.shift_left (Bitvec.one w) 62 in
+  (* Width 62: every value fits; all-ones is exactly max_int (2^62 - 1). *)
+  Alcotest.(check int) "width 62 all-ones" max_int
+    (Bitvec.to_int (Bitvec.ones 62));
+  List.iter
+    (fun w ->
+      let name = string_of_int w in
+      Alcotest.(check int)
+        ("width " ^ name ^ " max_int fits") max_int
+        (Bitvec.to_int (Bitvec.create ~width:w max_int));
+      Alcotest.(check int)
+        ("width " ^ name ^ " small value fits") 42
+        (Bitvec.to_int (Bitvec.create ~width:w 42));
+      Alcotest.check_raises ("width " ^ name ^ " bit 62 overflows") overflow
+        (fun () -> ignore (Bitvec.to_int (bit62 w)));
+      Alcotest.check_raises ("width " ^ name ^ " all-ones overflows") overflow
+        (fun () -> ignore (Bitvec.to_int (Bitvec.ones w))))
+    [ 63; 64; 65 ];
+  (* The original symptom: bit 62 set in a 64-bit value came back negative
+     instead of failing. Bit 63 lives in the same limb and must fail too. *)
+  Alcotest.check_raises "width 64 bit 63 overflows" overflow (fun () ->
+      ignore (Bitvec.to_int (Bitvec.shift_left (Bitvec.one 64) 63)));
+  (* Just below the boundary at each width. *)
+  let below = Bitvec.sub (bit62 65) (Bitvec.one 65) in
+  Alcotest.(check int) "width 65: 2^62 - 1 fits" max_int (Bitvec.to_int below)
+
 let test_bits () =
   let v = bv 6 0b101101 in
   Alcotest.(check (list bool)) "to_bits LSB first"
@@ -205,6 +237,7 @@ let suite =
     [
       Alcotest.test_case "create/observe" `Quick test_create;
       Alcotest.test_case "wide vectors" `Quick test_wide;
+      Alcotest.test_case "to_int overflow boundary" `Quick test_to_int_boundary;
       Alcotest.test_case "bits" `Quick test_bits;
       Alcotest.test_case "arithmetic" `Quick test_arith;
       Alcotest.test_case "division" `Quick test_div;

@@ -146,6 +146,100 @@ let test_combinational_property () =
   | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
     Alcotest.fail "expected counterexample"
 
+(* ---- verdict certification ---- *)
+
+let test_replay_result_cycles () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 3) in
+  let frame en = { Bmc.Trace.inputs = [ ("en", bv 1 en) ]; regs = [] } in
+  let trace n = { Bmc.Trace.property = "p"; frames = List.init n (fun _ -> frame 1) } in
+  let sim = Rtl.Sim.create c in
+  (* Three enabled steps reach 3; the violation is first seen in cycle 3. *)
+  Alcotest.(check (option int)) "first violation cycle" (Some 3)
+    (Bmc.Trace.replay_result sim (trace 6) prop);
+  (* replay demands the violation on the final frame: a trace that keeps
+     going past it no longer confirms the claimed depth... *)
+  Alcotest.(check bool) "overlong trace rejected" false
+    (Bmc.Trace.replay sim (trace 6) prop);
+  (* ...while the exact-length trace does. *)
+  Alcotest.(check bool) "exact trace confirmed" true
+    (Bmc.Trace.replay sim (trace 4) prop);
+  (* No violation at all. *)
+  Alcotest.(check (option int)) "clean replay" None
+    (Bmc.Trace.replay_result sim (trace 2) prop)
+
+let test_wrong_trace_fails_replay () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 5) in
+  let r = Bmc.Engine.check ~max_depth:16 c ~prop in
+  match r.Bmc.Engine.outcome with
+  | Bmc.Engine.Cex t ->
+    (* Deliberately corrupt the counterexample: disable the very first
+       enabled cycle. The counter then undershoots and the violation can no
+       longer land on the final frame. *)
+    let mutated =
+      { t with
+        Bmc.Trace.frames =
+          (match t.Bmc.Trace.frames with
+           | f :: rest ->
+             { f with Bmc.Trace.inputs = [ ("en", bv 1 0) ] } :: rest
+           | [] -> []) }
+    in
+    let sim = Rtl.Sim.create c in
+    Alcotest.(check bool) "original replays" true (Bmc.Trace.replay sim t prop);
+    Alcotest.(check bool) "mutated trace fails replay" false
+      (Bmc.Trace.replay sim mutated prop)
+  | Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_certified_cex () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 3) in
+  let r = Bmc.Engine.check ~max_depth:16 ~certify:true c ~prop in
+  match (r.Bmc.Engine.outcome, r.Bmc.Engine.certificate) with
+  | Bmc.Engine.Cex t, Bmc.Engine.Replayed cycle ->
+    Alcotest.(check int) "violation on the final frame"
+      (Bmc.Trace.length t - 1) cycle;
+    Alcotest.(check int) "depth preserved by shrinking" 4 (Bmc.Trace.length t);
+    (* The certified (shrunk, re-simulated) trace still replays on a fresh
+       simulator. *)
+    let sim = Rtl.Sim.create c in
+    Alcotest.(check bool) "shrunk trace replays" true
+      (Bmc.Trace.replay sim t prop)
+  | Bmc.Engine.Cex _, cert ->
+    Alcotest.fail
+      (Format.asprintf "expected Replayed, got %a" Bmc.Engine.pp_certificate cert)
+  | (Bmc.Engine.Bounded_ok _ | Bmc.Engine.Proved _), _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_certified_clean () =
+  let c, cnt = counter_circuit () in
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 9) in
+  let r = Bmc.Engine.check ~max_depth:5 ~certify:true c ~prop in
+  match (r.Bmc.Engine.outcome, r.Bmc.Engine.certificate) with
+  | Bmc.Engine.Bounded_ok k, Bmc.Engine.Rup_certified k' ->
+    Alcotest.(check int) "bound reported" 5 k;
+    Alcotest.(check int) "every frame certified" 5 k'
+  | _, cert ->
+    Alcotest.fail
+      (Format.asprintf "expected Rup_certified, got %a"
+         Bmc.Engine.pp_certificate cert)
+
+let test_certified_with_assumptions () =
+  (* Assumptions reach both certification paths: the RUP side encodes them
+     per frame, the replay side checks them cycle by cycle. *)
+  let c, cnt = counter_circuit () in
+  let en = match Ir.inputs c with e :: _ -> e | [] -> assert false in
+  Ir.assume c (Ir.lognot en);
+  let prop = Ir.ne cnt (Ir.constant c ~width:4 1) in
+  let r = Bmc.Engine.check ~max_depth:6 ~certify:true c ~prop in
+  match (r.Bmc.Engine.outcome, r.Bmc.Engine.certificate) with
+  | Bmc.Engine.Bounded_ok _, Bmc.Engine.Rup_certified 6 -> ()
+  | _, cert ->
+    Alcotest.fail
+      (Format.asprintf "expected Rup_certified 6, got %a"
+         Bmc.Engine.pp_certificate cert)
+
 (* Property: for random counter targets, BMC depth equals target + 1 (the
    shortest input sequence reaching the value, plus the violation frame). *)
 let prop_minimal_depth =
@@ -171,5 +265,13 @@ let suite =
       Alcotest.test_case "waveform rendering" `Quick test_waveform_render;
       Alcotest.test_case "property width checked" `Quick test_width_check;
       Alcotest.test_case "combinational property" `Quick test_combinational_property;
+      Alcotest.test_case "replay_result cycle accounting" `Quick
+        test_replay_result_cycles;
+      Alcotest.test_case "mutated trace fails replay" `Quick
+        test_wrong_trace_fails_replay;
+      Alcotest.test_case "certified counterexample" `Quick test_certified_cex;
+      Alcotest.test_case "certified clean bound" `Quick test_certified_clean;
+      Alcotest.test_case "certified under assumptions" `Quick
+        test_certified_with_assumptions;
       QCheck_alcotest.to_alcotest prop_minimal_depth;
     ] )

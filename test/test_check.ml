@@ -76,6 +76,52 @@ let test_pp_report () =
   Alcotest.(check bool) "mentions BUG" true (contains "BUG");
   Alcotest.(check bool) "mentions counterexample" true (contains "counterexample")
 
+let test_certified_reports () =
+  (* ~certify:true must attach a certificate to both verdicts; the default
+     path stays Uncertified. *)
+  let bug =
+    Aqed.Check.functional_consistency ~max_depth:10 ~certify:true
+      (fun () -> echo ~twist:true ())
+  in
+  (match bug.Aqed.Check.certificate with
+   | Aqed.Check.Replayed c ->
+     Alcotest.(check (option int)) "violation on the trace's final cycle"
+       (Some (c + 1)) (Aqed.Check.trace_length bug)
+   | _ -> Alcotest.fail "expected a Replayed certificate on the bug");
+  let clean =
+    Aqed.Check.functional_consistency ~max_depth:6 ~certify:true
+      (fun () -> echo ())
+  in
+  (match clean.Aqed.Check.certificate with
+   | Aqed.Check.Rup_certified 6 -> ()
+   | _ -> Alcotest.fail "expected Rup_certified to depth 6 on the clean run");
+  let plain = Aqed.Check.functional_consistency ~max_depth:6 (fun () -> echo ()) in
+  Alcotest.(check bool) "uncertified by default" true
+    (plain.Aqed.Check.certificate = Aqed.Check.Uncertified)
+
+let test_certified_memctrl_obligation () =
+  (* The bundled memctrl bug obligation — the same one the CLI smoke test and
+     [bench certify] exercise — certifies on both sides of the verdict. *)
+  let module M = Accel.Memctrl in
+  let bug_ob =
+    Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:12
+      (fun () -> M.build ~bug:M.Fifo_oversize_ready M.Fifo_mode ())
+  in
+  let r = Aqed.Check.run_obligation ~certify:true bug_ob in
+  Alcotest.(check bool) "bug found" true (Aqed.Check.found_bug r);
+  (match r.Aqed.Check.certificate with
+   | Aqed.Check.Replayed _ -> ()
+   | _ -> Alcotest.fail "expected Replayed on the memctrl bug");
+  let clean_ob =
+    Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:6
+      (fun () -> M.build M.Fifo_mode ())
+  in
+  let rc = Aqed.Check.run_obligation ~certify:true clean_ob in
+  Alcotest.(check bool) "clean" false (Aqed.Check.found_bug rc);
+  match rc.Aqed.Check.certificate with
+  | Aqed.Check.Rup_certified 6 -> ()
+  | _ -> Alcotest.fail "expected Rup_certified on the clean memctrl run"
+
 let test_rb_tau_validation () =
   Alcotest.(check bool) "tau >= 1 enforced" true
     (match
@@ -93,4 +139,7 @@ let suite =
       Alcotest.test_case "induction on clean design" `Slow test_induction_proves_echo_fc;
       Alcotest.test_case "report formatting" `Quick test_pp_report;
       Alcotest.test_case "rb tau validation" `Quick test_rb_tau_validation;
+      Alcotest.test_case "certified reports" `Slow test_certified_reports;
+      Alcotest.test_case "certified memctrl obligation" `Slow
+        test_certified_memctrl_obligation;
     ] )

@@ -218,6 +218,37 @@ let test_cache_hits_identical_reports () =
   Alcotest.(check bool) "hit rate reflects reuse" true
     (Aqed.Check.cache_hit_rate cache = 0.625)
 
+let test_shared_cache_batch_accounting () =
+  (* Two batches racing on one shared cache: each batch's hit/miss counts
+     are derived from its own entries' cached flags, so they add up per
+     batch whatever the interleaving. (The previous implementation diffed
+     the global cache counters around the batch and could attribute the
+     concurrent batch's traffic to itself.) *)
+  let cache = Aqed.Check.create_cache () in
+  let run () = Aqed.Check.run_batch ~jobs:2 ~cache (seed_obligations ()) in
+  let other = Domain.spawn run in
+  let a = run () in
+  let b = Domain.join other in
+  List.iter
+    (fun (batch : Aqed.Check.batch_result) ->
+      let flagged =
+        List.length
+          (List.filter
+             (fun (e : Aqed.Check.batch_entry) -> e.Aqed.Check.entry_cached)
+             batch.Aqed.Check.entries)
+      in
+      Alcotest.(check int) "hits match the per-entry flags" flagged
+        batch.Aqed.Check.batch_hits;
+      Alcotest.(check int) "hits + misses cover the batch"
+        (List.length batch.Aqed.Check.entries)
+        (batch.Aqed.Check.batch_hits + batch.Aqed.Check.batch_misses))
+    [ a; b ];
+  (* The four obligations reduce to three distinct instances (the RB pair
+     is twist-invariant); across both batches each is solved exactly once —
+     single-flight waiters and later lookups all count as hits. *)
+  Alcotest.(check int) "total misses = distinct obligations" 3
+    (a.Aqed.Check.batch_misses + b.Aqed.Check.batch_misses)
+
 let test_obligation_key_structural () =
   let key_of build =
     let iface = build () in
@@ -337,6 +368,8 @@ let suite =
         test_portfolio_matches_single;
       Alcotest.test_case "cache hits identical reports" `Slow
         test_cache_hits_identical_reports;
+      Alcotest.test_case "shared-cache batch accounting" `Slow
+        test_shared_cache_batch_accounting;
       Alcotest.test_case "obligation key structural" `Quick
         test_obligation_key_structural;
       Alcotest.test_case "cancelled re-solve" `Quick test_cancelled_resolve;

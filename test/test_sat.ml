@@ -209,6 +209,28 @@ let prop_proofs_check =
       | Sat.Rup.Valid | Sat.Rup.Incomplete -> true
       | Sat.Rup.Invalid _ -> false)
 
+let test_rup_incremental () =
+  (* The incremental checker the BMC engine drives frame by frame. *)
+  let ck = Sat.Rup.create ~nvars:2 () in
+  List.iter (Sat.Rup.add_clause ck)
+    [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ];
+  Alcotest.(check bool) "before any step, not contradictory" false
+    (Sat.Rup.contradictory ck);
+  (* [2] is RUP (asserting -2 propagates 1 and -1), and installing it
+     refutes the rest of the formula by propagation alone. *)
+  Alcotest.(check bool) "implied step accepted" true (Sat.Rup.add_step ck [ 2 ]);
+  Alcotest.(check bool) "formula now contradictory" true
+    (Sat.Rup.contradictory ck);
+  Alcotest.(check bool) "everything follows from a contradiction" true
+    (Sat.Rup.check_step ck [ ]);
+  (* A step that is not implied is rejected and not installed. *)
+  let ck2 = Sat.Rup.create ~nvars:2 () in
+  Sat.Rup.add_clause ck2 [ 1; 2 ];
+  Alcotest.(check bool) "non-implied step rejected" false
+    (Sat.Rup.check_step ck2 [ 1 ]);
+  Alcotest.(check bool) "empty clause not implied" false
+    (Sat.Rup.check_step ck2 [])
+
 (* ---- preprocessing ---- *)
 
 let test_simplify_subsumption () =
@@ -349,6 +371,40 @@ let test_dimacs_errors () =
     (Failure "Dimacs: line 2: literal 9 out of range") (fun () ->
       ignore (Sat.Dimacs.parse_string "p cnf 2 1\n9 0\n"))
 
+let test_dimacs_strictness () =
+  (* A final clause with no terminating 0 used to be dropped silently; the
+     error points at the line the dangling literals started on. *)
+  Alcotest.check_raises "unterminated final clause"
+    (Failure "Dimacs: line 2: final clause not terminated by 0") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 2 1\n1 2\n"));
+  (* The declared clause count is enforced in both directions. *)
+  Alcotest.check_raises "fewer clauses than declared"
+    (Failure "Dimacs: declared 2 clauses but found 1") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 2 2\n1 0\n"));
+  Alcotest.check_raises "more clauses than declared"
+    (Failure "Dimacs: declared 1 clauses but found 2") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 2 1\n1 0\n2 0\n"));
+  (* A second problem line used to overwrite the first silently. *)
+  Alcotest.check_raises "duplicate problem line"
+    (Failure "Dimacs: line 2: duplicate problem line") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 2 1\np cnf 3 1\n1 0\n"));
+  Alcotest.check_raises "missing problem line"
+    (Failure "Dimacs: missing problem line") (fun () ->
+      ignore (Sat.Dimacs.parse_string "c only a comment\n"));
+  (* Still accepted: a clause spanning lines, terminated later. *)
+  let cnf = Sat.Dimacs.parse_string "p cnf 3 1\n1 2\n3 0\n" in
+  Alcotest.(check (list (list int))) "multi-line clause" [ [ 1; 2; 3 ] ]
+    cnf.Sat.Dimacs.clauses
+
+(* to_string declares the exact clause count and terminates every clause,
+   so the strict parser accepts its own output bit-for-bit. *)
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs to_string/parse_string round-trip"
+    ~count:200 arb_cnf (fun (nvars, clauses) ->
+      let cnf = { Sat.Dimacs.nvars; clauses } in
+      let cnf' = Sat.Dimacs.parse_string (Sat.Dimacs.to_string cnf) in
+      cnf'.Sat.Dimacs.nvars = nvars && cnf'.Sat.Dimacs.clauses = clauses)
+
 let suite =
   ( "sat",
     [
@@ -363,6 +419,7 @@ let suite =
       Alcotest.test_case "proof certifies unsat" `Quick test_proof_unsat_certified;
       Alcotest.test_case "proof on sat instance" `Quick test_proof_sat_nothing_to_certify;
       Alcotest.test_case "proof tampering detected" `Quick test_proof_tampering_detected;
+      Alcotest.test_case "incremental RUP checker" `Quick test_rup_incremental;
       QCheck_alcotest.to_alcotest prop_proofs_check;
       Alcotest.test_case "simplify subsumption" `Quick test_simplify_subsumption;
       Alcotest.test_case "simplify variable elimination" `Quick test_simplify_eliminates;
@@ -374,6 +431,8 @@ let suite =
       Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
       Alcotest.test_case "dimacs solve" `Quick test_dimacs_solve;
       Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+      Alcotest.test_case "dimacs strictness" `Quick test_dimacs_strictness;
+      QCheck_alcotest.to_alcotest prop_dimacs_roundtrip;
       QCheck_alcotest.to_alcotest prop_matches_brute_force;
       QCheck_alcotest.to_alcotest prop_models_are_models;
       QCheck_alcotest.to_alcotest prop_assumptions_sound;
