@@ -11,6 +11,13 @@
               with ~certify:true (replayed counterexamples, RUP-certified
               UNSAT frames); exits 1 on any divergence or missing
               certificate, and records the wall-time overhead
+     mutate   mutation fault-injection campaign on the three memctrl
+              configurations (fixed seed): generated faults instead of the
+              hand-written registry; records the mutation score, kill-depth
+              histogram and per-operator detection rates, writes every
+              survivor to mutation_survivors.txt, and exits 1 when the
+              campaign falls below the tracked floors (>= 80%% overall
+              score, >= 10%% of mutants screened without BMC)
      kernels  Bechamel micro-benchmarks of the substrate (SAT, BMC, sim)
      ablate   ablations called out in DESIGN.md
 
@@ -22,11 +29,11 @@
    baseline and the parallel batch driver, checks the outcomes agree and
    reports the speedup. `-p N` additionally races N diversified solver
    configurations inside each obligation. Every run also emits
-   machine-readable BENCH_results.json (schema 4: run metadata, per-table
+   machine-readable BENCH_results.json (schema 5: run metadata, per-table
    wall times, solver stats, speedups, pre/post reduction node and clause
-   counts, certification overhead, and a final snapshot of the global
-   telemetry metrics registry) so the perf trajectory is tracked across
-   PRs. *)
+   counts, certification overhead, mutation-campaign scores, and a final
+   snapshot of the global telemetry metrics registry) so the perf
+   trajectory is tracked across PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -136,7 +143,7 @@ let write_json_results ~jobs ~portfolio ~total_wall =
   json_out buf
     (Obj
        ([
-          ("schema", Int 4);
+          ("schema", Int 5);
           ( "meta",
             Obj
               ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
@@ -814,6 +821,148 @@ let print_certify () =
          ("rows", Arr rows);
        ])
 
+(* ---- mutation campaign ---- *)
+
+(* The generated-faults counterpart of Table 1 (EXPERIMENTS.md E8): instead
+   of the 16 hand-written registry bugs, a seeded sample of semantic
+   mutations on each memctrl configuration, screened for equivalence and
+   then run through the FC/RB/SAC flow with first-detection accounting.
+   The floors asserted here (exit 1 below them) are the campaign's tracked
+   acceptance: the screen must discard >= 10% of raw mutants without any
+   BMC, at least 50 screened-in mutants must reach the checks, and the
+   flow must kill >= 80% of them. Survivors are verification gaps; each is
+   listed with its mutation site in mutation_survivors.txt. *)
+let mutate_seed = 1
+let mutate_limit = 30 (* per configuration *)
+
+let mutate_target cfg =
+  {
+    Mutate.target_name = "memctrl-" ^ M.config_name cfg;
+    build = (fun () -> M.build cfg ());
+    build_rb = (fun () -> M.build ~assume_enabled:true cfg ());
+    tau = M.tau cfg;
+    spec = Some (M.spec_rtl cfg);
+    shared = None;
+  }
+
+let json_of_campaign (c : Mutate.campaign) =
+  Obj
+    [
+      ("target", Str c.Mutate.campaign_target);
+      ("seed", Int c.Mutate.seed);
+      ("raw", Int c.Mutate.raw);
+      ("screened_hash", Int (Mutate.screened_hash c));
+      ("screened_miter", Int (Mutate.screened_miter c));
+      ("killed", Int (List.length (Mutate.killed c)));
+      ("survived", Int (List.length (Mutate.survivors c)));
+      ("score", Num (Mutate.score c));
+      ("wall_s", Num c.Mutate.campaign_wall);
+      ( "per_check_kills",
+        Obj
+          (List.map
+             (fun (check, n) -> (check, Int n))
+             (Mutate.per_check_kills c)) );
+      ( "kill_depth_histogram",
+        Arr
+          (List.map
+             (fun (d, n) -> Obj [ ("depth", Int d); ("kills", Int n) ])
+             (Mutate.kill_depth_histogram c)) );
+      ( "per_op",
+        Arr
+          (List.map
+             (fun (op, checked, killed, screened) ->
+               Obj
+                 [
+                   ("op", Str (Mutate.op_name op));
+                   ("checked", Int checked);
+                   ("killed", Int killed);
+                   ("screened", Int screened);
+                   ( "detection_rate",
+                     Num
+                       (if checked = 0 then 1.
+                        else float_of_int killed /. float_of_int checked) );
+                 ])
+             (Mutate.per_op_stats c)) );
+      ( "survivors",
+        Arr
+          (List.map
+             (fun (o : Mutate.outcome) ->
+               Obj
+                 [
+                   ("id", Str (Mutate.mutation_id o.Mutate.mutation));
+                   ("site", Str (Mutate.site o.Mutate.mutation));
+                 ])
+             (Mutate.survivors c)) );
+    ]
+
+let print_mutate ~jobs () =
+  pf "\n== Mutation fault-injection campaign (memctrl, seed %d) ==\n"
+    mutate_seed;
+  let campaigns =
+    List.map
+      (fun cfg ->
+        let c =
+          Mutate.run ~seed:mutate_seed ~limit:mutate_limit ~jobs
+            (mutate_target cfg)
+        in
+        pf "%s\n" (Format.asprintf "%a" Mutate.pp_campaign c);
+        c)
+      [ M.Fifo_mode; M.Double_buffer; M.Line_buffer ]
+  in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 campaigns in
+  let raw = sum (fun c -> c.Mutate.raw) in
+  let screened = sum (fun c -> List.length (Mutate.screened c)) in
+  let killed = sum (fun c -> List.length (Mutate.killed c)) in
+  let survived = sum (fun c -> List.length (Mutate.survivors c)) in
+  let checked = killed + survived in
+  let score =
+    if checked = 0 then 1. else float_of_int killed /. float_of_int checked
+  in
+  let screen_frac =
+    if raw = 0 then 0. else float_of_int screened /. float_of_int raw
+  in
+  pf "%s\n" (line 72);
+  pf "overall: %d raw, %d screened out (%.0f%%), %d checked, %d killed, \
+      %d surviving — score %.1f%%\n"
+    raw screened (100. *. screen_frac) checked killed survived
+    (100. *. score);
+  (* The survivors report CI uploads as an artifact next to the JSON. *)
+  let oc = open_out "mutation_survivors.txt" in
+  Printf.fprintf oc
+    "# mutation survivors (seed %d, limit %d/config) — verification gaps\n"
+    mutate_seed mutate_limit;
+  List.iter
+    (fun (c : Mutate.campaign) ->
+      List.iter
+        (fun (o : Mutate.outcome) ->
+          Printf.fprintf oc "%s: %s\n" c.Mutate.campaign_target
+            (Mutate.site o.Mutate.mutation))
+        (Mutate.survivors c))
+    campaigns;
+  close_out oc;
+  pf "wrote mutation_survivors.txt (%d survivors)\n" survived;
+  let floors_ok = score >= 0.8 && screen_frac >= 0.1 && checked >= 50 in
+  if not floors_ok then begin
+    bench_failed := true;
+    pf "FAILURE: campaign below tracked floors (score >= 80%%, screen \
+        >= 10%%, checked >= 50)\n"
+  end;
+  record "mutate"
+    (Obj
+       [
+         ("seed", Int mutate_seed);
+         ("limit_per_config", Int mutate_limit);
+         ("raw", Int raw);
+         ("screened", Int screened);
+         ("screen_frac", Num screen_frac);
+         ("checked", Int checked);
+         ("killed", Int killed);
+         ("survived", Int survived);
+         ("score", Num score);
+         ("floors_ok", Bool floors_ok);
+         ("campaigns", Arr (List.map json_of_campaign campaigns));
+       ])
+
 (* ---- kernels (Bechamel) ---- *)
 
 let bechamel_tests () =
@@ -1073,15 +1222,16 @@ let () =
        | "fig2" -> print_fig2 ()
        | "reduce" -> print_reduce ()
        | "certify" -> print_certify ()
+       | "mutate" -> print_mutate ~jobs ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
        | "all" ->
          print_table1 (); print_fig5 ();
          print_table2 ~jobs ~portfolio (); print_fig2 ();
-         print_reduce (); print_certify (); print_ablations ();
-         print_kernels ()
+         print_reduce (); print_certify (); print_mutate ~jobs ();
+         print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify mutate kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;

@@ -1,482 +1,1 @@
-(* Command-line front end for the A-QED library.
-
-     aqed_cli list                         enumerate designs and bugs
-     aqed_cli check -d fifo -b fifo_clock_gate -c fc [-k 14] [-j 4]
-     aqed_cli verify -d fifo [-b bug] [-j 4] [-p 2]   full flow, domain pool
-     aqed_cli sim -d aes -n 5              quick transaction-level run
-     aqed_cli sat file.cnf                 solve a DIMACS instance
-
-   -j N on `check` races N diversified solver configurations (portfolio
-   BMC); on `verify` it sizes the worker pool the FC/RB/SAC obligations are
-   fanned across (-p additionally races a portfolio inside each obligation).
-
-   Observability (check and verify): --trace FILE writes a Chrome
-   trace_event JSON of solver/BMC/pool/check spans (load in Perfetto),
-   --progress streams rate-limited progress lines to stderr during long
-   solves, --stats prints per-check solver statistics and cache hit/miss
-   counts after each report.
-
-   Certification (check and verify): --certify cross-checks every verdict
-   through an independent mechanism — counterexamples are replayed (and
-   shrunk) on the cycle-accurate simulator, clean BMC frames are
-   RUP-checked against the solver's proof log. A certified run exits 0
-   whatever the verdict (the exit code then reports certification, and the
-   report line carries the certificate); a divergence between the solver
-   and the checker prints both sides and exits 2. *)
-
-module M = Accel.Memctrl
-
-type design = {
-  name : string;
-  description : string;
-  bugs : string list;
-  build : ?bug:string -> unit -> Aqed.Iface.t;
-  build_rb : ?bug:string -> unit -> Aqed.Iface.t;
-  tau : int;
-  spec : (Rtl.Ir.signal -> Rtl.Ir.signal) option;
-  shared : (Aqed.Iface.t -> Rtl.Ir.signal) option;
-  golden_one : int -> int;   (* per-transaction reference for sim *)
-  sim_extra : (string * int) list;
-}
-
-let memctrl_design cfg =
-  let bugs =
-    List.filter (fun b -> M.bug_config b = cfg) M.all_bugs
-    |> List.map M.bug_name
-  in
-  let parse_bug = function
-    | None -> None
-    | Some name -> (
-        match List.find_opt (fun b -> M.bug_name b = name) M.all_bugs with
-        | Some b when M.bug_config b = cfg -> Some b
-        | Some _ | None ->
-          failwith (Printf.sprintf "no bug %s in configuration %s" name
-                      (M.config_name cfg)))
-  in
-  {
-    name = "memctrl-" ^ M.config_name cfg;
-    description =
-      Printf.sprintf "memory-controller unit, %s configuration"
-        (M.config_name cfg);
-    bugs;
-    build = (fun ?bug () -> M.build ?bug:(parse_bug bug) cfg ());
-    build_rb =
-      (fun ?bug () -> M.build ?bug:(parse_bug bug) ~assume_enabled:true cfg ());
-    tau = M.tau cfg;
-    spec = Some (M.spec_rtl cfg);
-    shared = None;
-    golden_one =
-      (fun d ->
-        match M.golden cfg [ d ] with [ o ] -> o | _ -> 0);
-    sim_extra = [ ("clock_enable", 1) ];
-  }
-
-let aes_design =
-  let parse_bug = function
-    | None -> None
-    | Some s -> (
-        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-        | Some v when String.length s = 2 && s.[0] = 'v' && v >= 1 && v <= 4 ->
-          Some v
-        | Some _ | None -> failwith "AES bugs are v1, v2, v3, v4")
-  in
-  {
-    name = "aes";
-    description = "abstracted AES encryption (HLS flow, shared key)";
-    bugs = [ "v1"; "v2"; "v3"; "v4" ];
-    build = (fun ?bug () -> Accel.Aes.build ?version:(parse_bug bug) ());
-    build_rb = (fun ?bug () -> Accel.Aes.build ?version:(parse_bug bug) ());
-    tau = Accel.Aes.tau;
-    spec = None;
-    shared = Some Accel.Aes.shared_key;
-    golden_one = (fun d -> Accel.Aes.reference ~block:d ~key:0);
-    sim_extra = [ ("key", 0) ];
-  }
-
-let simple_design name description ~build ~tau ~golden_one =
-  let parse_bug = function
-    | None -> false
-    | Some "bug" -> true
-    | Some other -> failwith (Printf.sprintf "unknown bug %s (use: bug)" other)
-  in
-  {
-    name;
-    description;
-    bugs = [ "bug" ];
-    build = (fun ?bug () -> build ~bug:(parse_bug bug) ());
-    build_rb = (fun ?bug () -> build ~bug:(parse_bug bug) ());
-    tau;
-    spec = None;
-    shared = None;
-    golden_one;
-    sim_extra = [];
-  }
-
-let designs =
-  [
-    memctrl_design M.Fifo_mode;
-    memctrl_design M.Double_buffer;
-    memctrl_design M.Line_buffer;
-    aes_design;
-    simple_design "gsm" "abstracted GSM LPC kernel (HLS flow)"
-      ~build:(fun ~bug () -> Accel.Gsm.build ~bug ())
-      ~tau:Accel.Gsm.tau ~golden_one:Accel.Gsm.reference;
-    simple_design "dataflow" "credit-based dataflow pipeline"
-      ~build:(fun ~bug () -> Accel.Dataflow.build ~bug ())
-      ~tau:Accel.Dataflow.tau ~golden_one:Accel.Dataflow.reference;
-    simple_design "optflow" "optical-flow window gradient"
-      ~build:(fun ~bug () -> Accel.Optflow.build ~bug ())
-      ~tau:Accel.Optflow.tau ~golden_one:Accel.Optflow.reference;
-    simple_design "simd" "2-lane batch accelerator (cross-lane bug)"
-      ~build:(fun ~bug () -> Accel.Simd.build ~bug ())
-      ~tau:Accel.Simd.tau ~golden_one:Accel.Simd.reference_batch;
-    simple_design "fig2" "the paper's Fig. 2 motivating example"
-      ~build:(fun ~bug () -> Accel.Fig2.build ~bug ())
-      ~tau:8 ~golden_one:Accel.Fig2.f;
-    simple_design "dualpath" "self-checking dual-datapath accelerator"
-      ~build:(fun ~bug () -> Accel.Dualpath.build ~bug ())
-      ~tau:Accel.Dualpath.tau ~golden_one:Accel.Dualpath.reference;
-  ]
-
-let find_design name =
-  match List.find_opt (fun d -> d.name = name) designs with
-  | Some d -> d
-  | None ->
-    failwith
-      (Printf.sprintf "unknown design %s (see `aqed_cli list`)" name)
-
-(* ---- commands ---- *)
-
-let cmd_list () =
-  print_endline "designs:";
-  List.iter
-    (fun d ->
-      Printf.printf "  %-22s %s\n" d.name d.description;
-      Printf.printf "  %-22s bugs: %s\n" "" (String.concat ", " d.bugs))
-    designs;
-  0
-
-(* Telemetry wiring shared by check and verify: --trace enables span
-   recording and exports the buffers on the way out (also on failure),
-   --progress installs a stderr reporter sampled from the CDCL loop and
-   between BMC frames. *)
-let with_telemetry ~trace ~progress f =
-  if trace <> None then Telemetry.enable ();
-  if progress then
-    Telemetry.Progress.configure ~interval:0.5 (fun line ->
-        Printf.eprintf "[aqed] %s\n%!" line);
-  let finish () =
-    if progress then Telemetry.Progress.disable ();
-    match trace with
-    | None -> ()
-    | Some path ->
-      Telemetry.disable ();
-      Telemetry.export_file path;
-      Printf.eprintf
-        "trace: %d events written to %s (load in Perfetto or chrome://tracing)\n%!"
-        (Telemetry.nb_events ()) path
-  in
-  match f () with
-  | v -> finish (); v
-  | exception e -> finish (); raise e
-
-let cmd_check design_name bug check depth jobs stats no_reduce sweep certify =
-  let d = find_design design_name in
-  let portfolio = max 1 jobs in
-  let reduce = not no_reduce in
-  let report =
-    match String.lowercase_ascii check with
-    | "fc" ->
-      Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
-        ~portfolio ~certify ~reduce ~sweep
-        (fun () -> d.build ?bug ())
-    | "rb" ->
-      Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
-        ~certify ~reduce ~sweep
-        (fun () -> d.build_rb ?bug ())
-    | "sac" -> (
-        match d.spec with
-        | Some spec ->
-          Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~certify
-            ~reduce ~sweep
-            (fun () -> d.build ?bug ())
-        | None -> failwith "this design has no registered SAC spec")
-    | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
-  in
-  Format.printf "%a@." Aqed.Check.pp_report report;
-  if stats then begin
-    Format.printf "  solver: %a@." Sat.Solver.pp_stats
-      report.Aqed.Check.solver_stats;
-    match report.Aqed.Check.reduce_stats with
-    | None -> ()
-    | Some s ->
-      Format.printf
-        "  reduce: nodes %d -> %d, latches %d -> %d (coi -%d, const %d), \
-         sweep %d/%d merged (%d classes, %d limited)@."
-        s.Logic.Reduce.nodes_before s.Logic.Reduce.nodes_after
-        s.Logic.Reduce.latches_before s.Logic.Reduce.latches_after
-        s.Logic.Reduce.coi_dropped_latches s.Logic.Reduce.const_latches
-        s.Logic.Reduce.sweep_merged s.Logic.Reduce.sweep_queries
-        s.Logic.Reduce.sweep_classes s.Logic.Reduce.sweep_limited
-  end;
-  (match report.Aqed.Check.verdict with
-   | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
-   | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
-  (* With --certify the exit code reports certification (a confirmed bug
-     is a success; a divergence raised before reaching here and exits 2). *)
-  if Aqed.Check.found_bug report && not certify then 1 else 0
-
-(* The full flow as a batch: FC, RB and (when a spec is registered) SAC as
-   independent obligations fanned across the domain pool, with the
-   obligation cache deduplicating structurally identical instances. Unlike
-   [Check.verify] this does not stop at the first bug — all checks run. *)
-let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
-    certify =
-  let d = find_design design_name in
-  let reduce = not no_reduce in
-  let obligations =
-    [
-      Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared ~reduce ~sweep
-        (fun () -> d.build ?bug ());
-      Aqed.Check.prepare_rb ~max_depth:depth ~tau:d.tau ~reduce ~sweep
-        (fun () -> d.build_rb ?bug ());
-    ]
-    @ (match d.spec with
-       | Some spec ->
-         [ Aqed.Check.prepare_sac ~max_depth:depth ~spec ~reduce ~sweep
-             (fun () -> d.build ?bug ()) ]
-       | None -> [])
-  in
-  let cache = Aqed.Check.create_cache () in
-  let batch =
-    Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache
-      ~portfolio:(max 1 portfolio) ~certify obligations
-  in
-  Format.printf "%a@." Aqed.Check.pp_batch batch;
-  if stats then begin
-    List.iter
-      (fun (e : Aqed.Check.batch_entry) ->
-        Format.printf "  %-28s %a@." e.Aqed.Check.entry_name
-          Sat.Solver.pp_stats
-          e.Aqed.Check.entry_report.Aqed.Check.solver_stats)
-      batch.Aqed.Check.entries;
-    let cs = Aqed.Check.cache_stats cache in
-    Format.printf "  cache: %d hits / %d misses / %d entries (%.0f%% hit rate)@."
-      cs.Parallel.Cache.hits cs.Parallel.Cache.misses cs.Parallel.Cache.entries
-      (100. *. Aqed.Check.cache_hit_rate cache)
-  end;
-  let reports = Aqed.Check.batch_reports batch in
-  List.iter
-    (fun r ->
-      match r.Aqed.Check.verdict with
-      | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
-      | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ())
-    reports;
-  if List.exists Aqed.Check.found_bug reports && not certify then 1 else 0
-
-let cmd_sim design_name bug count =
-  let d = find_design design_name in
-  let iface = d.build ?bug () in
-  let h = Aqed.Harness.create iface in
-  List.iter
-    (fun (n, v) ->
-      try Rtl.Sim.set_input_int (Aqed.Harness.sim h) n v
-      with Not_found -> ())
-    d.sim_extra;
-  let w = Rtl.Ir.width iface.Aqed.Iface.in_data in
-  let rng = Testbench.Prng.create 99 in
-  let inputs =
-    List.init count (fun _ -> Testbench.Prng.below rng (1 lsl min w 20))
-  in
-  let outs =
-    Aqed.Harness.run h (List.map (fun v -> Aqed.Harness.txn v) inputs)
-  in
-  let ok = ref true in
-  List.iteri
-    (fun i input ->
-      let got = List.nth_opt outs i in
-      let want = d.golden_one input in
-      let mark =
-        match got with
-        | Some g when g = want -> "ok"
-        | Some _ -> ok := false; "MISMATCH"
-        | None -> ok := false; "MISSING"
-      in
-      Printf.printf "  in=%-6d out=%-8s golden=%-6d %s\n" input
-        (match got with Some g -> string_of_int g | None -> "-")
-        want mark)
-    inputs;
-  if !ok then 0 else 1
-
-let cmd_sat certify path =
-  let cnf = Sat.Dimacs.parse_file path in
-  let t0 = Unix.gettimeofday () in
-  (* Post-parse cleanup: the same subsumption sweep the reduction pipeline
-     uses. Equivalence-preserving, so the model below also satisfies the
-     original formula (and --certify re-solves the original anyway). *)
-  let cleaned = Sat.Simplify.subsume cnf.Sat.Dimacs.clauses in
-  let n_before = List.length cnf.Sat.Dimacs.clauses in
-  let n_after = List.length cleaned in
-  if n_after < n_before then
-    Printf.printf "c subsume: %d -> %d clauses\n" n_before n_after;
-  let cnf' = { cnf with Sat.Dimacs.clauses = cleaned } in
-  let result, model = Sat.Dimacs.solve cnf' in
-  (match result with
-   | Sat.Solver.Sat ->
-     print_endline "s SATISFIABLE";
-     let b = Buffer.create 256 in
-     Buffer.add_string b "v ";
-     for v = 1 to cnf.Sat.Dimacs.nvars do
-       Buffer.add_string b (string_of_int (if model.(v) then v else -v));
-       Buffer.add_char b ' '
-     done;
-     Buffer.add_char b '0';
-     print_endline (Buffer.contents b)
-   | Sat.Solver.Unsat ->
-     print_endline "s UNSATISFIABLE";
-     if certify then begin
-       match Sat.Rup.check_solver_run cnf with
-       | Sat.Rup.Valid -> print_endline "c proof: VALID (RUP-checked)"
-       | Sat.Rup.Invalid i -> Printf.printf "c proof: INVALID at step %d\n" i
-       | Sat.Rup.Incomplete -> print_endline "c proof: incomplete"
-     end);
-  Printf.printf "c %.3fs\n" (Unix.gettimeofday () -. t0);
-  0
-
-(* ---- cmdliner wiring ---- *)
-
-open Cmdliner
-
-let design_arg =
-  Arg.(required & opt (some string) None & info [ "d"; "design" ] ~doc:"Design name (see list).")
-
-let bug_arg =
-  Arg.(value & opt (some string) None & info [ "b"; "bug" ] ~doc:"Bug to inject (see list).")
-
-let depth_arg =
-  Arg.(value & opt int 14 & info [ "k"; "depth" ] ~doc:"BMC bound (frames).")
-
-let check_arg =
-  Arg.(value & opt string "fc" & info [ "c"; "check" ] ~doc:"Check: fc, rb or sac.")
-
-let jobs_arg =
-  Arg.(value & opt int 1
-       & info [ "j"; "jobs" ]
-           ~doc:"Parallelism: portfolio width for check, pool workers for verify.")
-
-let portfolio_arg =
-  Arg.(value & opt int 1
-       & info [ "p"; "portfolio" ]
-           ~doc:"Race N diversified solver configurations inside each \
-                 obligation (portfolio BMC), on top of the -j worker pool.")
-
-let count_arg =
-  Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of random transactions.")
-
-let stats_arg =
-  Arg.(value & flag
-       & info [ "stats" ]
-           ~doc:"Print solver statistics (and cache hit/miss counts for \
-                 verify) after each report.")
-
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Record a Chrome trace_event JSON of solver, BMC, pool and \
-                 check spans to $(docv) (load in Perfetto).")
-
-let progress_arg =
-  Arg.(value & flag
-       & info [ "progress" ]
-           ~doc:"Stream rate-limited progress lines (conflicts/sec, current \
-                 BMC frame) to stderr during long solves.")
-
-let no_reduce_arg =
-  Arg.(value & flag
-       & info [ "no-reduce" ]
-           ~doc:"Skip the structural reduction pipeline (COI, constant \
-                 propagation, SAT sweeping) and encode the raw bit-blasted \
-                 relation. Verdicts and counterexample depths are identical \
-                 either way; this is the A/B escape hatch.")
-
-let sweep_arg =
-  Arg.(value & flag
-       & info [ "sweep" ]
-           ~doc:"Enable SAT sweeping (fraiging) inside the reduction \
-                 pipeline. Equivalence-preserving, but the few proven merges \
-                 can perturb the solver enough to cost more than they save \
-                 on some obligations, so it is off by default. Ignored with \
-                 $(b,--no-reduce).")
-
-let certify_arg =
-  Arg.(value & flag
-       & info [ "certify" ]
-           ~doc:"Cross-check every verdict: replay (and shrink) \
-                 counterexamples on the cycle-accurate simulator, RUP-check \
-                 each clean BMC frame against the solver's proof log. The \
-                 exit code then reports certification — 0 whatever the \
-                 verdict, 2 on any divergence between solver and checker \
-                 (both sides are printed).")
-
-let wrap f =
-  try f () with
-  | Failure msg -> prerr_endline ("error: " ^ msg); 2
-  | Bmc.Engine.Certification_failed msg ->
-    prerr_endline ("certification FAILED: " ^ msg);
-    2
-
-let list_cmd =
-  Cmd.v (Cmd.info "list" ~doc:"List designs and their injectable bugs")
-    Term.(const (fun () -> wrap cmd_list) $ const ())
-
-let check_cmd =
-  let run d b c k j stats trace progress no_reduce sweep certify =
-    wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () ->
-            cmd_check d b c k j stats no_reduce sweep certify))
-  in
-  Cmd.v
-    (Cmd.info "check"
-       ~doc:"Run an A-QED check (exit code 1 when a bug is found; with \
-             $(b,--certify), 0 on a certified verdict and 2 on divergence)")
-    Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
-          $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg
-          $ certify_arg)
-
-let verify_cmd =
-  let run d b k j p stats trace progress no_reduce sweep certify =
-    wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () ->
-            cmd_verify d b k j p stats no_reduce sweep certify))
-  in
-  Cmd.v
-    (Cmd.info "verify"
-       ~doc:"Run the full A-QED flow (FC, RB, SAC) on the parallel batch \
-             driver (exit code 1 when any check finds a bug; with \
-             $(b,--certify), 0 on certified verdicts and 2 on divergence)")
-    Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
-          $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
-          $ no_reduce_arg $ sweep_arg $ certify_arg)
-
-let sim_cmd =
-  let run d b n = wrap (fun () -> cmd_sim d b n) in
-  Cmd.v
-    (Cmd.info "sim" ~doc:"Simulate random transactions against the golden model")
-    Term.(const run $ design_arg $ bug_arg $ count_arg)
-
-let sat_cmd =
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
-  let certify =
-    Arg.(value & flag & info [ "certify" ] ~doc:"Re-solve with proof logging and RUP-check the UNSAT certificate.")
-  in
-  Cmd.v (Cmd.info "sat" ~doc:"Solve a DIMACS CNF with the built-in CDCL solver")
-    Term.(const (fun cert p -> wrap (fun () -> cmd_sat cert p)) $ certify $ path)
-
-let () =
-  let info =
-    Cmd.info "aqed_cli" ~version:"1.0"
-      ~doc:"A-QED pre-silicon verification of hardware accelerators"
-  in
-  exit
-    (Cmd.eval'
-       (Cmd.group info [ list_cmd; check_cmd; verify_cmd; sim_cmd; sat_cmd ]))
+let () = exit (Cli.run ~argv:Sys.argv ())

@@ -145,6 +145,71 @@ let validate c =
              (match signal_name r with Some n -> n | None -> "?")))
     c.reg_list
 
+(* ---- reflection and fault injection ---- *)
+
+let signals c = List.rev c.all
+
+let find_signal c sid =
+  if sid < 0 || sid >= c.next_id then raise Not_found;
+  (* [all] is in reverse creation order and ids are dense, so the signal
+     with id [sid] sits at a known offset from the head. *)
+  List.nth c.all (c.next_id - 1 - sid)
+
+(* Width the constructors would have assigned to this kind; re-checking it
+   on replacement keeps mutated circuits width-correct by construction. *)
+let kind_width = function
+  | Input _ | Reg _ ->
+    invalid_arg "Ir.replace_kind: inputs and registers cannot be targets"
+  | Const bv -> Bitvec.width bv
+  | Unop ((Not | Neg), a) -> a.swidth
+  | Unop ((Redand | Redor | Redxor), _) -> 1
+  | Binop (op, a, b) ->
+    same_width "replace_kind" a b;
+    (match op with
+     | Add | Sub | Mul | And | Or | Xor -> a.swidth
+     | Eq | Ult | Ule | Slt | Sle -> 1)
+  | Shift_const (_, a, k) ->
+    if k < 0 then invalid_arg "Ir.replace_kind: negative shift amount";
+    a.swidth
+  | Shift_var (_, a, b) -> same_circuit a b; a.swidth
+  | Mux (sel, a, b) ->
+    same_width "replace_kind" a b;
+    same_circuit sel a;
+    if sel.swidth <> 1 then
+      invalid_arg "Ir.replace_kind: mux selector must be 1 bit";
+    a.swidth
+  | Concat (hi, lo) -> same_circuit hi lo; hi.swidth + lo.swidth
+  | Select (s, hi, lo) ->
+    if lo < 0 || hi >= s.swidth || hi < lo then
+      invalid_arg "Ir.replace_kind: bad select bounds";
+    hi - lo + 1
+
+let replace_kind s k =
+  (match s.knd with
+   | Input _ | Reg _ ->
+     invalid_arg "Ir.replace_kind: inputs and registers cannot be targets"
+   | Const _ | Unop _ | Binop _ | Shift_const _ | Shift_var _ | Mux _
+   | Concat _ | Select _ -> ());
+  let w = kind_width k in
+  (match k with
+   | Const _ -> ()
+   | Unop (_, a) | Shift_const (_, a, _) | Select (a, _, _) ->
+     same_circuit s a
+   | Binop (_, a, _) | Shift_var (_, a, _) | Mux (_, a, _) | Concat (a, _) ->
+     same_circuit s a
+   | Input _ | Reg _ -> assert false);
+  if w <> s.swidth then
+    invalid_arg
+      (Printf.sprintf "Ir.replace_kind: width mismatch (%d vs %d)" w s.swidth);
+  s.knd <- k
+
+let set_reg_init c r init =
+  if r.circ != c || not (is_reg r) then
+    invalid_arg "Ir.set_reg_init: not a register of this circuit";
+  if Bitvec.width init <> r.swidth then
+    invalid_arg "Ir.set_reg_init: width mismatch";
+  Hashtbl.replace c.reg_init_tbl r.sid init
+
 (* ---- combinational constructors ---- *)
 
 let unop c op a =

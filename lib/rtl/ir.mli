@@ -59,6 +59,39 @@ val validate : circuit -> unit
 (** Checks that every register has been connected. Raises [Failure] naming
     the offending register otherwise. Called by the simulator and blaster. *)
 
+(** {1 Reflection and fault injection}
+
+    A built circuit can be inspected signal by signal and {e mutated} in
+    place: {!replace_kind} rewires one combinational node, {!set_reg_init}
+    rewrites a reset value. Both preserve the circuit's width-correctness
+    invariant (the replacement is checked like the original constructor
+    would have been), so a mutated circuit is still a valid input to the
+    simulator and the bit-blaster. This is the substrate of the [Mutate]
+    fault-injection engine; ordinary circuit construction never needs
+    it. *)
+
+val signals : circuit -> signal list
+(** Every signal of the circuit, in creation order. Deterministic builders
+    therefore enumerate identically on every call, which is what makes a
+    signal {!id} a stable mutation coordinate. *)
+
+val find_signal : circuit -> int -> signal
+(** Signal by its dense {!id}. Raises [Not_found] for ids never
+    allocated. *)
+
+val replace_kind : signal -> kind -> unit
+(** [replace_kind s k] rewrites the defining operation of [s] in place;
+    every reader of [s] now sees the new cone. The replacement must have
+    exactly the width of [s], its operands must belong to the same circuit,
+    and neither the old nor the new kind may be an [Input] or [Reg] (those
+    carry bookkeeping beyond the kind). Raises [Invalid_argument]
+    otherwise. *)
+
+val set_reg_init : circuit -> signal -> Bitvec.t -> unit
+(** Rewrites a register's reset value (same width required). Raises
+    [Invalid_argument] if the signal is not a register of the circuit or
+    widths differ. *)
+
 (** {1 Signals} *)
 
 val width : signal -> int

@@ -20,4 +20,6 @@ let () =
       Test_testbench.suite;
       Test_parallel.suite;
       Test_telemetry.suite;
+      Test_mutate.suite;
+      Test_cli.suite;
     ]

@@ -1,0 +1,100 @@
+(* The CLI exit-code contract, driven through Cli.run ~argv (the same code
+   path as bin/aqed_cli.exe, no fork):
+
+     0  clean verdict / certified verdict / campaign with no survivors
+     1  bug found (check, verify), survivors exist (mutate)
+     2  usage or runtime error; certification divergence
+
+   Pinned per subcommand so a CI consumer can rely on the codes. *)
+
+let run args = Cli.run ~argv:(Array.of_list ("aqed_cli" :: args)) ()
+
+let check name expected args =
+  Alcotest.(check int) name expected (run args)
+
+let test_list () = check "list exits 0" 0 [ "list" ]
+
+let test_check_clean () =
+  check "clean check exits 0" 0
+    [ "check"; "-d"; "memctrl-fifo"; "-c"; "fc"; "-k"; "6" ]
+
+let test_check_bug () =
+  check "bug found exits 1" 1
+    [ "check"; "-d"; "memctrl-fifo"; "-b"; "fifo_oversize_ready"; "-c"; "fc";
+      "-k"; "12" ]
+
+let test_check_bug_certified () =
+  (* With --certify the exit code reports certification, not the verdict:
+     a replay-confirmed bug is a success. *)
+  check "certified bug exits 0" 0
+    [ "check"; "-d"; "memctrl-fifo"; "-b"; "fifo_oversize_ready"; "-c"; "fc";
+      "-k"; "12"; "--certify" ]
+
+let test_check_unknown_design () =
+  check "unknown design exits 2" 2 [ "check"; "-d"; "nosuch"; "-c"; "fc" ]
+
+let test_check_unknown_check () =
+  check "unknown check exits 2" 2
+    [ "check"; "-d"; "memctrl-fifo"; "-c"; "xyz" ]
+
+let test_check_unknown_bug () =
+  check "unknown bug exits 2" 2
+    [ "check"; "-d"; "memctrl-fifo"; "-b"; "nosuch"; "-c"; "fc"; "-k"; "4" ]
+
+let test_verify_clean () =
+  check "clean verify exits 0" 0 [ "verify"; "-d"; "fig2"; "-k"; "6" ]
+
+let test_verify_bug () =
+  check "verify with bug exits 1" 1
+    [ "verify"; "-d"; "memctrl-fifo"; "-b"; "fifo_oversize_ready"; "-k"; "12" ]
+
+let test_mutate_all_killed () =
+  (* The CI smoke gate's configuration: seed 4's 12-mutant FIFO sample is
+     fully killed, so the campaign exits 0. *)
+  check "mutate with full kill exits 0" 0
+    [ "mutate"; "-d"; "memctrl-fifo"; "--limit"; "12"; "--seed"; "4"; "-k";
+      "12" ]
+
+let test_mutate_survivors () =
+  (* At depth 1 no counterexample fits, so every screened-in mutant
+     survives: the survivors exit code. *)
+  check "mutate with survivors exits 1" 1
+    [ "mutate"; "-d"; "memctrl-fifo"; "--limit"; "6"; "--seed"; "4"; "-k";
+      "1" ]
+
+let test_mutate_unknown_op () =
+  check "unknown operator exits 2" 2
+    [ "mutate"; "-d"; "memctrl-fifo"; "--ops"; "frobnicate" ]
+
+let test_wrap_certification_failure () =
+  (* A certification divergence anywhere under a command maps to exit 2 —
+     pinned on wrap directly, since producing a real solver/checker
+     divergence would require a broken engine. *)
+  Alcotest.(check int) "Certification_failed maps to 2" 2
+    (Cli.wrap (fun () ->
+         raise (Bmc.Engine.Certification_failed "synthetic divergence")));
+  Alcotest.(check int) "Failure maps to 2" 2
+    (Cli.wrap (fun () -> failwith "synthetic error"));
+  Alcotest.(check int) "success passes through" 0 (Cli.wrap (fun () -> 0))
+
+let suite =
+  ( "cli",
+    [
+      Alcotest.test_case "list" `Quick test_list;
+      Alcotest.test_case "check clean = 0" `Slow test_check_clean;
+      Alcotest.test_case "check bug = 1" `Slow test_check_bug;
+      Alcotest.test_case "check bug --certify = 0" `Slow
+        test_check_bug_certified;
+      Alcotest.test_case "check unknown design = 2" `Quick
+        test_check_unknown_design;
+      Alcotest.test_case "check unknown check = 2" `Quick
+        test_check_unknown_check;
+      Alcotest.test_case "check unknown bug = 2" `Quick test_check_unknown_bug;
+      Alcotest.test_case "verify clean = 0" `Slow test_verify_clean;
+      Alcotest.test_case "verify bug = 1" `Slow test_verify_bug;
+      Alcotest.test_case "mutate full kill = 0" `Slow test_mutate_all_killed;
+      Alcotest.test_case "mutate survivors = 1" `Slow test_mutate_survivors;
+      Alcotest.test_case "mutate unknown op = 2" `Quick test_mutate_unknown_op;
+      Alcotest.test_case "wrap exit mapping" `Quick
+        test_wrap_certification_failure;
+    ] )

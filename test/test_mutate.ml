@@ -1,0 +1,301 @@
+(* The mutation fault-injection engine: IR reflection primitives, candidate
+   generation determinism, the equivalence screen's verdicts, and a small
+   fixed-seed campaign end to end. *)
+
+module Ir = Rtl.Ir
+module M = Accel.Memctrl
+
+let fifo_target =
+  {
+    Mutate.target_name = "memctrl-fifo";
+    build = (fun () -> M.build M.Fifo_mode ());
+    build_rb = (fun () -> M.build ~assume_enabled:true M.Fifo_mode ());
+    tau = M.tau M.Fifo_mode;
+    spec = Some (M.spec_rtl M.Fifo_mode);
+    shared = None;
+  }
+
+(* ---- IR reflection ---- *)
+
+let test_signals_and_find () =
+  let c = Ir.create "t" in
+  let a = Ir.input c "a" 4 in
+  let b = Ir.input c "b" 4 in
+  let s = Ir.add a b in
+  let all = Ir.signals c in
+  Alcotest.(check int) "count" (Ir.nb_signals c) (List.length all);
+  List.iteri
+    (fun i sg -> Alcotest.(check int) "creation order" i (Ir.id sg))
+    all;
+  Alcotest.(check int) "find" (Ir.id s) (Ir.id (Ir.find_signal c (Ir.id s)));
+  Alcotest.check_raises "out of range" Not_found (fun () ->
+      ignore (Ir.find_signal c 99))
+
+(* replace_kind must be visible to the simulator: a 4-bit adder rewired
+   into a subtractor computes a - b afterwards. *)
+let test_replace_kind_semantics () =
+  let c = Ir.create "t" in
+  let a = Ir.input c "a" 4 in
+  let b = Ir.input c "b" 4 in
+  let s = Ir.add a b in
+  Ir.output c "o" s;
+  let run () =
+    let sim = Rtl.Sim.create c in
+    Rtl.Sim.set_input_int sim "a" 9;
+    Rtl.Sim.set_input_int sim "b" 3;
+    Rtl.Sim.step sim;
+    Bitvec.to_int (Rtl.Sim.peek_output sim "o")
+  in
+  Alcotest.(check int) "before" 12 (run ());
+  (match Ir.kind s with
+   | Ir.Binop (Ir.Add, x, y) -> Ir.replace_kind s (Ir.Binop (Ir.Sub, x, y))
+   | _ -> Alcotest.fail "expected Add");
+  Alcotest.(check int) "after" 6 (run ())
+
+let test_replace_kind_guards () =
+  let c = Ir.create "t" in
+  let a = Ir.input c "a" 4 in
+  let b = Ir.input c "b" 4 in
+  let s = Ir.add a b in
+  let invalid name f =
+    match f () with
+    | () -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  invalid "width mismatch" (fun () ->
+      Ir.replace_kind s (Ir.Const (Bitvec.zero 3)));
+  invalid "input target" (fun () ->
+      Ir.replace_kind a (Ir.Const (Bitvec.zero 4)));
+  invalid "reg replacement kind" (fun () ->
+      Ir.replace_kind s (Ir.Reg "nope"));
+  let c2 = Ir.create "other" in
+  let x2 = Ir.input c2 "x" 4 in
+  invalid "cross circuit" (fun () ->
+      Ir.replace_kind s (Ir.Binop (Ir.Add, x2, x2)))
+
+let test_set_reg_init () =
+  let c = Ir.create "t" in
+  let r = Ir.reg0 c "r" 4 in
+  Ir.connect c r r;
+  Ir.set_reg_init c r (Bitvec.create ~width:4 5);
+  Alcotest.(check int) "updated" 5 (Bitvec.to_int (Ir.reg_init c r));
+  (match Ir.set_reg_init c r (Bitvec.zero 3) with
+   | () -> Alcotest.fail "width mismatch accepted"
+   | exception Invalid_argument _ -> ());
+  let a = Ir.input c "a" 4 in
+  match Ir.set_reg_init c a (Bitvec.zero 4) with
+  | () -> Alcotest.fail "non-register accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- generation ---- *)
+
+let test_generate_deterministic () =
+  let ids t = List.map Mutate.mutation_id (Mutate.generate ~seed:7 t) in
+  Alcotest.(check (list string)) "same seed, same sample" (ids fifo_target)
+    (ids fifo_target);
+  let a = Mutate.generate ~seed:1 ~limit:10 fifo_target in
+  let b = Mutate.generate ~seed:2 ~limit:10 fifo_target in
+  Alcotest.(check int) "limit" 10 (List.length a);
+  Alcotest.(check bool) "different seeds differ"
+    true
+    (List.map Mutate.mutation_id a <> List.map Mutate.mutation_id b)
+
+let test_generate_ops_filter () =
+  let only =
+    Mutate.generate ~ops:[ Mutate.Stuck_at ] ~limit:1000 fifo_target
+  in
+  Alcotest.(check bool) "non-empty" true (only <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check string) "op restricted" "stuck"
+        (Mutate.op_name (Mutate.mutation_op m)))
+    only
+
+(* A minimal handshake design: out_data = in_data + k. The [k] parameter
+   lets two builders disagree at the same signal id, which is exactly the
+   non-deterministic-builder hazard [apply] must detect. *)
+let adder_iface k () =
+  let c = Ir.create "addbox" in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width:8 ()
+  in
+  let out_data = Ir.add in_data (Ir.constant c ~width:8 k) in
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready:(Ir.vdd c)
+    ~out_valid:in_valid ~out_data ~out_ready ()
+
+let adder_target k =
+  {
+    Mutate.target_name = "addbox";
+    build = adder_iface k;
+    build_rb = adder_iface k;
+    tau = 2;
+    spec = None;
+    shared = None;
+  }
+
+let test_apply_shape_mismatch () =
+  (* A Const_perturb generated against the k=1 builder names the constant's
+     signal id and records its value; the k=2 builder holds a different
+     constant there, so apply must refuse rather than silently mutate. *)
+  let m =
+    List.hd
+      (Mutate.generate ~ops:[ Mutate.Const_perturb ] ~limit:1000
+         (adder_target 1))
+  in
+  (match Mutate.apply m (adder_iface 2 ()) with
+   | () -> Alcotest.fail "mismatched instance accepted"
+   | exception Failure _ -> ());
+  (* And the matching instance is accepted. *)
+  Mutate.apply m (adder_iface 1 ())
+
+(* ---- the equivalence screen ---- *)
+
+(* A target with provably-dead logic: [dead] feeds nothing observable, so
+   any mutation inside it is screened by the structural hash (COI drops
+   it). Built as a tiny handshake design around an adder. *)
+let dead_logic_target =
+  let build () =
+    let c = Ir.create "deadbox" in
+    let in_valid, _, in_data, out_ready =
+      Aqed.Iface.standard_inputs c ~data_width:8 ()
+    in
+    let dead = Ir.mul in_data in_data in
+    let _dead2 = Ir.add dead (Ir.constant c ~width:8 3) in
+    let out_data = Ir.add in_data (Ir.constant c ~width:8 1) in
+    Aqed.Iface.make c ~in_valid ~in_data ~in_ready:(Ir.vdd c)
+      ~out_valid:in_valid ~out_data ~out_ready ()
+  in
+  {
+    Mutate.target_name = "deadbox";
+    build;
+    build_rb = build;
+    tau = 2;
+    spec = None;
+    shared = None;
+  }
+
+let find_mutation ?ops ~pred t =
+  List.find pred (Mutate.generate ?ops ~limit:10_000 t)
+
+let test_screen_hash_dead_logic () =
+  (* Mutating the dead multiplier cannot change the reduced relation. *)
+  let m =
+    find_mutation ~ops:[ Mutate.Binop_swap ] dead_logic_target
+      ~pred:(fun m ->
+        String.ends_with ~suffix:"Mul -> Add" (Mutate.mutation_id m))
+  in
+  match Mutate.screen dead_logic_target m with
+  | Mutate.Equal_hash -> ()
+  | Mutate.Equal_miter -> Alcotest.fail "expected hash equality, got miter"
+  | Mutate.Distinct -> Alcotest.fail "dead-logic mutant not screened"
+
+let test_screen_operand_swap_equal () =
+  (* a + b = b + a: always screened (hash after AIG structural hashing, or
+     the miter as a backstop). *)
+  let m =
+    find_mutation ~ops:[ Mutate.Operand_swap ] dead_logic_target
+      ~pred:(fun m -> Mutate.mutation_op m = Mutate.Operand_swap)
+  in
+  match Mutate.screen dead_logic_target m with
+  | Mutate.Equal_hash | Mutate.Equal_miter -> ()
+  | Mutate.Distinct -> Alcotest.fail "commutative swap not screened"
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_screen_real_fault_distinct () =
+  (* Perturbing the OBSERVABLE constant (the +1 on out_data, value 0x01)
+     must not be screened — unlike the dead constant 0x03 next to it. *)
+  let m =
+    find_mutation ~ops:[ Mutate.Const_perturb ] dead_logic_target
+      ~pred:(fun m ->
+        contains (Mutate.site m) "0x01:8"
+        && String.ends_with ~suffix:"+1" (Mutate.mutation_id m))
+  in
+  match Mutate.screen dead_logic_target m with
+  | Mutate.Distinct -> ()
+  | Mutate.Equal_hash | Mutate.Equal_miter ->
+    Alcotest.fail "observable fault screened out"
+
+(* ---- campaign ---- *)
+
+let test_campaign_fifo () =
+  (* Seed 4's 12-mutant sample on the FIFO: the CI smoke gate's exact
+     configuration; every screened-in mutant is killed, and accounting is
+     consistent. *)
+  let c = Mutate.run ~seed:4 ~limit:12 fifo_target in
+  Alcotest.(check int) "raw" 12 c.Mutate.raw;
+  let killed = List.length (Mutate.killed c) in
+  let screened = List.length (Mutate.screened c) in
+  let survived = List.length (Mutate.survivors c) in
+  Alcotest.(check int) "partition" 12 (killed + screened + survived);
+  Alcotest.(check int) "no survivors" 0 survived;
+  Alcotest.(check bool) "screen caught some" true (screened > 0);
+  Alcotest.(check (float 0.0001)) "score" 1.0 (Mutate.score c);
+  let hist_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Mutate.kill_depth_histogram c)
+  in
+  Alcotest.(check int) "histogram sums to kills" killed hist_total;
+  let check_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Mutate.per_check_kills c)
+  in
+  Alcotest.(check int) "per-check sums to kills" killed check_total;
+  List.iter
+    (fun (o : Mutate.outcome) ->
+      match o.Mutate.status with
+      | Mutate.Killed d ->
+        Alcotest.(check bool) "kill depth positive" true (d.Mutate.kill_depth > 0);
+        Alcotest.(check bool) "killed_by named" true
+          (List.mem d.Mutate.killed_by [ "FC"; "RB"; "SAC" ])
+      | Mutate.Survived | Mutate.Screened _ -> ())
+    c.Mutate.outcomes
+
+let test_campaign_jobs_deterministic () =
+  (* Same campaign on 1 worker and on a 3-worker pool: identical statuses
+     in identical order (Pool.map_list is position-stable). *)
+  let run jobs = Mutate.run ~seed:4 ~limit:8 ~jobs fifo_target in
+  let a = run 1 and b = run 3 in
+  let statuses c =
+    List.map
+      (fun (o : Mutate.outcome) ->
+        ( Mutate.mutation_id o.Mutate.mutation,
+          match o.Mutate.status with
+          | Mutate.Killed d -> "killed:" ^ d.Mutate.killed_by
+          | Mutate.Survived -> "survived"
+          | Mutate.Screened Mutate.Equal_hash -> "hash"
+          | Mutate.Screened Mutate.Equal_miter -> "miter"
+          | Mutate.Screened Mutate.Distinct -> "distinct?" ))
+      c.Mutate.outcomes
+  in
+  Alcotest.(check (list (pair string string))) "jobs-invariant"
+    (statuses a) (statuses b)
+
+let suite =
+  ( "mutate",
+    [
+      Alcotest.test_case "ir signals/find_signal" `Quick test_signals_and_find;
+      Alcotest.test_case "ir replace_kind semantics" `Quick
+        test_replace_kind_semantics;
+      Alcotest.test_case "ir replace_kind guards" `Quick
+        test_replace_kind_guards;
+      Alcotest.test_case "ir set_reg_init" `Quick test_set_reg_init;
+      Alcotest.test_case "generate deterministic" `Quick
+        test_generate_deterministic;
+      Alcotest.test_case "generate ops filter" `Quick test_generate_ops_filter;
+      Alcotest.test_case "apply shape mismatch" `Quick
+        test_apply_shape_mismatch;
+      Alcotest.test_case "screen: dead logic hashes equal" `Quick
+        test_screen_hash_dead_logic;
+      Alcotest.test_case "screen: operand swap equal" `Quick
+        test_screen_operand_swap_equal;
+      Alcotest.test_case "screen: real fault distinct" `Quick
+        test_screen_real_fault_distinct;
+      Alcotest.test_case "campaign: fifo seed 4 kills all" `Slow
+        test_campaign_fifo;
+      Alcotest.test_case "campaign: jobs-invariant outcomes" `Slow
+        test_campaign_jobs_deterministic;
+    ] )
