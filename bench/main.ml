@@ -11,6 +11,11 @@
               with ~certify:true (replayed counterexamples, RUP-certified
               UNSAT frames); exits 1 on any divergence or missing
               certificate, and records the wall-time overhead
+     sat      solver-modernization A/B: same obligations with the legacy
+              solver configuration and the modern default (LBD-tiered
+              database, inprocessing, warm assumption prefixes); exits 1
+              on any verdict or depth mismatch, and records the aggregate
+              speedup (tracked floor: >= 1.25x on the hardest obligations)
      mutate   mutation fault-injection campaign on the three memctrl
               configurations (fixed seed): generated faults instead of the
               hand-written registry; records the mutation score, kill-depth
@@ -29,10 +34,11 @@
    baseline and the parallel batch driver, checks the outcomes agree and
    reports the speedup. `-p N` additionally races N diversified solver
    configurations inside each obligation. Every run also emits
-   machine-readable BENCH_results.json (schema 5: run metadata, per-table
-   wall times, solver stats, speedups, pre/post reduction node and clause
-   counts, certification overhead, mutation-campaign scores, and a final
-   snapshot of the global telemetry metrics registry) so the perf
+   machine-readable BENCH_results.json (schema 6: run metadata, per-table
+   wall times, solver stats including the glue-tier tallies, speedups,
+   pre/post reduction node and clause counts, certification overhead,
+   solver-modernization A/B speedups, mutation-campaign scores, and a
+   final snapshot of the global telemetry metrics registry) so the perf
    trajectory is tracked across PRs. *)
 
 module M = Accel.Memctrl
@@ -143,7 +149,7 @@ let write_json_results ~jobs ~portfolio ~total_wall =
   json_out buf
     (Obj
        ([
-          ("schema", Int 5);
+          ("schema", Int 6);
           ( "meta",
             Obj
               ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
@@ -171,6 +177,11 @@ let json_of_solver_stats (s : Sat.Solver.stats) =
       ("conflicts", Int s.Sat.Solver.conflicts);
       ("restarts", Int s.Sat.Solver.restarts);
       ("learned", Int s.Sat.Solver.learned);
+      ("lbd_core", Int s.Sat.Solver.lbd_core);
+      ("lbd_mid", Int s.Sat.Solver.lbd_mid);
+      ("lbd_local", Int s.Sat.Solver.lbd_local);
+      ("reductions", Int s.Sat.Solver.reductions);
+      ("vivified", Int s.Sat.Solver.vivified);
     ]
 
 let json_of_reduce_stats (s : Logic.Reduce.stats) =
@@ -821,9 +832,128 @@ let print_certify () =
          ("rows", Arr rows);
        ])
 
+(* ---- solver modernization A/B ---- *)
+
+(* The same obligations solved with the legacy solver configuration
+   (pre-modernization CDCL: activity-only reduction, one-reason-deep
+   minimization, no between-frame inprocessing) and with the modern
+   default (LBD-tiered clause database, recursive minimization, clause
+   vivification between frames, warm assumption prefixes). Both must
+   produce the same verdict at the same depth on every obligation — any
+   mismatch fails the bench (exit 1). The recorded speedup is the
+   acceptance metric for the solver work: the modern configuration must
+   be >= 1.25x faster in aggregate on the hardest obligations (AES v1/FC
+   at depth 18 and fig2/FC at depth 16, the two searches dominated by
+   frame-solve time rather than encoding). *)
+let sat_suite () =
+  [
+    ( "AES v1/FC", true,
+      Aqed.Check.prepare_fc ~name:"AES v1/FC" ~max_depth:18
+        ~shared:Accel.Aes.shared_key
+        (fun () -> Accel.Aes.build ~version:1 ()) );
+    ( "fig2/FC bug", true,
+      Aqed.Check.prepare_fc ~name:"fig2/FC" ~max_depth:16
+        (fun () -> Accel.Fig2.build ~bug:true ()) );
+    ( "GSM/FC bug", false,
+      Aqed.Check.prepare_fc ~name:"GSM/FC" ~max_depth:16
+        (fun () -> Accel.Gsm.build ~bug:true ()) );
+    ( "Dataflow/RB bug", false,
+      Aqed.Check.prepare_rb ~name:"Dataflow/RB" ~max_depth:16
+        ~tau:Accel.Dataflow.tau
+        (fun () -> Accel.Dataflow.build ~bug:true ()) );
+    ( "Optical Flow/RB bug", false,
+      Aqed.Check.prepare_rb ~name:"Optical Flow/RB" ~max_depth:16
+        ~tau:Accel.Optflow.tau
+        (fun () -> Accel.Optflow.build ~bug:true ()) );
+    ( "memctrl-fifo/FC", false,
+      Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:10
+        (fun () -> M.build M.Fifo_mode ()) );
+    ( "dualpath/FC bug", false,
+      Aqed.Check.prepare_fc ~name:"dualpath/FC" ~max_depth:12
+        (fun () -> Accel.Dualpath.build ~bug:true ()) );
+  ]
+
+let print_sat () =
+  pf "\n== Solver modernization A/B (legacy vs modern CDCL) ==\n";
+  pf "%s\n" (line 96);
+  pf "%-22s %-8s %5s | %10s %10s %7s | %8s %5s %4s\n" "obligation" "verdict"
+    "depth" "legacy(s)" "modern(s)" "speedup" "glue c/m/l" "redu" "viv";
+  pf "%s\n" (line 96);
+  let legacy_total = ref 0. and modern_total = ref 0. in
+  let legacy_hard = ref 0. and modern_hard = ref 0. in
+  let rows =
+    List.map
+      (fun (name, hardest, ob) ->
+        let legacy =
+          Aqed.Check.run_obligation ~solver:Bmc.Engine.legacy_config ob
+        in
+        let modern = Aqed.Check.run_obligation ob in
+        let ok = same_outcome legacy modern in
+        if not ok then bench_failed := true;
+        let lw = legacy.Aqed.Check.wall_time
+        and mw = modern.Aqed.Check.wall_time in
+        legacy_total := !legacy_total +. lw;
+        modern_total := !modern_total +. mw;
+        if hardest then begin
+          legacy_hard := !legacy_hard +. lw;
+          modern_hard := !modern_hard +. mw
+        end;
+        let verdict, depth =
+          match modern.Aqed.Check.verdict with
+          | Aqed.Check.Bug t -> ("bug", Bmc.Trace.length t)
+          | Aqed.Check.No_bug_up_to k -> ("clean", k)
+          | Aqed.Check.Proved k -> ("proved", k)
+        in
+        let ms = modern.Aqed.Check.solver_stats in
+        pf "%-22s %-8s %5d | %10.3f %10.3f %6.2fx | %3d/%d/%d %5d %4d%s\n"
+          name verdict depth lw mw
+          (if mw > 0. then lw /. mw else 0.)
+          ms.Sat.Solver.lbd_core ms.Sat.Solver.lbd_mid
+          ms.Sat.Solver.lbd_local ms.Sat.Solver.reductions
+          ms.Sat.Solver.vivified
+          (if ok then "" else "  << VERDICT MISMATCH");
+        Obj
+          [
+            ("name", Str name);
+            ("hardest", Bool hardest);
+            ("outcomes_match", Bool ok);
+            ("verdict", Str verdict);
+            ("depth", Int depth);
+            ("wall_s_legacy", Num lw);
+            ("wall_s_modern", Num mw);
+            ("speedup", Num (if mw > 0. then lw /. mw else 0.));
+            ("solver_legacy", json_of_solver_stats legacy.Aqed.Check.solver_stats);
+            ("solver_modern", json_of_solver_stats ms);
+          ])
+      (sat_suite ())
+  in
+  pf "%s\n" (line 96);
+  let speedup_all =
+    if !modern_total > 0. then !legacy_total /. !modern_total else 0.
+  in
+  let speedup_hard =
+    if !modern_hard > 0. then !legacy_hard /. !modern_hard else 0.
+  in
+  let outcomes_match = not !bench_failed in
+  pf "suite: %.3fs legacy, %.3fs modern — %.2fx overall, %.2fx on the \
+      hardest obligations%s\n"
+    !legacy_total !modern_total speedup_all speedup_hard
+    (if outcomes_match then ""
+     else "  (FAILURE: some verdict changed between configurations)");
+  record "sat"
+    (Obj
+       [
+         ("outcomes_match", Bool outcomes_match);
+         ("wall_s_legacy", Num !legacy_total);
+         ("wall_s_modern", Num !modern_total);
+         ("speedup", Num speedup_all);
+         ("speedup_hardest", Num speedup_hard);
+         ("rows", Arr rows);
+       ])
+
 (* ---- mutation campaign ---- *)
 
-(* The generated-faults counterpart of Table 1 (EXPERIMENTS.md E8): instead
+(* The generated-faults counterpart of Table 1 (EXPERIMENTS.md E7): instead
    of the 16 hand-written registry bugs, a seeded sample of semantic
    mutations on each memctrl configuration, screened for equivalence and
    then run through the FC/RB/SAC flow with first-detection accounting.
@@ -1222,16 +1352,18 @@ let () =
        | "fig2" -> print_fig2 ()
        | "reduce" -> print_reduce ()
        | "certify" -> print_certify ()
+       | "sat" -> print_sat ()
        | "mutate" -> print_mutate ~jobs ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
        | "all" ->
          print_table1 (); print_fig5 ();
          print_table2 ~jobs ~portfolio (); print_fig2 ();
-         print_reduce (); print_certify (); print_mutate ~jobs ();
+         print_reduce (); print_certify (); print_sat ();
+         print_mutate ~jobs ();
          print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify mutate kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat mutate kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;

@@ -184,25 +184,34 @@ let with_telemetry ~trace ~progress f =
   | v -> finish (); v
   | exception e -> finish (); raise e
 
-let cmd_check design_name bug check depth jobs stats no_reduce sweep certify =
+(* Solver-side speed knobs (--restarts, --no-inprocess). Every
+   configuration returns the same verdict at the same depth, so these only
+   move wall time. *)
+let solver_config restarts no_inprocess =
+  { Bmc.Engine.default_config with
+    restarts; inprocess = not no_inprocess }
+
+let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
+    restarts no_inprocess =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
   let reduce = not no_reduce in
+  let solver = solver_config restarts no_inprocess in
   let report =
     match String.lowercase_ascii check with
     | "fc" ->
       Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
-        ~portfolio ~certify ~reduce ~sweep
+        ~portfolio ~certify ~solver ~reduce ~sweep
         (fun () -> d.build ?bug ())
     | "rb" ->
       Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
-        ~certify ~reduce ~sweep
+        ~certify ~solver ~reduce ~sweep
         (fun () -> d.build_rb ?bug ())
     | "sac" -> (
         match d.spec with
         | Some spec ->
           Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~certify
-            ~reduce ~sweep
+            ~solver ~reduce ~sweep
             (fun () -> d.build ?bug ())
         | None -> failwith "this design has no registered SAC spec")
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
@@ -235,9 +244,10 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep certify =
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
 let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
-    certify =
+    certify restarts no_inprocess =
   let d = find_design design_name in
   let reduce = not no_reduce in
+  let solver = solver_config restarts no_inprocess in
   let obligations =
     [
       Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared ~reduce ~sweep
@@ -254,7 +264,7 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
   let cache = Aqed.Check.create_cache () in
   let batch =
     Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache
-      ~portfolio:(max 1 portfolio) ~certify obligations
+      ~portfolio:(max 1 portfolio) ~certify ~solver obligations
   in
   Format.printf "%a@." Aqed.Check.pp_batch batch;
   if stats then begin
@@ -449,6 +459,25 @@ let sweep_arg =
                  on some obligations, so it is off by default. Ignored with \
                  $(b,--no-reduce).")
 
+let restarts_arg =
+  let styles =
+    [ ("luby", Sat.Solver.Luby); ("ema", Sat.Solver.Ema) ]
+  in
+  Arg.(value & opt (enum styles) Sat.Solver.Luby
+       & info [ "restarts" ] ~docv:"STYLE"
+           ~doc:"Restart strategy: $(b,luby) (budgeted, the default) or \
+                 $(b,ema) (Glucose-style dynamic restarts driven by \
+                 learned-clause glue). A speed knob only — every strategy \
+                 returns the same verdict at the same depth.")
+
+let no_inprocess_arg =
+  Arg.(value & flag
+       & info [ "no-inprocess" ]
+           ~doc:"Skip between-frame inprocessing (budgeted clause \
+                 vivification and root-level database simplification). \
+                 Verdicts and counterexample depths are identical either \
+                 way; this is the solver-side A/B escape hatch.")
+
 let certify_arg =
   Arg.(value & flag
        & info [ "certify" ]
@@ -471,10 +500,12 @@ let list_cmd =
     Term.(const (fun () -> wrap cmd_list) $ const ())
 
 let check_cmd =
-  let run d b c k j stats trace progress no_reduce sweep certify =
+  let run d b c k j stats trace progress no_reduce sweep certify restarts
+      no_inprocess =
     wrap (fun () ->
         with_telemetry ~trace ~progress (fun () ->
-            cmd_check d b c k j stats no_reduce sweep certify))
+            cmd_check d b c k j stats no_reduce sweep certify restarts
+              no_inprocess))
   in
   Cmd.v
     (Cmd.info "check"
@@ -482,13 +513,15 @@ let check_cmd =
              $(b,--certify), 0 on a certified verdict and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
           $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg
-          $ certify_arg)
+          $ certify_arg $ restarts_arg $ no_inprocess_arg)
 
 let verify_cmd =
-  let run d b k j p stats trace progress no_reduce sweep certify =
+  let run d b k j p stats trace progress no_reduce sweep certify restarts
+      no_inprocess =
     wrap (fun () ->
         with_telemetry ~trace ~progress (fun () ->
-            cmd_verify d b k j p stats no_reduce sweep certify))
+            cmd_verify d b k j p stats no_reduce sweep certify restarts
+              no_inprocess))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -497,7 +530,8 @@ let verify_cmd =
              $(b,--certify), 0 on certified verdicts and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
           $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
-          $ no_reduce_arg $ sweep_arg $ certify_arg)
+          $ no_reduce_arg $ sweep_arg $ certify_arg $ restarts_arg
+          $ no_inprocess_arg)
 
 let mutate_cmd =
   let ops_arg =

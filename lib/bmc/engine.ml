@@ -64,29 +64,49 @@ type solver_config = {
   restart_base : int;
   phase_init : bool;
   phase_saving : bool;
+  restarts : Solver.restart_style;
+  inprocess : bool;
+  legacy : bool;
 }
 
 let default_config =
-  { seed = 0; restart_base = 100; phase_init = false; phase_saving = true }
+  { seed = 0; restart_base = 100; phase_init = false; phase_saving = true;
+    restarts = Solver.Luby; inprocess = true; legacy = false }
 
-(* Diversification menu: the first entry is always the default (so a
+(* The historical solver, byte-for-byte: Luby-only restarts, activity-halving
+   reduction without watch purge, shallow clause minimization, no
+   between-frame inprocessing. The baseline leg of the [bench sat] A/B. *)
+let legacy_config = { default_config with inprocess = false; legacy = true }
+
+(* Diversification menu: the first entry is always the base config (so a
    1-member portfolio is the sequential engine), later members vary the
-   VSIDS tie-break seed, the restart cadence and the polarity heuristic. *)
-let portfolio_configs n =
-  let restarts = [| 100; 400; 50; 200 |] in
+   VSIDS tie-break seed, the restart strategy and cadence, and the polarity
+   heuristic — odd members run EMA restarts for genuine strategy diversity
+   rather than just seed diversity. *)
+let portfolio_configs ?(base = default_config) n =
+  let luby_bases = [| 100; 400; 50; 200 |] in
   List.init (max 1 n) (fun i ->
-      if i = 0 then default_config
+      if i = 0 then base
       else
+        let restarts =
+          if base.legacy || i mod 2 = 0 then Solver.Luby else Solver.Ema
+        in
         {
+          base with
           seed = i;
-          restart_base = restarts.(i mod Array.length restarts);
+          restart_base =
+            (match restarts with
+             | Solver.Ema -> 50
+             | Solver.Luby -> luby_bases.(i mod Array.length luby_bases));
+          restarts;
           phase_init = i mod 3 = 1;
           phase_saving = i mod 4 <> 3;
         })
 
 let solver_of_config (c : solver_config) =
   Solver.create ~seed:c.seed ~restart_base:c.restart_base
-    ~phase_init:c.phase_init ~phase_saving:c.phase_saving ()
+    ~phase_init:c.phase_init ~phase_saving:c.phase_saving
+    ~restarts:c.restarts ~legacy:c.legacy ()
 
 (* The transition relation of a circuit, shared by all frames: one AIG with
    the property cone, assumption cones and latch next-state cones — after
@@ -534,7 +554,15 @@ let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
           | None -> (trace, Uncertified)
         in
         finish ~certificate (Cex trace) depth
-      | Clean -> go envs_rev (depth + 1)
+      | Clean ->
+        (* Between-frame inprocessing: vivify and root-simplify the clause
+           database before the next (larger) frame is encoded. Skipped on
+           the last frame, where no further query would benefit. Under
+           certification the derived clauses land in the proof log and are
+           replayed by the next frame's delta. *)
+        if config.inprocess && depth < max_depth then
+          Solver.simplify_inplace solver;
+        go envs_rev (depth + 1)
     end
   in
   go [] 1
@@ -658,7 +686,7 @@ let prepared_key p = Lazy.force p.prepared_key
 let prepared_stats p = p.rel.reduce_stats
 
 let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
-    ?(certify = false) p =
+    ?(certify = false) ?(config = default_config) p =
   (* Temporal decomposition rides the [reduce] switch: with reduction off the
      engine must encode exactly the raw relation (that is the --no-reduce
      contract the A/B regression leans on). The chain below is rooted at
@@ -684,12 +712,12 @@ let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
     bounded_search ~certify p.rel ~name:p.prepared_name ~max_depth ~trace_regs
       ~frame_consts ~config ~cancel
   in
-  if portfolio <= 1 then run ~config:default_config ~cancel:None
-  else race_portfolio (portfolio_configs portfolio) run
+  if portfolio <= 1 then run ~config ~cancel:None
+  else race_portfolio (portfolio_configs ~base:config portfolio) run
 
-let check ?max_depth ?trace_regs ?portfolio ?certify ?(reduce = true)
+let check ?max_depth ?trace_regs ?portfolio ?certify ?config ?(reduce = true)
     ?(sweep = false) circuit ~prop =
-  check_prepared ?max_depth ?trace_regs ?portfolio ?certify
+  check_prepared ?max_depth ?trace_regs ?portfolio ?certify ?config
     (prepare ~reduce ~sweep circuit ~prop)
 
 (* Simple k-induction step: frames 0..k from a free start state, property
@@ -753,7 +781,12 @@ let prove_prepared ?(max_depth = 64) p =
             (fun () -> induction_step rel depth)
         in
         if proved then finish (Proved depth) depth
-        else go envs_rev (depth + 1)
+        else begin
+          (* Same between-frame inprocessing as [bounded_search]; the
+             induction solver is rebuilt per step and unaffected. *)
+          if depth < max_depth then Solver.simplify_inplace solver;
+          go envs_rev (depth + 1)
+        end
     end
   in
   go [] 1

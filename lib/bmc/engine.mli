@@ -97,17 +97,34 @@ type report = {
 
 type solver_config = {
   seed : int;            (** VSIDS tie-break seed; 0 disables *)
-  restart_base : int;    (** conflicts per Luby restart unit *)
+  restart_base : int;    (** conflicts per Luby restart unit, or the minimum
+                             restart spacing under [Ema] *)
   phase_init : bool;     (** polarity of never-assigned variables *)
   phase_saving : bool;   (** keep last polarity per variable *)
+  restarts : Sat.Solver.restart_style;
+                         (** Luby (budgeted) or EMA (Glucose-style dynamic)
+                             restarts *)
+  inprocess : bool;      (** run {!Sat.Solver.simplify_inplace} between
+                             frames *)
+  legacy : bool;         (** historical solver behaviour (A/B baseline);
+                             forces Luby restarts *)
 }
 
 val default_config : solver_config
-(** The sequential engine's configuration. *)
+(** The sequential engine's configuration: Luby restarts, inprocessing on. *)
 
-val portfolio_configs : int -> solver_config list
+val legacy_config : solver_config
+(** The pre-modernization solver, for A/B comparison and differential
+    testing: legacy reduction/minimization and no between-frame
+    inprocessing. Verdicts and counterexample depths are identical to
+    {!default_config} on every obligation — only speed differs. *)
+
+val portfolio_configs : ?base:solver_config -> int -> solver_config list
 (** [portfolio_configs n] is [n] diversified configurations; the first is
-    always {!default_config}. *)
+    always [base] (default {!default_config}). Later members vary the seed,
+    polarity heuristics and the restart {e strategy} — odd members run EMA
+    restarts (unless [base] is legacy), so the portfolio races genuinely
+    different searches rather than reseedings of one. *)
 
 (** {1 Prepared obligations}
 
@@ -151,6 +168,7 @@ val prepared_stats : prepared -> Logic.Reduce.stats option
 
 val check_prepared :
   ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
+  ?config:solver_config ->
   prepared -> report
 (** Bounded search from reset. When the prepared relation was reduced, the
     search also applies temporal decomposition
@@ -161,13 +179,19 @@ val check_prepared :
 
     [certify] (default false) cross-checks every answer as described under
     {!type:certificate}, raising {!Certification_failed} on divergence. In
-    a portfolio, each member certifies its own solver run. *)
+    a portfolio, each member certifies its own solver run.
+
+    [config] (default {!default_config}) selects the solver configuration;
+    with [portfolio > 1] it seeds member 0 and the base of the
+    diversification menu. Every configuration returns the same verdict at
+    the same depth. *)
 
 val prove_prepared : ?max_depth:int -> prepared -> report
 (** The prepared value must come from [prepare ~induction:true]. *)
 
 val check :
   ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
+  ?config:solver_config ->
   ?reduce:bool -> ?sweep:bool ->
   Rtl.Ir.circuit -> prop:Rtl.Ir.signal ->
   report

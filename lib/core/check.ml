@@ -28,8 +28,8 @@ let m_bugs = Telemetry.Counter.make "check.bugs"
 (* The search side of one obligation: takes an already-prepared (bit-blasted
    and reduced) relation, so preparing once serves both the cache key and
    the solve. *)
-let run_bmc ?(portfolio = 1) ?(certify = false) name ~max_depth ~induction
-    prepared =
+let run_bmc ?(portfolio = 1) ?(certify = false) ?solver name ~max_depth
+    ~induction prepared =
   Telemetry.Counter.incr m_obligations;
   Telemetry.Span.with_ "check"
     ~args:
@@ -54,7 +54,9 @@ let run_bmc ?(portfolio = 1) ?(certify = false) name ~max_depth ~induction
   @@ fun () ->
   let bmc_report =
     if induction then Bmc.Engine.prove_prepared ~max_depth prepared
-    else Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify prepared
+    else
+      Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify
+        ?config:solver prepared
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
@@ -179,25 +181,25 @@ let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false)
         (iface.Iface.circuit, monitor.Sac_monitor.prop));
   }
 
-let run_obligation ?portfolio ?certify ob =
-  run_bmc ?portfolio ?certify ob.ob_check ~max_depth:ob.ob_max_depth
+let run_obligation ?portfolio ?certify ?solver ob =
+  run_bmc ?portfolio ?certify ?solver ob.ob_check ~max_depth:ob.ob_max_depth
     ~induction:ob.ob_induction (prepare_engine ob)
 
 let functional_consistency ?max_depth ?cnt_width ?shared ?lanes ?induction
-    ?portfolio ?certify ?reduce ?sweep build =
-  run_obligation ?portfolio ?certify
+    ?portfolio ?certify ?solver ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver
     (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction ?reduce ?sweep
        build)
 
 let response_bound ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
-    ?induction ?portfolio ?certify ?reduce ?sweep build =
-  run_obligation ?portfolio ?certify
+    ?induction ?portfolio ?certify ?solver ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver
     (prepare_rb ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
        ?induction ?reduce ?sweep build)
 
-let single_action ?max_depth ~spec ?induction ?portfolio ?certify ?reduce
-    ?sweep build =
-  run_obligation ?portfolio ?certify
+let single_action ?max_depth ~spec ?induction ?portfolio ?certify ?solver
+    ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver
     (prepare_sac ?max_depth ~spec ?induction ?reduce ?sweep build)
 
 let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
@@ -208,16 +210,16 @@ let trace_length r =
   | No_bug_up_to _ | Proved _ -> None
 
 let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
-    ?(induction = false) ?portfolio ?certify ?reduce ?sweep build =
+    ?(induction = false) ?portfolio ?certify ?solver ?reduce ?sweep build =
   let fc =
     functional_consistency ?max_depth ?cnt_width ?shared ~induction ?portfolio
-      ?certify ?reduce ?sweep build
+      ?certify ?solver ?reduce ?sweep build
   in
   if found_bug fc then [ fc ]
   else begin
     let rb =
       response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction ?portfolio
-        ?certify ?reduce ?sweep build
+        ?certify ?solver ?reduce ?sweep build
     in
     if found_bug rb then [ fc; rb ]
     else
@@ -226,7 +228,7 @@ let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
       | Some spec ->
         [ fc; rb;
           single_action ?max_depth ~spec ~induction ?portfolio ?certify
-            ?reduce ?sweep build ]
+            ?solver ?reduce ?sweep build ]
   end
 
 (* ---- the parallel batch driver ---- *)
@@ -256,11 +258,11 @@ type batch_result = {
    is the structural hash of the bit-blasted instance plus the solve
    parameters; [Parallel.Cache] is single-flight, so identical obligations
    landing on different workers at the same time still solve once. *)
-let solve_obligation ?cache ?portfolio ?(certify = false) ob =
+let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ob =
   let t0 = Unix.gettimeofday () in
   let cached, report =
     match cache with
-    | None -> (false, run_obligation ?portfolio ~certify ob)
+    | None -> (false, run_obligation ?portfolio ~certify ?solver ob)
     | Some c ->
       (* One bit-blast serves both the key and (on a miss) the solve. The
          key is over the reduced graph, so preparations with different
@@ -274,8 +276,8 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ob =
           ob.ob_check ob.ob_max_depth ob.ob_induction certify
       in
       Parallel.Cache.find_or_compute c key (fun () ->
-          run_bmc ?portfolio ~certify ob.ob_check ~max_depth:ob.ob_max_depth
-            ~induction:ob.ob_induction prepared)
+          run_bmc ?portfolio ~certify ?solver ob.ob_check
+            ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction prepared)
   in
   {
     entry_name = ob.ob_name;
@@ -284,9 +286,9 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ob =
     entry_wall = Unix.gettimeofday () -. t0;
   }
 
-let run_batch ?jobs ?pool ?cache ?portfolio ?certify obligations =
+let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver obligations =
   let t0 = Unix.gettimeofday () in
-  let solve ob = solve_obligation ?cache ?portfolio ?certify ob in
+  let solve ob = solve_obligation ?cache ?portfolio ?certify ?solver ob in
   let entries, nworkers =
     match pool with
     | Some p -> (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p)

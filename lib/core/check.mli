@@ -55,6 +55,7 @@ val functional_consistency :
   ?induction:bool ->
   ?portfolio:int ->
   ?certify:bool ->
+  ?solver:Bmc.Engine.solver_config ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -80,6 +81,7 @@ val response_bound :
   ?induction:bool ->
   ?portfolio:int ->
   ?certify:bool ->
+  ?solver:Bmc.Engine.solver_config ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -92,6 +94,7 @@ val single_action :
   ?induction:bool ->
   ?portfolio:int ->
   ?certify:bool ->
+  ?solver:Bmc.Engine.solver_config ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -100,7 +103,11 @@ val single_action :
     On every check, [portfolio] (default 1) races that many diversified
     solver configurations per BMC run and keeps the first answer — see
     {!Bmc.Engine.check}. Ignored when [induction] is set (the inductive
-    path is sequential). *)
+    path is sequential). [solver] (default {!Bmc.Engine.default_config})
+    selects the solver configuration — restart strategy, between-frame
+    inprocessing, legacy baseline; every configuration returns the same
+    verdict at the same depth, so it is a speed knob only (CLI
+    [--restarts] / [--no-inprocess]). *)
 
 val verify :
   ?max_depth:int ->
@@ -112,6 +119,7 @@ val verify :
   ?induction:bool ->
   ?portfolio:int ->
   ?certify:bool ->
+  ?solver:Bmc.Engine.solver_config ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report list
@@ -177,7 +185,9 @@ val prepare_sac :
   ?sweep:bool ->
   (unit -> Iface.t) -> obligation
 
-val run_obligation : ?portfolio:int -> ?certify:bool -> obligation -> report
+val run_obligation :
+  ?portfolio:int -> ?certify:bool -> ?solver:Bmc.Engine.solver_config ->
+  obligation -> report
 (** Solves one obligation on the calling domain (the sequential baseline
     the batch driver is measured against). *)
 
@@ -214,6 +224,7 @@ val run_batch :
   ?cache:cache ->
   ?portfolio:int ->
   ?certify:bool ->
+  ?solver:Bmc.Engine.solver_config ->
   obligation list -> batch_result
 (** Fans the obligations across a worker pool. [pool] reuses an existing
     pool; otherwise a fresh one with [jobs] workers (default
@@ -222,7 +233,10 @@ val run_batch :
     locally; results come back in input order. [jobs = 1] is the
     sequential semantics on one worker domain. [portfolio] additionally
     races solver configurations {e within} each obligation — useful when
-    obligations are few and cores are many. *)
+    obligations are few and cores are many. [solver] selects the per-solve
+    configuration; it is {e not} part of the cache key (all configurations
+    produce identical reports up to timing), so A/B measurements must
+    bypass the cache. *)
 
 val batch_reports : batch_result -> report list
 

@@ -6,10 +6,14 @@ type clause = {
   (* lits.(0) and lits.(1) are the watched literals. *)
   learnt : bool;
   mutable cla_act : float;
+  mutable lbd : int;
+  (* Literal block distance at learning time; 0 for problem clauses. *)
   mutable deleted : bool;
 }
 
 type result = Sat | Unsat
+
+type restart_style = Luby | Ema
 
 exception Cancelled
 
@@ -21,6 +25,11 @@ type stats = {
   learned : int;
   max_var : int;
   clauses : int;
+  lbd_core : int;
+  lbd_mid : int;
+  lbd_local : int;
+  reductions : int;
+  vivified : int;
 }
 
 (* Growable array of clauses (watch lists and the clause database). *)
@@ -45,7 +54,22 @@ module Vec = struct
   let clear v = v.size <- 0
 end
 
-let dummy_clause = { lits = [||]; learnt = false; cla_act = 0.; deleted = false }
+let dummy_clause =
+  { lits = [||]; learnt = false; cla_act = 0.; lbd = 0; deleted = false }
+
+(* Clause-database tiers (Glucose-style): glue <= core_glue is kept forever,
+   glue <= mid_glue ages by activity, everything above is the local tier and
+   is reduced aggressively. *)
+let core_glue = 3
+let mid_glue = 6
+
+(* EMA restart parameters: a fast and a slow exponential moving average of
+   learned-clause glue; when the recent average exceeds the long-run one by
+   [ema_margin] the current descent is producing unusually poor clauses and
+   a restart is forced. *)
+let ema_fast_alpha = 1. /. 32.
+let ema_slow_alpha = 1. /. 4096.
+let ema_margin = 1.25
 
 type t = {
   mutable nvars : int;
@@ -79,9 +103,28 @@ type t = {
   mutable ok : bool;                 (* false once the empty clause is derived *)
   (* Configuration (portfolio diversification knobs) *)
   mutable rng : int;                 (* xorshift state; 0 = no tie-breaking *)
-  mutable restart_base : int;        (* conflicts per Luby unit *)
+  mutable restart_base : int;        (* conflicts per Luby unit / EMA floor *)
   mutable phase_init : bool;         (* initial saved phase of fresh vars *)
   mutable phase_saving : bool;       (* when false, always branch phase_init *)
+  mutable restart_style : restart_style;
+  mutable legacy : bool;
+  (* when true, reproduce the historical solver exactly: Luby restarts,
+     activity-halving reduction with no watch purge, one-reason-deep clause
+     minimization, no inprocessing effects. The A/B baseline. *)
+  (* EMA restart state. *)
+  mutable ema_fast : float;
+  mutable ema_slow : float;
+  (* Adaptive reduction schedule: the next reduction fires when
+     [n_conflicts] reaches [reduce_next]; the interval stretches a little
+     after every round so reduction cost stays amortized. *)
+  mutable reduce_next : int;
+  mutable reduce_interval : int;
+  (* Assumptions of the previous [solve], for warm-start trail reuse. *)
+  mutable last_assumptions : int array;
+  (* Scratch for glue computation: [level_stamp.(lvl) = stamp] marks level
+     [lvl] as already counted for the clause currently being measured. *)
+  mutable level_stamp : int array;
+  mutable stamp : int;
   (* Cooperative cancellation: polled periodically from the CDCL loop. *)
   mutable cancel : bool Atomic.t option;
   mutable poll : int;
@@ -103,6 +146,11 @@ type t = {
   mutable n_conflicts : int;
   mutable n_restarts : int;
   mutable n_learned : int;
+  mutable n_lbd_core : int;
+  mutable n_lbd_mid : int;
+  mutable n_lbd_local : int;
+  mutable n_reductions : int;
+  mutable n_vivified : int;
   (* Telemetry: wall-clock start and conflict count at [solve] entry, so the
      progress hook can report conflicts/sec for the current solve. *)
   mutable solve_t0 : float;
@@ -110,14 +158,22 @@ type t = {
 }
 
 (* Global telemetry series, bumped by the per-solve deltas at solve exit (the
-   CDCL loop itself keeps plain per-solver fields and stays untouched). *)
+   CDCL loop itself keeps plain per-solver fields and stays untouched).
+   Reductions and vivification are rare events bumped at the event site. *)
 let m_conflicts = Telemetry.Counter.make "sat.conflicts"
 let m_decisions = Telemetry.Counter.make "sat.decisions"
 let m_propagations = Telemetry.Counter.make "sat.propagations"
 let m_restarts = Telemetry.Counter.make "sat.restarts"
+let m_lbd_core = Telemetry.Counter.make "sat.lbd_core"
+let m_lbd_mid = Telemetry.Counter.make "sat.lbd_mid"
+let m_lbd_local = Telemetry.Counter.make "sat.lbd_local"
+let m_reductions = Telemetry.Counter.make "sat.reductions"
+let m_vivified = Telemetry.Counter.make "sat.vivified"
 
 let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
-    ?(phase_saving = true) () =
+    ?(phase_saving = true) ?(restarts = Luby) ?(reduce_first = 2000)
+    ?(legacy = false) () =
+  let reduce_interval = max 100 reduce_first in
   {
     nvars = 0;
     assign = Array.make 16 0;
@@ -144,6 +200,15 @@ let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     restart_base = max 1 restart_base;
     phase_init;
     phase_saving;
+    restart_style = (if legacy then Luby else restarts);
+    legacy;
+    ema_fast = 0.;
+    ema_slow = 0.;
+    reduce_next = reduce_interval;
+    reduce_interval;
+    last_assumptions = [||];
+    level_stamp = Array.make 16 0;
+    stamp = 0;
     cancel = None;
     poll = 0;
     conflict_ceiling = max_int;
@@ -157,6 +222,11 @@ let create ?(seed = 0) ?(restart_base = 100) ?(phase_init = false)
     n_conflicts = 0;
     n_restarts = 0;
     n_learned = 0;
+    n_lbd_core = 0;
+    n_lbd_mid = 0;
+    n_lbd_local = 0;
+    n_reductions = 0;
+    n_vivified = 0;
     solve_t0 = 0.;
     solve_c0 = 0;
   }
@@ -269,6 +339,7 @@ let grow_var_arrays s needed =
     s.seen <- grow s.seen false;
     s.heap_pos <- grow s.heap_pos (-1);
     s.trail <- grow s.trail 0;
+    s.level_stamp <- grow s.level_stamp 0;
     let wcur = Array.length s.watches in
     if 2 * n + 2 >= wcur then begin
       let sz = max (2 * n + 2) (2 * wcur) in
@@ -440,8 +511,65 @@ let cancel_until s lvl =
 
 (* ---- conflict analysis (first UIP) ---- *)
 
+(* Literal block distance (glue): the number of distinct decision levels
+   among a clause's literals, measured before backtracking while the levels
+   are still current. Low-glue clauses chain propagations across few levels
+   and are empirically the ones worth keeping (Audemard & Simon). *)
+let compute_lbd s lits =
+  s.stamp <- s.stamp + 1;
+  let st = s.stamp in
+  List.fold_left
+    (fun n q ->
+      let lvl = s.level.(var_of q) in
+      if lvl > 0 && s.level_stamp.(lvl) <> st then begin
+        s.level_stamp.(lvl) <- st;
+        n + 1
+      end
+      else n)
+    0 lits
+
+(* Is the negation of [q0] implied by the marked clause literals plus the
+   root level? Iterative depth-first walk over reason clauses (MiniSat's
+   litRedundant); aborts — undoing its marks — on reaching a decision
+   variable or a decision level outside [abstract_levels] (a chain can only
+   close back onto the clause through levels the clause itself touches).
+   On success the intermediate variables stay marked: they are implied too,
+   which caches the answer for later queries; their cleanup is the caller's
+   via [acc]. *)
+let lit_redundant s acc abstract_levels q0 =
+  let marked = ref [] in
+  let ok = ref true in
+  let stack = ref [ q0 ] in
+  (try
+     while !stack <> [] do
+       let q = List.hd !stack in
+       stack := List.tl !stack;
+       let r = s.reason.(var_of q) in
+       for k = 1 to Array.length r.lits - 1 do
+         let p = r.lits.(k) in
+         let v = var_of p in
+         if not s.seen.(v) && s.level.(v) > 0 then begin
+           if s.reason.(v) != dummy_clause
+              && abstract_levels land (1 lsl (s.level.(v) land 31)) <> 0
+           then begin
+             s.seen.(v) <- true;
+             marked := v :: !marked;
+             stack := p :: !stack
+           end
+           else begin
+             List.iter (fun u -> s.seen.(u) <- false) !marked;
+             ok := false;
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then acc := !marked @ !acc;
+  !ok
+
 (* Returns (learnt clause as int array with the asserting literal first,
-   backtrack level). *)
+   backtrack level, glue of the kept clause). *)
 let analyze s conflict =
   let learnt = ref [] in
   let counter = ref 0 in
@@ -478,24 +606,47 @@ let analyze s conflict =
     if !counter = 0 then continue := false
   done;
   let learnt = - !lit :: !learnt in
-  (* Clause minimization: drop a literal if its reason's literals are all
-     already marked (self-subsumption, non-recursive variant). *)
+  (* Clause minimization: drop a literal whose negation is already implied
+     by the rest of the clause. The legacy configuration keeps the
+     historical non-recursive variant (one reason deep); the modern one
+     follows reason chains through intermediate propagated literals. *)
   let seen_marks = List.map var_of (List.tl learnt) in
   List.iter (fun v -> s.seen.(v) <- true) seen_marks;
-  let redundant q =
-    let v = var_of q in
-    let r = s.reason.(v) in
-    r != dummy_clause
-    && Array.for_all
-         (fun p ->
-           let u = var_of p in
-           u = v || s.seen.(u) || s.level.(u) = 0)
-         r.lits
-  in
   let kept =
     match learnt with
     | [] -> assert false
-    | uip :: rest -> uip :: List.filter (fun q -> not (redundant q)) rest
+    | uip :: rest ->
+      if s.legacy then begin
+        let redundant q =
+          let v = var_of q in
+          let r = s.reason.(v) in
+          r != dummy_clause
+          && Array.for_all
+               (fun p ->
+                 let u = var_of p in
+                 u = v || s.seen.(u) || s.level.(u) = 0)
+               r.lits
+        in
+        uip :: List.filter (fun q -> not (redundant q)) rest
+      end
+      else begin
+        let abstract_levels =
+          List.fold_left
+            (fun acc q -> acc lor (1 lsl (s.level.(var_of q) land 31)))
+            0 rest
+        in
+        let extra = ref [] in
+        let kept =
+          uip
+          :: List.filter
+               (fun q ->
+                 s.reason.(var_of q) == dummy_clause
+                 || not (lit_redundant s extra abstract_levels q))
+               rest
+        in
+        List.iter (fun v -> s.seen.(v) <- false) !extra;
+        kept
+      end
   in
   List.iter (fun v -> s.seen.(v) <- false) seen_marks;
   (* Recompute the backtrack level from the kept literals. *)
@@ -506,7 +657,8 @@ let analyze s conflict =
       List.fold_left (fun acc q -> max acc s.level.(var_of q)) 0 rest
     | [] -> assert false
   in
-  (Array.of_list kept, btlevel)
+  let lbd = compute_lbd s kept in
+  (Array.of_list kept, btlevel, lbd)
 
 (* ---- clause attachment ---- *)
 
@@ -560,14 +712,20 @@ let add_clause s lits =
           end
         | l0 :: l1 :: _ ->
           ignore l0; ignore l1;
-          let c = { lits = Array.of_list lits; learnt = false; cla_act = 0.; deleted = false } in
+          let c =
+            { lits = Array.of_list lits; learnt = false; cla_act = 0.;
+              lbd = 0; deleted = false }
+          in
           Vec.push s.clauses c;
           attach_clause s c
     end
   end
 
-let record_learnt s lits =
+let record_learnt s lits lbd =
   s.n_learned <- s.n_learned + 1;
+  if lbd <= core_glue then s.n_lbd_core <- s.n_lbd_core + 1
+  else if lbd <= mid_glue then s.n_lbd_mid <- s.n_lbd_mid + 1
+  else s.n_lbd_local <- s.n_lbd_local + 1;
   if s.proof_enabled then record_proof s (Array.to_list lits);
   if Array.length lits = 1 then begin
     cancel_until s 0;
@@ -583,7 +741,7 @@ let record_learnt s lits =
     let tmp = lits.(1) in
     lits.(1) <- lits.(!best);
     lits.(!best) <- tmp;
-    let c = { lits; learnt = true; cla_act = 0.; deleted = false } in
+    let c = { lits; learnt = true; cla_act = 0.; lbd; deleted = false } in
     Vec.push s.learnts c;
     attach_clause s c;
     clause_bump s c;
@@ -598,18 +756,234 @@ let locked s c =
   let v = var_of c.lits.(0) in
   s.assign.(v) <> 0 && s.reason.(v) == c
 
+(* Purge deleted clauses from the database and rebuild every watch list
+   from scratch. Watch positions 0/1 of a live clause are preserved, so the
+   two-watched invariant — valid at any decision level — carries over. *)
+let rebuild_watches s =
+  for i = 0 to (2 * s.nvars) + 1 do
+    Vec.clear s.watches.(i);
+    Vec.clear s.blockers.(i)
+  done;
+  let compact vec =
+    let n = Vec.size vec in
+    let keep = ref 0 in
+    for i = 0 to n - 1 do
+      let c = Vec.get vec i in
+      if not c.deleted then begin
+        Vec.set vec !keep c;
+        incr keep;
+        attach_clause s c
+      end
+    done;
+    Vec.shrink vec !keep
+  in
+  compact s.clauses;
+  compact s.learnts
+
 let reduce_db s =
-  let n = Vec.size s.learnts in
-  let arr = Array.init n (Vec.get s.learnts) in
-  Array.sort (fun a b -> Float.compare a.cla_act b.cla_act) arr;
-  let limit = n / 2 in
-  Vec.clear s.learnts;
-  Array.iteri
-    (fun i c ->
-      if (i >= limit || locked s c || Array.length c.lits = 2) && not c.deleted
-      then Vec.push s.learnts c
-      else c.deleted <- true)
-    arr
+  s.n_reductions <- s.n_reductions + 1;
+  Telemetry.Counter.incr m_reductions;
+  if s.legacy then begin
+    (* Historical behaviour, kept as the A/B baseline: sort by activity,
+       drop the bottom half, and leave dead clauses attached (propagate
+       drops them lazily but the watch vectors never shrink). *)
+    let n = Vec.size s.learnts in
+    let arr = Array.init n (Vec.get s.learnts) in
+    Array.sort (fun a b -> Float.compare a.cla_act b.cla_act) arr;
+    let limit = n / 2 in
+    Vec.clear s.learnts;
+    Array.iteri
+      (fun i c ->
+        if (i >= limit || locked s c || Array.length c.lits = 2)
+           && not c.deleted
+        then Vec.push s.learnts c
+        else c.deleted <- true)
+      arr
+  end
+  else begin
+    (* Three-tier policy: core clauses (glue <= core_glue), binaries and
+       locked clauses are permanent; the mid tier ages out its least active
+       quarter; the local tier loses half every round. The watch lists are
+       rebuilt afterwards so propagation never scans a dead clause. *)
+    let mid = ref [] and local = ref [] in
+    for i = 0 to Vec.size s.learnts - 1 do
+      let c = Vec.get s.learnts i in
+      if not
+           (c.deleted || locked s c || Array.length c.lits = 2
+           || c.lbd <= core_glue)
+      then
+        if c.lbd <= mid_glue then mid := c :: !mid else local := c :: !local
+    done;
+    let drop_least_active frac cs =
+      let arr = Array.of_list cs in
+      Array.sort (fun a b -> Float.compare a.cla_act b.cla_act) arr;
+      let k = int_of_float (frac *. float_of_int (Array.length arr)) in
+      for i = 0 to k - 1 do
+        arr.(i).deleted <- true
+      done
+    in
+    drop_least_active 0.25 !mid;
+    drop_least_active 0.5 !local;
+    rebuild_watches s;
+    (* Stretch the schedule so reduction cost stays amortized. *)
+    s.reduce_interval <- s.reduce_interval + 300;
+    s.reduce_next <- s.n_conflicts + s.reduce_interval
+  end
+
+(* ---- inprocessing: clause vivification ---- *)
+
+(* Vivification probes a clause literal by literal: assert the negation of
+   each literal in turn on one scratch decision level — with the clause
+   itself unwatched so it cannot assist — and propagate. A conflict, or a
+   literal found already true, proves a prefix of the clause; a literal
+   found false drops out. Every shortened clause is RUP with respect to a
+   database that still contains the original, so under proof recording the
+   replacement goes through [record_proof] like any learned clause and the
+   incremental delta protocol ([mark] / [proof_since]) keeps certifying:
+   the external checker never deletes, so the original clause remains
+   available as a premise. Nothing this pass derives falls outside RUP,
+   hence nothing needs disabling under [enable_proof]. *)
+let simplify_inplace ?(budget = 30_000) s =
+  if s.ok then
+    Telemetry.Span.with_ "sat.simplify"
+      ~args:[ ("budget", Telemetry.Int budget) ]
+      ~end_args:(fun () ->
+        [ ("vivified_total", Telemetry.Int s.n_vivified) ])
+    @@ fun () ->
+    cancel_until s 0;
+    s.last_assumptions <- [||];
+    if propagate s != dummy_clause then begin
+      s.ok <- false;
+      if s.proof_enabled then record_proof s []
+    end
+    else begin
+      (* Probing must not pollute the saved phases. *)
+      let saving = s.phase_saving in
+      s.phase_saving <- false;
+      let p0 = s.n_propagations in
+      let over () = s.n_propagations - p0 > budget in
+      let vivify c =
+        c.deleted <- true;
+        Vec.push s.trail_lim s.trail_size;
+        let n = Array.length c.lits in
+        let kept = ref [] in
+        (try
+           for j = 0 to n - 1 do
+             let l = c.lits.(j) in
+             if lit_sat s l then begin
+               (* The kept prefix propagates l: prefix @ [l] subsumes. *)
+               kept := l :: !kept;
+               raise Exit
+             end
+             else if lit_false s l then () (* implied false: drop l *)
+             else begin
+               kept := l :: !kept;
+               enqueue s (-l) dummy_clause;
+               if propagate s != dummy_clause then
+                 (* Negating the prefix is contradictory: prefix is RUP. *)
+                 raise Exit
+             end
+           done
+         with Exit -> ());
+        cancel_until s 0;
+        let kept = List.rev !kept in
+        if List.length kept < n then Some kept
+        else begin
+          c.deleted <- false;
+          None
+        end
+      in
+      let apply c kept =
+        s.n_vivified <- s.n_vivified + 1;
+        Telemetry.Counter.incr m_vivified;
+        if s.proof_enabled then record_proof s kept;
+        match kept with
+        | [] -> s.ok <- false
+        | [ l ] ->
+          if lit_false s l then begin
+            s.ok <- false;
+            if s.proof_enabled then record_proof s []
+          end
+          else if not (lit_sat s l) then begin
+            enqueue s l dummy_clause;
+            if propagate s != dummy_clause then begin
+              s.ok <- false;
+              if s.proof_enabled then record_proof s []
+            end
+          end
+        | _ :: _ :: _ ->
+          let c' =
+            { lits = Array.of_list kept; learnt = c.learnt;
+              cla_act = c.cla_act;
+              lbd = min (max 1 c.lbd) (List.length kept - 1);
+              deleted = false }
+          in
+          (* Attached by the rebuild below; the original stays deleted. *)
+          Vec.push (if c'.learnt then s.learnts else s.clauses) c'
+      in
+      let probe vec =
+        (* Snapshot the size: shortened replacements pushed past it are not
+           re-probed this round. *)
+        let n = Vec.size vec in
+        let i = ref 0 in
+        while s.ok && (not (over ())) && !i < n do
+          let c = Vec.get vec !i in
+          incr i;
+          if (not c.deleted) && Array.length c.lits >= 3 then
+            match vivify c with
+            | Some kept -> apply c kept
+            | None -> ()
+        done
+      in
+      probe s.learnts;
+      probe s.clauses;
+      s.phase_saving <- saving;
+      (* Root simplification + watch rebuild: drop satisfied clauses, strip
+         root-false literals (each strip is itself a RUP step), reattach the
+         survivors, then propagate to a fixpoint. *)
+      if s.ok then begin
+        let units = ref [] in
+        let strip vec =
+          for i = 0 to Vec.size vec - 1 do
+            let c = Vec.get vec i in
+            if not c.deleted then
+              if Array.exists (lit_sat s) c.lits then c.deleted <- true
+              else if Array.exists (lit_false s) c.lits then begin
+                let lits =
+                  Array.of_list
+                    (List.filter
+                       (fun l -> not (lit_false s l))
+                       (Array.to_list c.lits))
+                in
+                if s.proof_enabled then record_proof s (Array.to_list lits);
+                match Array.length lits with
+                | 0 ->
+                  s.ok <- false;
+                  c.deleted <- true
+                | 1 ->
+                  units := lits.(0) :: !units;
+                  c.deleted <- true
+                | _ -> c.lits <- lits
+              end
+          done
+        in
+        strip s.clauses;
+        strip s.learnts;
+        rebuild_watches s;
+        List.iter
+          (fun l ->
+            if lit_false s l then begin
+              s.ok <- false;
+              if s.proof_enabled then record_proof s []
+            end
+            else if not (lit_sat s l) then enqueue s l dummy_clause)
+          !units;
+        if s.ok && propagate s != dummy_clause then begin
+          s.ok <- false;
+          if s.proof_enabled then record_proof s []
+        end
+      end
+    end
 
 (* ---- Luby restart sequence ---- *)
 
@@ -651,28 +1025,44 @@ let search s ~assumptions ~restart_budget =
           raise (Done Unsat)
         end;
         if s.n_conflicts >= s.conflict_ceiling then raise Limit_hit;
-        let learnt, btlevel = analyze s conflict in
+        let learnt, btlevel, lbd = analyze s conflict in
+        let g = float_of_int lbd in
+        s.ema_fast <- s.ema_fast +. ((g -. s.ema_fast) *. ema_fast_alpha);
+        s.ema_slow <- s.ema_slow +. ((g -. s.ema_slow) *. ema_slow_alpha);
         (* Never backtrack past the assumption levels unless forced: if the
            asserting level is inside the assumptions we must re-examine
            them, which [decide] below handles by re-assuming. *)
         cancel_until s btlevel;
-        record_learnt s learnt;
+        record_learnt s learnt lbd;
         var_decay s;
         clause_decay s
       end
       else begin
-        if !conflicts >= restart_budget then begin
+        let restart =
+          match s.restart_style with
+          | Luby -> !conflicts >= restart_budget
+          | Ema ->
+            (* Glucose-style: restart when recent conflicts produce
+               markedly worse (higher-glue) clauses than the long-run
+               average; [restart_base] is the minimum spacing. *)
+            !conflicts >= s.restart_base
+            && s.ema_fast > ema_margin *. s.ema_slow
+        in
+        if restart then begin
           s.n_restarts <- s.n_restarts + 1;
           Telemetry.Span.instant "sat.restart"
             ~args:[ ("conflicts", Telemetry.Int s.n_conflicts) ];
           cancel_until s 0;
           raise Exit
         end;
-        if Vec.size s.learnts >= 8000 + Vec.size s.clauses then reduce_db s;
+        if s.legacy then begin
+          if Vec.size s.learnts >= 8000 + Vec.size s.clauses then reduce_db s
+        end
+        else if s.n_conflicts >= s.reduce_next then reduce_db s;
         (* Decide: first re-establish assumptions, then VSIDS. *)
         let lvl = decision_level s in
-        if lvl < List.length assumptions then begin
-          let a = List.nth assumptions lvl in
+        if lvl < Array.length assumptions then begin
+          let a = assumptions.(lvl) in
           if lit_sat s a then begin
             (* Already satisfied: open an empty level so indices advance. *)
             Vec.push s.trail_lim s.trail_size
@@ -701,8 +1091,23 @@ let search s ~assumptions ~restart_budget =
 let solve_body ~assumptions s =
   if not s.ok then Unsat
   else begin
-    cancel_until s 0;
-    if propagate s != dummy_clause then begin
+    let assum = Array.of_list assumptions in
+    (* Assumption-aware warm start: instead of unconditionally unwinding to
+       level 0, keep the decision levels that decided an unchanged prefix
+       of the assumptions. Sound because clause addition already cancels to
+       the root, so a trail above level 0 can only be left over from an
+       earlier solve of the same database — its propagations are still
+       exact, and deletions by reduction never retract implications. *)
+    let prev = s.last_assumptions in
+    let bound = min (Array.length prev) (Array.length assum) in
+    let k = ref 0 in
+    while !k < bound && prev.(!k) = assum.(!k) do incr k done;
+    cancel_until s (min !k (decision_level s));
+    s.last_assumptions <- assum;
+    (* A warm (level > 0) trail is fully propagated, so the entry
+       propagation pass is only needed — and a conflict only meaningful —
+       at the root. *)
+    if decision_level s = 0 && propagate s != dummy_clause then begin
       s.ok <- false;
       if s.proof_enabled then record_proof s [];
       Unsat
@@ -710,8 +1115,12 @@ let solve_body ~assumptions s =
     else begin
       try
         let rec loop i =
-          let budget = s.restart_base * luby i in
-          match search s ~assumptions ~restart_budget:budget with
+          let budget =
+            match s.restart_style with
+            | Luby -> s.restart_base * luby i
+            | Ema -> max_int (* the EMA condition governs restarts *)
+          in
+          match search s ~assumptions:assum ~restart_budget:budget with
           | Some r -> r
           | None -> loop (i + 1)
         in
@@ -739,11 +1148,15 @@ let solve ?(assumptions = []) s =
   s.solve_t0 <- Telemetry.now_s ();
   s.solve_c0 <- s.n_conflicts;
   let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
+  let lc0 = s.n_lbd_core and lm0 = s.n_lbd_mid and ll0 = s.n_lbd_local in
   let account () =
     Telemetry.Counter.add m_conflicts (s.n_conflicts - s.solve_c0);
     Telemetry.Counter.add m_decisions (s.n_decisions - d0);
     Telemetry.Counter.add m_propagations (s.n_propagations - p0);
-    Telemetry.Counter.add m_restarts (s.n_restarts - r0)
+    Telemetry.Counter.add m_restarts (s.n_restarts - r0);
+    Telemetry.Counter.add m_lbd_core (s.n_lbd_core - lc0);
+    Telemetry.Counter.add m_lbd_mid (s.n_lbd_mid - lm0);
+    Telemetry.Counter.add m_lbd_local (s.n_lbd_local - ll0)
   in
   match
     Telemetry.Span.with_ "sat.solve"
@@ -776,12 +1189,16 @@ let solve_limited ?(assumptions = []) ~conflicts s =
   s.solve_t0 <- Telemetry.now_s ();
   s.solve_c0 <- s.n_conflicts;
   let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
+  let lc0 = s.n_lbd_core and lm0 = s.n_lbd_mid and ll0 = s.n_lbd_local in
   let account () =
     s.conflict_ceiling <- max_int;
     Telemetry.Counter.add m_conflicts (s.n_conflicts - s.solve_c0);
     Telemetry.Counter.add m_decisions (s.n_decisions - d0);
     Telemetry.Counter.add m_propagations (s.n_propagations - p0);
-    Telemetry.Counter.add m_restarts (s.n_restarts - r0)
+    Telemetry.Counter.add m_restarts (s.n_restarts - r0);
+    Telemetry.Counter.add m_lbd_core (s.n_lbd_core - lc0);
+    Telemetry.Counter.add m_lbd_mid (s.n_lbd_mid - lm0);
+    Telemetry.Counter.add m_lbd_local (s.n_lbd_local - ll0)
   in
   match
     Telemetry.Span.with_ "sat.solve"
@@ -829,13 +1246,19 @@ let stats s =
     learned = s.n_learned;
     max_var = s.nvars;
     clauses = Vec.size s.clauses;
+    lbd_core = s.n_lbd_core;
+    lbd_mid = s.n_lbd_mid;
+    lbd_local = s.n_lbd_local;
+    reductions = s.n_reductions;
+    vivified = s.n_vivified;
   }
 
 let pp_stats fmt st =
   Format.fprintf fmt
-    "vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d"
+    "vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d restarts=%d \
+     learned=%d glue(core/mid/local)=%d/%d/%d reductions=%d vivified=%d"
     st.max_var st.clauses st.decisions st.propagations st.conflicts st.restarts
-    st.learned
+    st.learned st.lbd_core st.lbd_mid st.lbd_local st.reductions st.vivified
 
 let enable_proof s =
   if Vec.size s.clauses > 0 || s.trail_size > 0 then

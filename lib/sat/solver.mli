@@ -1,26 +1,40 @@
 (** CDCL SAT solver.
 
     A from-scratch conflict-driven clause-learning solver: two-watched-literal
-    propagation, first-UIP conflict analysis with clause minimization, VSIDS
-    branching with phase saving, Luby restarts and learned-clause database
-    reduction. It is the decision engine underneath {!module:Bmc}.
+    propagation, first-UIP conflict analysis with recursive clause
+    minimization, VSIDS branching with phase saving, Luby or EMA (Glucose)
+    restarts, and an LBD-tiered learned-clause database with between-solve
+    inprocessing ({!simplify_inplace}). It is the decision engine underneath
+    {!module:Bmc}.
 
     Variables are positive integers allocated with {!new_var}. A literal is a
     non-zero integer: [v] is the positive literal of variable [v] and [-v] its
     negation (DIMACS convention).
 
     Observability: every {!solve} is wrapped in a [sat.solve] telemetry span
-    (restart markers as [sat.restart] instants) and its statistic deltas feed
-    the global [sat.*] counters; the cancellation-poll site doubles as the
-    {!Telemetry.Progress} sampling hook, reporting conflicts/sec during long
-    solves. All of it is a few atomic reads per call site when telemetry is
-    disabled (the default). *)
+    (restart markers as [sat.restart] instants, inprocessing as a
+    [sat.simplify] span) and its statistic deltas feed the global [sat.*]
+    counters — including the glue-tier tallies [sat.lbd_core] /
+    [sat.lbd_mid] / [sat.lbd_local] and the maintenance counters
+    [sat.reductions] / [sat.vivified]; the cancellation-poll site doubles as
+    the {!Telemetry.Progress} sampling hook, reporting conflicts/sec during
+    long solves. All of it is a few atomic reads per call site when telemetry
+    is disabled (the default). *)
 
 type t
 
 type result =
   | Sat
   | Unsat
+
+type restart_style =
+  | Luby  (** budgeted restarts on the Luby sequence (scaled by
+              [restart_base]) *)
+  | Ema
+      (** Glucose-style dynamic restarts: restart when the fast exponential
+          moving average of learned-clause glue exceeds the slow one, i.e.
+          when the current descent produces unusually poor clauses.
+          [restart_base] is the minimum conflict spacing between restarts. *)
 
 type stats = {
   decisions : int;
@@ -30,6 +44,11 @@ type stats = {
   learned : int;
   max_var : int;
   clauses : int;
+  lbd_core : int;  (** learned clauses with glue <= 3 (kept forever) *)
+  lbd_mid : int;  (** learned clauses with glue 4..6 (aged by activity) *)
+  lbd_local : int;  (** learned clauses with glue > 6 (reduced aggressively) *)
+  reductions : int;  (** learned-database reduction rounds *)
+  vivified : int;  (** clauses shortened by {!simplify_inplace} *)
 }
 
 exception Cancelled
@@ -43,18 +62,32 @@ val create :
   ?restart_base:int ->
   ?phase_init:bool ->
   ?phase_saving:bool ->
+  ?restarts:restart_style ->
+  ?reduce_first:int ->
+  ?legacy:bool ->
   unit -> t
-(** The optional knobs diversify search for portfolio solving; the defaults
-    reproduce the historical configuration exactly.
+(** The optional knobs diversify search for portfolio solving.
 
     [seed] (default 0 = off) seeds an xorshift PRNG that perturbs the
     initial VSIDS activity of each fresh variable by less than [1e-6], so
     equal-activity ties break differently per seed without overriding
     learned activity. [restart_base] (default 100) scales the Luby restart
-    sequence (conflicts per unit). [phase_init] (default false) is the
+    sequence (conflicts per unit) or, under [Ema], sets the minimum
+    conflict spacing between restarts. [phase_init] (default false) is the
     branching polarity of never-assigned variables. [phase_saving]
     (default true) keeps the last assigned polarity per variable; when
-    false, every decision uses [phase_init]. *)
+    false, every decision uses [phase_init]. [restarts] (default [Luby])
+    selects the restart strategy. [reduce_first] (default 2000) is the
+    conflict count of the first learned-database reduction; the interval
+    then stretches by 300 conflicts per round.
+
+    [legacy] (default false) reproduces the historical solver exactly —
+    Luby restarts only, activity-halving reduction triggered at
+    [8000 + clauses] learnts with no watch purge, one-reason-deep clause
+    minimization, and {!simplify_inplace} still honoured but typically
+    withheld by callers. It exists as the honest baseline for the
+    [bench sat] A/B and for differential fuzzing; both configurations must
+    agree on every verdict. *)
 
 val new_var : t -> int
 (** Allocates a fresh variable and returns its index (positive). *)
@@ -69,7 +102,12 @@ val add_clause : t -> int list -> unit
 val solve : ?assumptions:int list -> t -> result
 (** Solves under the given assumption literals. The solver can be re-solved
     with different assumptions; clauses persist across calls. Raises
-    {!Cancelled} if a flag registered with {!set_cancel} becomes set. *)
+    {!Cancelled} if a flag registered with {!set_cancel} becomes set.
+
+    Successive calls are assumption-aware: the decision levels that decided
+    an unchanged prefix of the previous call's assumptions are kept warm
+    instead of re-deciding and re-propagating them from level 0 (adding a
+    clause resets to the root as before). *)
 
 val solve_limited : ?assumptions:int list -> conflicts:int -> t -> result option
 (** Like {!solve}, but gives up and returns [None] after [conflicts]
@@ -78,6 +116,24 @@ val solve_limited : ?assumptions:int list -> conflicts:int -> t -> result option
     same reset as {!Cancelled} is applied. This is the bounded-query knob
     behind SAT sweeping ({!Logic.Reduce}-style fraiging), where an
     inconclusive candidate pair is simply left unmerged. *)
+
+val simplify_inplace : ?budget:int -> t -> unit
+(** Inprocessing between solves: conflict-free, propagation-budgeted clause
+    {e vivification} ([budget] caps the propagations spent, default 30000).
+    Each candidate clause is probed literal by literal under the negation of
+    its prefix, with the clause itself unwatched; a conflict or an already
+    true literal proves a shorter clause, a false literal drops out. The
+    pass finishes with a root-level database simplification (satisfied
+    clauses dropped, root-false literals stripped) and a full watch-list
+    rebuild. Equivalence-preserving: verdicts and models are unaffected.
+
+    Interaction with proof logging: every shortened clause is RUP with
+    respect to a formula that still contains the original clause, so each
+    one is recorded through the normal proof path and the incremental delta
+    protocol ({!mark} / {!clauses_since} / {!proof_since}) keeps certifying
+    — an external checker never deletes, so originals remain premises.
+    Nothing this pass derives falls outside RUP, hence nothing is disabled
+    under {!enable_proof}. The BMC engine calls this between frames. *)
 
 val set_cancel : t -> bool Atomic.t -> unit
 (** Registers a cancellation flag shared with other domains. The CDCL loop
@@ -132,6 +188,8 @@ val clauses_since : t -> mark -> int list list
     order of addition. Empty when recording is disabled. *)
 
 val proof_since : t -> mark -> int list list
-(** Learned clauses recorded since the mark, in derivation order. Clauses
-    later deleted by database reduction still appear — a deleted learned
-    clause remains implied, so a checker may keep it in its formula. *)
+(** Learned, vivified and strengthened clauses recorded since the mark, in
+    derivation order — each one RUP with respect to its predecessors plus
+    the problem clauses. Clauses later deleted by database reduction still
+    appear — a deleted clause remains implied, so a checker may keep it in
+    its formula. *)

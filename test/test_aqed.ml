@@ -5,6 +5,7 @@ let () =
     [
       Test_bitvec.suite;
       Test_sat.suite;
+      Test_fuzz.suite;
       Test_logic.suite;
       Test_reduce.suite;
       Test_rtl.suite;

@@ -1,0 +1,183 @@
+(* Randomized differential fuzzing of the CDCL solver.
+
+   The modern solver (LBD-tiered database, recursive minimization,
+   vivification, warm assumption prefixes) and the legacy configuration
+   ([~legacy:true]) are two very different searches over the same clause
+   set, so running them side by side on random instances is a cheap
+   soundness oracle: every verdict must agree, every Sat answer must carry
+   a model that satisfies the original clauses, and every Unsat answer must
+   come with a RUP-replayable proof. The incremental fuzz additionally
+   interleaves clause additions, prefix-correlated assumption solves and
+   {!Sat.Solver.simplify_inplace} calls, the exact shape of the BMC frame
+   loop. Seeds are fixed (Testbench.Prng), so failures reproduce. *)
+
+module S = Sat.Solver
+module P = Testbench.Prng
+
+let is_sat = function S.Sat -> true | S.Unsat -> false
+
+(* Random 3-SAT; ratios around 4.26 clauses/var sit near the phase
+   transition, where instances are hardest for their size and both Sat and
+   Unsat outcomes occur. *)
+let random_3sat rng ~nvars ~ratio =
+  let nclauses = int_of_float (ratio *. float_of_int nvars) in
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ ->
+          let v = 1 + P.below rng nvars in
+          if P.bool rng then v else -v))
+
+let solver_of ?(legacy = false) ?(proof = false) nvars clauses =
+  let s = S.create ~legacy () in
+  if proof then S.enable_proof s;
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  s
+
+let model_satisfies s clauses =
+  List.for_all (List.exists (fun l -> S.lit_value s l)) clauses
+
+let test_random_3sat () =
+  let rng = P.create 0xF00D in
+  for round = 1 to 50 do
+    let nvars = 20 + P.below rng 41 in
+    let ratio = 3.8 +. (float_of_int (P.below rng 10) /. 10.) in
+    let clauses = random_3sat rng ~nvars ~ratio in
+    let modern = solver_of ~proof:true nvars clauses in
+    let legacy = solver_of ~legacy:true nvars clauses in
+    let rm = S.solve modern in
+    let rl = S.solve legacy in
+    if is_sat rm <> is_sat rl then
+      Alcotest.failf "round %d (n=%d): legacy/modern verdict mismatch" round
+        nvars;
+    match rm with
+    | S.Sat ->
+      if not (model_satisfies modern clauses) then
+        Alcotest.failf "round %d (n=%d): Sat model violates a clause" round
+          nvars
+    | S.Unsat -> (
+        let cnf = { Sat.Dimacs.nvars; clauses } in
+        match Sat.Rup.check cnf (S.proof modern) with
+        | Sat.Rup.Valid -> ()
+        | Sat.Rup.Invalid i ->
+          Alcotest.failf "round %d (n=%d): proof invalid at step %d" round
+            nvars i
+        | Sat.Rup.Incomplete ->
+          Alcotest.failf "round %d (n=%d): proof incomplete" round nvars)
+  done
+
+(* The incremental shape: clauses arrive in batches, solves run under
+   assumption lists that share prefixes with the previous call (so the
+   warm-start path is exercised), and inprocessing fires between solves.
+   The legacy solver sees the identical sequence without inprocessing. *)
+let test_incremental_fuzz () =
+  let rng = P.create 0xBEEF in
+  for round = 1 to 20 do
+    let nvars = 12 + P.below rng 17 in
+    let modern = S.create () in
+    let legacy = S.create ~legacy:true () in
+    for _ = 1 to nvars do
+      ignore (S.new_var modern);
+      ignore (S.new_var legacy)
+    done;
+    let added = ref [] in
+    let assumptions = ref [] in
+    for step = 1 to 25 do
+      let batch =
+        List.init
+          (1 + P.below rng 5)
+          (fun _ ->
+            List.init
+              (1 + P.below rng 3)
+              (fun _ ->
+                let v = 1 + P.below rng nvars in
+                if P.bool rng then v else -v))
+      in
+      List.iter
+        (fun c ->
+          S.add_clause modern c;
+          S.add_clause legacy c;
+          added := c :: !added)
+        batch;
+      if P.chance rng 0.3 then S.simplify_inplace ~budget:2_000 modern;
+      (* Keep a random prefix of the previous assumptions, then extend —
+         matched prefixes are exactly what the warm start keeps decided. *)
+      let keep = P.below rng (List.length !assumptions + 1) in
+      let tail =
+        List.init (P.below rng 3) (fun _ ->
+            let v = 1 + P.below rng nvars in
+            if P.bool rng then v else -v)
+      in
+      assumptions := List.filteri (fun i _ -> i < keep) !assumptions @ tail;
+      let rm = S.solve ~assumptions:!assumptions modern in
+      let rl = S.solve ~assumptions:!assumptions legacy in
+      if is_sat rm <> is_sat rl then
+        Alcotest.failf "round %d step %d: verdict mismatch under assumptions"
+          round step;
+      if is_sat rm then begin
+        if not (model_satisfies modern !added) then
+          Alcotest.failf "round %d step %d: model violates an added clause"
+            round step;
+        if not (List.for_all (fun a -> S.lit_value modern a) !assumptions)
+        then
+          Alcotest.failf "round %d step %d: model violates an assumption"
+            round step
+      end
+    done
+  done
+
+(* A reliably UNSAT instance (pigeonhole) fed in two halves with
+   inprocessing in between, under proof recording: the vivified and
+   strengthened clauses simplify_inplace derives are recorded through the
+   proof path, so the complete log must still replay as RUP against the
+   original clauses. *)
+let php_clauses pigeons holes =
+  let v p h = ((p - 1) * holes) + h in
+  let rows =
+    List.init pigeons (fun p -> List.init holes (fun h -> v (p + 1) (h + 1)))
+  in
+  let conflicts = ref [] in
+  for h = 1 to holes do
+    for p1 = 1 to pigeons do
+      for p2 = p1 + 1 to pigeons do
+        conflicts := [ -v p1 h; -v p2 h ] :: !conflicts
+      done
+    done
+  done;
+  (pigeons * holes, rows @ !conflicts)
+
+let test_unsat_proof_with_inprocessing () =
+  let nvars, clauses = php_clauses 6 5 in
+  let s = S.create () in
+  S.enable_proof s;
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  let n = List.length clauses in
+  let first = List.filteri (fun i _ -> i < n / 2) clauses in
+  let second = List.filteri (fun i _ -> i >= n / 2) clauses in
+  List.iter (S.add_clause s) first;
+  Alcotest.(check bool) "half the instance is SAT" true (is_sat (S.solve s));
+  S.simplify_inplace s;
+  List.iter (S.add_clause s) second;
+  S.simplify_inplace s;
+  Alcotest.(check bool) "php(6,5) UNSAT" false (is_sat (S.solve s));
+  (* Inprocessing again after Unsat must be a harmless no-op. *)
+  S.simplify_inplace s;
+  let cnf = { Sat.Dimacs.nvars; clauses } in
+  match Sat.Rup.check cnf (S.proof s) with
+  | Sat.Rup.Valid -> ()
+  | Sat.Rup.Invalid i ->
+    Alcotest.failf "proof with inprocessing invalid at step %d" i
+  | Sat.Rup.Incomplete -> Alcotest.fail "proof with inprocessing incomplete"
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "random 3-SAT differential" `Quick test_random_3sat;
+      Alcotest.test_case "incremental add/assume/simplify differential" `Quick
+        test_incremental_fuzz;
+      Alcotest.test_case "UNSAT proof survives inprocessing" `Quick
+        test_unsat_proof_with_inprocessing;
+    ] )

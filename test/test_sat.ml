@@ -105,6 +105,120 @@ let test_bad_literal () =
     (Invalid_argument "Solver.add_clause: literal over unallocated variable")
     (fun () -> S.add_clause s [ 5 ])
 
+(* ---- modern-CDCL machinery ---- *)
+
+let php_solver ?(legacy = false) ?(restarts = S.Luby) ?restart_base
+    ?reduce_first ~proof pigeons holes =
+  let s = S.create ~legacy ~restarts ?restart_base ?reduce_first () in
+  if proof then S.enable_proof s;
+  let v = Array.init (pigeons + 1) (fun _ -> Array.make (holes + 1) 0) in
+  for p = 1 to pigeons do
+    for h = 1 to holes do
+      v.(p).(h) <- S.new_var s
+    done
+  done;
+  for p = 1 to pigeons do
+    S.add_clause s (List.init holes (fun h -> v.(p).(h + 1)))
+  done;
+  for h = 1 to holes do
+    for p1 = 1 to pigeons do
+      for p2 = p1 + 1 to pigeons do
+        S.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  (s, { Sat.Dimacs.nvars = pigeons * holes;
+        clauses =
+          List.init pigeons (fun p ->
+              List.init holes (fun h -> v.(p + 1).(h + 1)))
+          @ List.concat_map
+              (fun h ->
+                List.concat_map
+                  (fun p1 ->
+                    List.filter_map
+                      (fun p2 ->
+                        if p2 > p1 then Some [ -v.(p1).(h); -v.(p2).(h) ]
+                        else None)
+                      (List.init pigeons (fun p -> p + 1)))
+                  (List.init pigeons (fun p -> p + 1)))
+              (List.init holes (fun h -> h + 1)) })
+
+let test_tiered_reduction () =
+  (* A low [reduce_first] forces database reductions during a conflict-heavy
+     search; deleting learned clauses must not disturb the verdict or the
+     recorded proof (deleted clauses remain implied, so the checker keeps
+     them as premises). *)
+  let s, cnf = php_solver ~reduce_first:100 ~proof:true 7 6 in
+  Alcotest.(check bool) "php(7,6) UNSAT" true (S.solve s = S.Unsat);
+  let st = S.stats s in
+  Alcotest.(check bool) "reductions happened" true (st.S.reductions >= 1);
+  Alcotest.(check bool) "tiers account for every learnt" true
+    (st.S.lbd_core + st.S.lbd_mid + st.S.lbd_local = st.S.learned);
+  Alcotest.(check bool) "proof valid across reductions" true
+    (Sat.Rup.check cnf (S.proof s) = Sat.Rup.Valid)
+
+let test_ema_restarts () =
+  (* The EMA strategy must reach the same verdicts; on a conflict-heavy
+     UNSAT instance it actually restarts. *)
+  let s, cnf = php_solver ~restarts:S.Ema ~restart_base:50 ~proof:true 6 5 in
+  Alcotest.(check bool) "php(6,5) UNSAT under EMA" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "ema proof valid" true
+    (Sat.Rup.check cnf (S.proof s) = Sat.Rup.Valid);
+  let sat = S.create ~restarts:S.Ema () in
+  ignore (fresh_vars sat 3);
+  S.add_clause sat [ 1; 2 ];
+  S.add_clause sat [ -1; 3 ];
+  Alcotest.(check bool) "ema SAT" true (is_sat (S.solve sat));
+  Alcotest.(check bool) "ema model" true
+    (List.for_all (List.exists (S.lit_value sat)) [ [ 1; 2 ]; [ -1; 3 ] ])
+
+let test_vivification () =
+  (* Probing r in [r;t;u] under (p v q), (-p v r), (-q v r) conflicts
+     immediately: assuming -r forces -p and -q, emptying (p v q). So the
+     clause vivifies to the unit [r]. *)
+  let s = S.create () in
+  S.enable_proof s;
+  ignore (fresh_vars s 5);
+  let p = 1 and q = 2 and r = 3 and t = 4 and u = 5 in
+  S.add_clause s [ p; q ];
+  S.add_clause s [ -p; r ];
+  S.add_clause s [ -q; r ];
+  S.add_clause s [ r; t; u ];
+  S.simplify_inplace s;
+  let st = S.stats s in
+  Alcotest.(check bool) "clause vivified" true (st.S.vivified >= 1);
+  Alcotest.(check bool) "unit r recorded in proof" true
+    (List.mem [ r ] (S.proof s));
+  Alcotest.(check bool) "still SAT" true (is_sat (S.solve s));
+  Alcotest.(check bool) "r forced at root" true (S.value s r)
+
+let test_warm_assumptions () =
+  (* Repeated solves whose assumption lists share prefixes: the warm start
+     keeps the matching prefix decided, and results must be exactly those
+     of independent solves. *)
+  let s = S.create () in
+  ignore (fresh_vars s 6);
+  S.add_clause s [ -1; 4 ];
+  S.add_clause s [ -2; 5 ];
+  S.add_clause s [ -3; 6 ];
+  Alcotest.(check bool) "first solve SAT" true
+    (is_sat (S.solve ~assumptions:[ 1; 2; 3 ] s));
+  Alcotest.(check bool) "implications hold" true
+    (S.value s 4 && S.value s 5 && S.value s 6);
+  (* Shared prefix [1; 2], diverging tail. *)
+  Alcotest.(check bool) "warm prefix solve SAT" true
+    (is_sat (S.solve ~assumptions:[ 1; 2; -6 ] s));
+  Alcotest.(check bool) "tail implication" true (not (S.value s 3));
+  Alcotest.(check bool) "back to original assumptions" true
+    (is_sat (S.solve ~assumptions:[ 1; 2; 3 ] s));
+  Alcotest.(check bool) "implication restored" true (S.value s 6);
+  (* Adding a clause resets the warm trail; solves stay sound. *)
+  S.add_clause s [ -4; -5 ];
+  Alcotest.(check bool) "conflicting prefix now UNSAT" false
+    (is_sat (S.solve ~assumptions:[ 1; 2 ] s));
+  Alcotest.(check bool) "shorter prefix still SAT" true
+    (is_sat (S.solve ~assumptions:[ 1 ] s))
+
 (* ---- brute-force cross-check ---- *)
 
 let brute nvars clauses =
@@ -416,6 +530,12 @@ let suite =
       Alcotest.test_case "tautology and duplicates" `Quick test_tautology_dedup;
       Alcotest.test_case "stats" `Quick test_stats;
       Alcotest.test_case "bad literal rejected" `Quick test_bad_literal;
+      Alcotest.test_case "tiered reduction under proof" `Quick
+        test_tiered_reduction;
+      Alcotest.test_case "EMA restarts" `Quick test_ema_restarts;
+      Alcotest.test_case "clause vivification" `Quick test_vivification;
+      Alcotest.test_case "warm assumption prefixes" `Quick
+        test_warm_assumptions;
       Alcotest.test_case "proof certifies unsat" `Quick test_proof_unsat_certified;
       Alcotest.test_case "proof on sat instance" `Quick test_proof_sat_nothing_to_certify;
       Alcotest.test_case "proof tampering detected" `Quick test_proof_tampering_detected;
