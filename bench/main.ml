@@ -98,6 +98,15 @@ let rec json_out buf = function
 let json_results : (string * json) list ref = ref []
 let record key v = json_results := (key, v) :: !json_results
 
+(* The run ledger: targets that solve obligations (table2, sat) or run
+   campaigns (mutate) append journal records here; the main driver writes
+   them to BENCH_journal.jsonl and archives a copy under _bench_history/,
+   which is what `aqed_cli report --compare` diffs across nightly runs. *)
+let journal_records : Report.Journal.record list ref = ref []
+
+let journal_add records =
+  List.iter (fun r -> journal_records := r :: !journal_records) records
+
 (* Set when a target detects a regression (e.g. a verdict changing under
    reduction); the bench still writes its JSON, then exits non-zero. *)
 let bench_failed = ref false
@@ -467,6 +476,13 @@ let print_table2 ~jobs ~portfolio () =
   let t0 = Unix.gettimeofday () in
   let seq_reports = List.map (fun s -> Aqed.Check.run_obligation s.ob) specs in
   let seq_wall = Unix.gettimeofday () -. t0 in
+  journal_add
+    (List.map2
+       (fun s r ->
+         Report.Journal.Obligation
+           (Report.Journal.of_report ~design:s.design
+              ~name:(Aqed.Check.obligation_name s.ob) r))
+       specs seq_reports);
   pf "\n== Table 2: A-QED results for HLS designs ==\n";
   pf "%s\n" (line 76);
   pf "%-26s %-14s %-5s %-12s %-12s\n" "Source" "(Buggy) design" "Bug"
@@ -888,6 +904,10 @@ let print_sat () =
           Aqed.Check.run_obligation ~solver:Bmc.Engine.legacy_config ob
         in
         let modern = Aqed.Check.run_obligation ob in
+        journal_add
+          [ Report.Journal.Obligation
+              (Report.Journal.of_report ~design:name
+                 ~name:(Aqed.Check.obligation_name ob) modern) ];
         let ok = same_outcome legacy modern in
         if not ok then bench_failed := true;
         let lw = legacy.Aqed.Check.wall_time
@@ -949,6 +969,71 @@ let print_sat () =
          ("speedup", Num speedup_all);
          ("speedup_hardest", Num speedup_hard);
          ("rows", Arr rows);
+       ])
+
+(* ---- journal + sampler overhead (EXPERIMENTS.md E9) ---- *)
+
+(* The sat-suite obligations solved with the time-series sampler off and
+   journaling inert, and with the sampler configured and every report
+   serialized to a journal file (so the measured cost covers sampling,
+   collection and JSONL encoding). The acceptance floor is on-to-off
+   <= 1.05x — well inside single-run noise on a shared container, so the
+   legs are interleaved per obligation (off, on, off, on) and each leg
+   takes the faster of its two rounds: container-level drift (GC heap
+   growth, CPU throttling) hits both legs alike and cancels, instead of
+   masquerading as sampler cost. *)
+let print_overhead () =
+  pf "\n== Journal + sampler overhead (sat obligation suite) ==\n";
+  let n = List.length (sat_suite ()) in
+  let tmp = Filename.temp_file "aqed_overhead" ".jsonl" in
+  let solve ~sampled i =
+    (* Rebuild the suite so every solve starts from a fresh obligation. *)
+    let _, _, ob = List.nth (sat_suite ()) i in
+    if sampled then Telemetry.Series.configure ()
+    else Telemetry.Series.disable ();
+    let t0 = Unix.gettimeofday () in
+    let r = Aqed.Check.run_obligation ob in
+    (* The journal append is part of the measured cost on the sampled
+       leg; per-obligation appends overestimate the CLI's single
+       end-of-run append. *)
+    if sampled then begin
+      let name = Aqed.Check.obligation_name ob in
+      Report.Journal.append tmp
+        [ Report.Journal.Obligation
+            (Report.Journal.of_report ~design:name ~name r) ]
+    end;
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let off_total = ref 0. and on_total = ref 0. in
+  let parity = ref true in
+  for i = 0 to n - 1 do
+    let off1, base = solve ~sampled:false i in
+    let on1, r1 = solve ~sampled:true i in
+    let off2, r2 = solve ~sampled:false i in
+    let on2, r3 = solve ~sampled:true i in
+    List.iter
+      (fun r -> if not (same_outcome base r) then parity := false)
+      [ r1; r2; r3 ];
+    off_total := !off_total +. Float.min off1 off2;
+    on_total := !on_total +. Float.min on1 on2
+  done;
+  Sys.remove tmp;
+  (* Leave the sampler on: the bench run as a whole journals. *)
+  Telemetry.Series.configure ();
+  let off = !off_total and on = !on_total in
+  let ratio = if off > 0. then on /. off else 0. in
+  pf "suite (per-obligation min of 2 interleaved rounds):\n";
+  pf "  %.3fs sampler off, %.3fs sampler+journal on — %.2fx overhead%s\n"
+    off on ratio
+    (if !parity then "" else "  (FAILURE: verdicts changed under sampling)");
+  if not !parity then bench_failed := true;
+  record "overhead"
+    (Obj
+       [
+         ("wall_s_off", Num off);
+         ("wall_s_on", Num on);
+         ("ratio", Num ratio);
+         ("outcomes_match", Bool !parity);
        ])
 
 (* ---- mutation campaign ---- *)
@@ -1035,6 +1120,10 @@ let print_mutate ~jobs () =
           Mutate.run ~seed:mutate_seed ~limit:mutate_limit ~jobs
             (mutate_target cfg)
         in
+        journal_add
+          (List.map
+             (fun m -> Report.Journal.Mutant m)
+             (Report.Journal.of_campaign ~design:c.Mutate.campaign_target c));
         pf "%s\n" (Format.asprintf "%a" Mutate.pp_campaign c);
         c)
       [ M.Fifo_mode; M.Double_buffer; M.Line_buffer ]
@@ -1341,6 +1430,20 @@ let () =
   let targets =
     if targets = [] then [ "table1"; "fig5"; "table2"; "fig2" ] else targets
   in
+  (* Every bench run journals: the sampler feeds per-obligation solver
+     time-series into the records collected by journal_add. *)
+  Telemetry.Series.configure ();
+  journal_add
+    [ Report.Journal.Meta
+        {
+          Report.Journal.created_s = Unix.gettimeofday ();
+          command = "bench";
+          design = String.concat "+" targets;
+          git_rev = (match git_rev () with Some r -> r | None -> "");
+          jobs;
+          seed = mutate_seed;
+          flags = args;
+        } ];
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun t ->
@@ -1353,6 +1456,7 @@ let () =
        | "reduce" -> print_reduce ()
        | "certify" -> print_certify ()
        | "sat" -> print_sat ()
+       | "overhead" -> print_overhead ()
        | "mutate" -> print_mutate ~jobs ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
@@ -1363,11 +1467,23 @@ let () =
          print_mutate ~jobs ();
          print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat mutate kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat overhead mutate kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;
   let total = Unix.gettimeofday () -. t0 in
   pf "\ntotal bench time: %.1fs\n" total;
   write_json_results ~jobs ~portfolio ~total_wall:total;
+  (* Write the run ledger next to the JSON, and archive a copy per run so
+     nightly compares have a history to diff against. *)
+  let records = List.rev !journal_records in
+  Report.Journal.write "BENCH_journal.jsonl" records;
+  (if not (Sys.file_exists "_bench_history") then
+     try Unix.mkdir "_bench_history" 0o755 with Unix.Unix_error _ -> ());
+  let archive =
+    Printf.sprintf "_bench_history/%.0f-%s.jsonl" (Unix.gettimeofday ())
+      (match git_rev () with Some r -> r | None -> "worktree")
+  in
+  Report.Journal.write archive records;
+  pf "wrote BENCH_journal.jsonl (archived as %s)\n" archive;
   if !bench_failed then exit 1

@@ -160,17 +160,70 @@ let cmd_list () =
     designs;
   0
 
-(* Telemetry wiring shared by check and verify: --trace enables span
-   recording and exports the buffers on the way out (also on failure),
-   --progress installs a stderr reporter sampled from the CDCL loop and
-   between BMC frames. *)
-let with_telemetry ~trace ~progress f =
+(* The argv the current [run] was invoked with, recorded so journal meta
+   lines can carry the exact flags without threading argv through every
+   cmdliner term. *)
+let current_argv = ref [||]
+
+let current_flags () =
+  match Array.to_list !current_argv with
+  | _prog :: _cmd :: rest -> rest
+  | _ -> []
+
+let git_rev () =
+  match
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev -> rev
+    | _ -> ""
+  with
+  | rev -> rev
+  | exception _ -> ""
+
+let journal_meta ~command ~design ~jobs ~seed =
+  {
+    Report.Journal.created_s = Unix.gettimeofday ();
+    command;
+    design;
+    git_rev = git_rev ();
+    jobs;
+    seed;
+    flags = current_flags ();
+  }
+
+(* Telemetry wiring shared by check, verify and mutate: --trace enables
+   span recording and exports the buffers on the way out, --progress
+   installs a stderr reporter sampled from the CDCL loop and between BMC
+   frames, --journal turns on the solver time-series sampler feeding the
+   run ledger, and --stats prints the global metrics snapshot (counters
+   plus histogram percentiles). The finish step runs on the failure path
+   too, so a crashed or nonzero run still flushes its trace and metrics —
+   exactly the runs worth diagnosing. *)
+let with_telemetry ?(stats = false) ?(journal = None) ~trace ~progress f =
   if trace <> None then Telemetry.enable ();
+  if journal <> None then Telemetry.Series.configure ();
   if progress then
     Telemetry.Progress.configure ~interval:0.5 (fun line ->
         Printf.eprintf "[aqed] %s\n%!" line);
   let finish () =
     if progress then Telemetry.Progress.disable ();
+    Telemetry.Series.disable ();
+    if stats then begin
+      Format.eprintf "metrics:@.";
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Telemetry.Counter n | Telemetry.Gauge n ->
+            if n <> 0 then Format.eprintf "  %-28s %d@." name n
+          | Telemetry.Histogram h ->
+            if h.Telemetry.count > 0 then
+              Format.eprintf "  %-28s %a@." name
+                Telemetry.pp_histogram_snapshot h)
+        (Telemetry.metrics ())
+    end;
     match trace with
     | None -> ()
     | Some path ->
@@ -191,8 +244,13 @@ let solver_config restarts no_inprocess =
   { Bmc.Engine.default_config with
     restarts; inprocess = not no_inprocess }
 
+(* The design identity journals join on: the clean design and each injected
+   bug are distinct obligations. *)
+let design_label d bug =
+  match bug with None -> d.name | Some b -> d.name ^ "+" ^ b
+
 let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
-    restarts no_inprocess =
+    restarts no_inprocess journal =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
   let reduce = not no_reduce in
@@ -235,6 +293,15 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
   (match report.Aqed.Check.verdict with
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
+  (match journal with
+   | None -> ()
+   | Some path ->
+     let design = design_label d bug in
+     Report.Journal.append path
+       [ Report.Journal.Meta
+           (journal_meta ~command:"check" ~design ~jobs ~seed:0);
+         Report.Journal.Obligation (Report.Journal.of_report ~design report)
+       ]);
   (* With --certify the exit code reports certification (a confirmed bug
      is a success; a divergence raised before reaching here and exits 2). *)
   if Aqed.Check.found_bug report && not certify then 1 else 0
@@ -244,7 +311,7 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
 let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
-    certify restarts no_inprocess =
+    certify restarts no_inprocess journal =
   let d = find_design design_name in
   let reduce = not no_reduce in
   let solver = solver_config restarts no_inprocess in
@@ -286,13 +353,23 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
       | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
       | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ())
     reports;
+  (match journal with
+   | None -> ()
+   | Some path ->
+     let design = design_label d bug in
+     Report.Journal.append path
+       (Report.Journal.Meta
+          (journal_meta ~command:"verify" ~design ~jobs ~seed:0)
+        :: List.map
+             (fun o -> Report.Journal.Obligation o)
+             (Report.Journal.of_batch ~design batch)));
   if List.exists Aqed.Check.found_bug reports && not certify then 1 else 0
 
 (* The mutation campaign runs on the clean design (no -b): injected faults
    replace the hand-written bug registry. Exit code 0 means every checked
    mutant was killed; 1 means survivors exist (verification gaps — their
    mutation sites are listed); 2 is an error. *)
-let cmd_mutate design_name ops seed limit budget depth jobs =
+let cmd_mutate design_name ops seed limit budget depth jobs journal =
   let d = find_design design_name in
   let ops =
     match ops with
@@ -323,6 +400,15 @@ let cmd_mutate design_name ops seed limit budget depth jobs =
       target
   in
   Format.printf "%a@." Mutate.pp_campaign campaign;
+  (match journal with
+   | None -> ()
+   | Some path ->
+     Report.Journal.append path
+       (Report.Journal.Meta
+          (journal_meta ~command:"mutate" ~design:d.name ~jobs ~seed)
+        :: List.map
+             (fun m -> Report.Journal.Mutant m)
+             (Report.Journal.of_campaign ~design:d.name campaign)));
   if Mutate.survivors campaign = [] then 0 else 1
 
 let cmd_sim design_name bug count =
@@ -358,6 +444,37 @@ let cmd_sim design_name bug count =
         want mark)
     inputs;
   if !ok then 0 else 1
+
+(* Render one or more journals into a self-contained HTML dashboard and/or
+   a plain-text summary, or (--compare) diff two journals for regressions.
+   Compare exit codes: 0 clean, 1 soft (time regression beyond the factor),
+   2 hard (verdict/depth divergence or a mutant kill regression). *)
+let cmd_report paths output summary compare time_factor min_seconds =
+  if compare then begin
+    match paths with
+    | [ a; b ] ->
+      let ja = Report.Journal.load a and jb = Report.Journal.load b in
+      let r = Report.Compare.run ~time_factor ~min_seconds ja jb in
+      Format.printf "%a" Report.Compare.pp r;
+      Report.Compare.exit_code r
+    | _ -> failwith "report --compare takes exactly two journal files"
+  end
+  else begin
+    if paths = [] then failwith "report: no journal files given";
+    let journals = List.map Report.Journal.load paths in
+    (match output with
+     | Some path ->
+       let html = Report.Html.render journals in
+       let oc = open_out path in
+       output_string oc html;
+       close_out oc;
+       Printf.eprintf "report: wrote %s (%d bytes)\n%!" path
+         (String.length html)
+     | None -> ());
+    if summary || output = None then
+      print_string (Report.Html.summary journals);
+    0
+  end
 
 let cmd_sat certify path =
   let cnf = Sat.Dimacs.parse_file path in
@@ -478,6 +595,15 @@ let no_inprocess_arg =
                  Verdicts and counterexample depths are identical either \
                  way; this is the solver-side A/B escape hatch.")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append one JSONL record per solved obligation (or mutant) \
+                 to $(docv): verdict, certificate, reduce and solver \
+                 statistics, sampled solver time-series, and run metadata \
+                 (git rev, jobs, flags). Render or diff the ledger with \
+                 $(b,aqed_cli report).")
+
 let certify_arg =
   Arg.(value & flag
        & info [ "certify" ]
@@ -501,11 +627,11 @@ let list_cmd =
 
 let check_cmd =
   let run d b c k j stats trace progress no_reduce sweep certify restarts
-      no_inprocess =
+      no_inprocess journal =
     wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () ->
+        with_telemetry ~stats ~journal ~trace ~progress (fun () ->
             cmd_check d b c k j stats no_reduce sweep certify restarts
-              no_inprocess))
+              no_inprocess journal))
   in
   Cmd.v
     (Cmd.info "check"
@@ -513,15 +639,15 @@ let check_cmd =
              $(b,--certify), 0 on a certified verdict and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
           $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg
-          $ certify_arg $ restarts_arg $ no_inprocess_arg)
+          $ certify_arg $ restarts_arg $ no_inprocess_arg $ journal_arg)
 
 let verify_cmd =
   let run d b k j p stats trace progress no_reduce sweep certify restarts
-      no_inprocess =
+      no_inprocess journal =
     wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () ->
+        with_telemetry ~stats ~journal ~trace ~progress (fun () ->
             cmd_verify d b k j p stats no_reduce sweep certify restarts
-              no_inprocess))
+              no_inprocess journal))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -531,7 +657,7 @@ let verify_cmd =
     Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
           $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
           $ no_reduce_arg $ sweep_arg $ certify_arg $ restarts_arg
-          $ no_inprocess_arg)
+          $ no_inprocess_arg $ journal_arg)
 
 let mutate_cmd =
   let ops_arg =
@@ -556,10 +682,10 @@ let mutate_cmd =
              ~doc:"Conflict budget for the equivalence-screen miter; \
                    inconclusive miters keep the mutant.")
   in
-  let run d ops seed limit budget k j trace progress =
+  let run d ops seed limit budget k j trace progress journal =
     wrap (fun () ->
-        with_telemetry ~trace ~progress (fun () ->
-            cmd_mutate d ops seed limit budget k j))
+        with_telemetry ~journal ~trace ~progress (fun () ->
+            cmd_mutate d ops seed limit budget k j journal))
   in
   Cmd.v
     (Cmd.info "mutate"
@@ -568,13 +694,67 @@ let mutate_cmd =
              FC/RB/SAC flow on the rest (exit code 1 when any mutant \
              survives every check)")
     Term.(const run $ design_arg $ ops_arg $ seed_arg $ limit_arg $ budget_arg
-          $ depth_arg $ jobs_arg $ trace_arg $ progress_arg)
+          $ depth_arg $ jobs_arg $ trace_arg $ progress_arg $ journal_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in
   Cmd.v
     (Cmd.info "sim" ~doc:"Simulate random transactions against the golden model")
     Term.(const run $ design_arg $ bug_arg $ count_arg)
+
+let report_cmd =
+  let paths =
+    Arg.(value & pos_all file [] & info [] ~docv:"JOURNAL"
+         ~doc:"Journal files written by $(b,--journal).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write a self-contained HTML dashboard (per-obligation \
+                   cost breakdown, solver time-series sparklines, mutation \
+                   kill tables; no scripts, no external references) to \
+                   $(docv).")
+  in
+  let summary =
+    Arg.(value & flag
+         & info [ "summary" ]
+             ~doc:"Print the plain-text summary to stdout (the default when \
+                   no $(b,-o) is given).")
+  in
+  let compare =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Diff two journals per obligation key instead of \
+                   rendering: exit 0 when clean, 1 on a wall-time \
+                   regression beyond $(b,--time-factor), 2 on a verdict or \
+                   depth divergence (or a mutant that was killed before \
+                   and now survives).")
+  in
+  let time_factor =
+    Arg.(value & opt float 1.5
+         & info [ "time-factor" ] ~docv:"F"
+             ~doc:"Wall-time regression threshold for $(b,--compare): flag \
+                   an obligation only when the new time exceeds $(docv) \
+                   times the old.")
+  in
+  let min_seconds =
+    Arg.(value & opt float 0.05
+         & info [ "min-seconds" ] ~docv:"S"
+             ~doc:"Noise floor for $(b,--compare): obligations faster than \
+                   $(docv) seconds on either side never flag a time \
+                   regression.")
+  in
+  let run paths output summary compare time_factor min_seconds =
+    wrap (fun () ->
+        cmd_report paths output summary compare time_factor min_seconds)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render verification run journals into a self-contained HTML \
+             dashboard or a text summary, or ($(b,--compare)) detect \
+             regressions between two journals")
+    Term.(const run $ paths $ output $ summary $ compare $ time_factor
+          $ min_seconds)
 
 let sat_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
@@ -585,10 +765,12 @@ let sat_cmd =
     Term.(const (fun cert p -> wrap (fun () -> cmd_sat cert p)) $ certify $ path)
 
 let run ~argv () =
+  current_argv := argv;
   let info =
     Cmd.info "aqed_cli" ~version:"1.0"
       ~doc:"A-QED pre-silicon verification of hardware accelerators"
   in
   Cmd.eval' ~argv
     (Cmd.group info
-       [ list_cmd; check_cmd; verify_cmd; mutate_cmd; sim_cmd; sat_cmd ])
+       [ list_cmd; check_cmd; verify_cmd; mutate_cmd; sim_cmd; sat_cmd;
+         report_cmd ])

@@ -24,6 +24,9 @@ type report = {
   aig_nodes_raw : int;
   reduce_stats : Logic.Reduce.stats option;
   certificate : certificate;
+  winner : string;
+      (* label of the solver configuration that produced this report — under
+         a portfolio race, the member that finished first *)
 }
 
 let pp_outcome fmt = function
@@ -107,6 +110,17 @@ let solver_of_config (c : solver_config) =
   Solver.create ~seed:c.seed ~restart_base:c.restart_base
     ~phase_init:c.phase_init ~phase_saving:c.phase_saving
     ~restarts:c.restarts ~legacy:c.legacy ()
+
+(* A stable, human-readable identity for a configuration — what the journal
+   records as the portfolio winner. *)
+let config_label (c : solver_config) =
+  Printf.sprintf "%s%s:rb%d:seed%d%s%s%s"
+    (if c.legacy then "legacy-" else "")
+    (match c.restarts with Solver.Luby -> "luby" | Solver.Ema -> "ema")
+    c.restart_base c.seed
+    (if c.inprocess then "" else ":noinp")
+    (if c.phase_init then ":p1" else "")
+    (if c.phase_saving then "" else ":nops")
 
 (* The transition relation of a circuit, shared by all frames: one AIG with
    the property cone, assumption cones and latch next-state cones — after
@@ -499,6 +513,7 @@ let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
       aig_nodes_raw = rel.raw_nodes;
       reduce_stats = rel.reduce_stats;
       certificate;
+      winner = config_label config;
     }
   in
   let rec go envs_rev depth =
@@ -513,6 +528,8 @@ let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
     else begin
       Telemetry.Progress.tick (fun () ->
           Printf.sprintf "bmc %s: frame %d/%d" name depth max_depth);
+      Telemetry.Series.sample (fun () ->
+          [ ("bmc.depth", float_of_int depth) ]);
       let tf = Unix.gettimeofday () in
       let binding =
         match envs_rev with [] -> Bind_init | prev :: _ -> Bind_prev prev
@@ -756,6 +773,7 @@ let prove_prepared ?(max_depth = 64) p =
       aig_nodes_raw = rel.raw_nodes;
       reduce_stats = rel.reduce_stats;
       certificate = Uncertified;
+      winner = "induction";
     }
   in
   let rec go envs_rev depth =

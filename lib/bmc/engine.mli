@@ -82,6 +82,10 @@ type report = {
                          (** per-pass reduction accounting; [None] with
                              reduction off *)
   certificate : certificate;
+  winner : string;       (** {!config_label} of the configuration that
+                             produced this report — under a portfolio race,
+                             the member that finished first; ["induction"]
+                             on the inductive path *)
 }
 
 (** {1 Portfolio solving}
@@ -118,6 +122,11 @@ val legacy_config : solver_config
     testing: legacy reduction/minimization and no between-frame
     inprocessing. Verdicts and counterexample depths are identical to
     {!default_config} on every obligation — only speed differs. *)
+
+val config_label : solver_config -> string
+(** A stable, human-readable identity for a configuration (e.g.
+    ["ema:rb50:seed3:p1"]) — what journals record as the portfolio
+    winner. *)
 
 val portfolio_configs : ?base:solver_config -> int -> solver_config list
 (** [portfolio_configs n] is [n] diversified configurations; the first is

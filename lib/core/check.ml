@@ -20,6 +20,16 @@ type report = {
   reduce_stats : Logic.Reduce.stats option;
   solver_stats : Sat.Solver.stats;
   certificate : certificate;
+  key : string;
+      (* structural hash of the prepared (reduced) instance — the same
+         digest the obligation cache keys on, and what journals join on *)
+  winner : string;
+      (* label of the solver configuration that produced the verdict (the
+         portfolio winner when racing) *)
+  series : (string * (float * float) list) list;
+      (* solver time-series captured on the solving domain while this
+         obligation ran: (name, (seconds-since-solve-start, value) list).
+         Empty unless [Telemetry.Series] is configured. *)
 }
 
 let m_obligations = Telemetry.Counter.make "check.obligations"
@@ -52,11 +62,27 @@ let run_bmc ?(portfolio = 1) ?(certify = false) ?solver name ~max_depth
              | No_bug_up_to k | Proved k -> k) );
         ("wall_s", Telemetry.Float r.wall_time) ])
   @@ fun () ->
+  (* [run_bmc] executes on whichever domain solves the obligation (a pool
+     worker under [run_batch]), so marking/collecting the calling domain's
+     rings attributes the samples to exactly this obligation. Portfolio
+     members spawn their own domains and are not captured. *)
+  if Telemetry.Series.active () then Telemetry.Series.mark ();
   let bmc_report =
     if induction then Bmc.Engine.prove_prepared ~max_depth prepared
     else
       Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify
         ?config:solver prepared
+  in
+  let series =
+    if Telemetry.Series.active () then
+      List.map
+        (fun (name, pts) ->
+          ( name,
+            List.map
+              (fun p -> Telemetry.Series.(p.at_s, p.value))
+              pts ))
+        (Telemetry.Series.collect ())
+    else []
   in
   let verdict =
     match bmc_report.Bmc.Engine.outcome with
@@ -76,6 +102,9 @@ let run_bmc ?(portfolio = 1) ?(certify = false) ?solver name ~max_depth
     reduce_stats = bmc_report.Bmc.Engine.reduce_stats;
     solver_stats = bmc_report.Bmc.Engine.solver_stats;
     certificate = bmc_report.Bmc.Engine.certificate;
+    key = Bmc.Engine.prepared_key prepared;
+    winner = bmc_report.Bmc.Engine.winner;
+    series;
   }
 
 (* Smallest counter width that cannot wrap within the BMC bound (or reach

@@ -45,6 +45,21 @@ type report = {
   certificate : certificate;
                             (** [Uncertified] unless the check ran with
                                 [~certify:true] *)
+  key : string;             (** structural hash of the prepared (reduced)
+                                instance — same digest as
+                                {!Bmc.Engine.prepared_key}, what the
+                                obligation cache and run journals key on *)
+  winner : string;          (** {!Bmc.Engine.config_label} of the solver
+                                configuration that produced the verdict
+                                (the portfolio winner when racing) *)
+  series : (string * (float * float) list) list;
+                            (** solver time-series sampled on the solving
+                                domain while this check ran — [(name,
+                                (seconds-since-solve-start, value) list)],
+                                chronological. Empty unless
+                                {!Telemetry.Series} is configured.
+                                Portfolio members run on their own domains
+                                and are not captured. *)
 }
 
 val functional_consistency :

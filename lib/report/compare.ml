@@ -1,0 +1,200 @@
+(* Regression detection between two run journals.
+
+   Obligations join on (design, name, check) — the stable identity across
+   commits — and each joined pair also compares the structural key, which
+   makes the report explainable: a verdict change on an *unchanged* key
+   means solver nondeterminism or a soundness bug (the instance is
+   bit-for-bit the same); on a changed key it means the design (or the
+   reduction pipeline) changed behaviour.
+
+   Severity:
+   - verdict or depth divergence            -> hard  (exit 2)
+   - wall-time regression beyond [time_factor]x, when both sides are above
+     the [min_seconds] noise floor and neither was a cache hit
+                                            -> soft  (exit 1)
+   - anything else (incl. added/removed)    -> clean (exit 0)
+
+   Mutation campaigns gate on kills: a mutant killed in A but surviving in
+   B is a verification-strength regression (hard). *)
+
+type pair = {
+  p_design : string;
+  p_name : string;
+  p_check : string;
+  p_key_same : bool;
+  p_a : Journal.obligation;
+  p_b : Journal.obligation;
+}
+
+type mutant_pair = { m_a : Journal.mutant; m_b : Journal.mutant }
+
+type finding =
+  | Verdict_divergence of pair
+  | Depth_divergence of pair
+  | Time_regression of pair * float  (* observed factor *)
+  | Kill_regression of mutant_pair
+
+type result = {
+  pairs : pair list;
+  added : Journal.obligation list;
+  removed : Journal.obligation list;
+  findings : finding list;
+  time_factor : float;
+  min_seconds : float;
+}
+
+let is_hard = function
+  | Verdict_divergence _ | Depth_divergence _ | Kill_regression _ -> true
+  | Time_regression _ -> false
+
+let exit_code r =
+  if List.exists is_hard r.findings then 2
+  else if r.findings <> [] then 1
+  else 0
+
+let ident (o : Journal.obligation) =
+  (o.Journal.ob_design, o.Journal.ob_name, o.Journal.ob_check)
+
+(* First record per identity wins, except that an uncached record replaces
+   a cached one: the uncached side carries the real solve time. *)
+let index obs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Journal.obligation) ->
+      match Hashtbl.find_opt tbl (ident o) with
+      | None -> Hashtbl.add tbl (ident o) o
+      | Some prev ->
+        if prev.Journal.ob_cached && not o.Journal.ob_cached then
+          Hashtbl.replace tbl (ident o) o)
+    obs;
+  tbl
+
+let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
+    (b : Journal.t) =
+  let ia = index a.Journal.obligations
+  and ib = index b.Journal.obligations in
+  (* Deterministic traversal: A's obligations in file order drive the
+     join. *)
+  let seen = Hashtbl.create 64 in
+  let pairs, removed =
+    List.fold_left
+      (fun (pairs, removed) (oa : Journal.obligation) ->
+        let id = ident oa in
+        if Hashtbl.mem seen id then (pairs, removed)
+        else begin
+          Hashtbl.add seen id ();
+          let oa = Hashtbl.find ia id in
+          match Hashtbl.find_opt ib id with
+          | Some ob ->
+            ( { p_design = oa.Journal.ob_design;
+                p_name = oa.Journal.ob_name;
+                p_check = oa.Journal.ob_check;
+                p_key_same = oa.Journal.ob_key = ob.Journal.ob_key;
+                p_a = oa;
+                p_b = ob;
+              }
+              :: pairs,
+              removed )
+          | None -> (pairs, oa :: removed)
+        end)
+      ([], []) a.Journal.obligations
+  in
+  let pairs = List.rev pairs and removed = List.rev removed in
+  let added =
+    List.filter
+      (fun (ob : Journal.obligation) -> not (Hashtbl.mem ia (ident ob)))
+      b.Journal.obligations
+  in
+  let ob_findings =
+    List.concat_map
+      (fun p ->
+        if p.p_a.Journal.ob_verdict <> p.p_b.Journal.ob_verdict then
+          [ Verdict_divergence p ]
+        else if p.p_a.Journal.ob_depth <> p.p_b.Journal.ob_depth then
+          [ Depth_divergence p ]
+        else begin
+          let wa = p.p_a.Journal.ob_wall_s
+          and wb = p.p_b.Journal.ob_wall_s in
+          if
+            (not p.p_a.Journal.ob_cached)
+            && (not p.p_b.Journal.ob_cached)
+            && wa >= min_seconds && wb >= min_seconds
+            && wb > wa *. time_factor
+          then [ Time_regression (p, wb /. wa) ]
+          else []
+        end)
+      pairs
+  in
+  (* Mutants join on (design, id); only kill->survive transitions gate. *)
+  let mtbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Journal.mutant) ->
+      Hashtbl.replace mtbl (m.Journal.mu_design, m.Journal.mu_id) m)
+    a.Journal.mutants;
+  let mu_findings =
+    List.filter_map
+      (fun (mb : Journal.mutant) ->
+        match Hashtbl.find_opt mtbl (mb.Journal.mu_design, mb.Journal.mu_id) with
+        | Some ma
+          when ma.Journal.mu_status = "killed"
+               && mb.Journal.mu_status = "survived" ->
+          Some (Kill_regression { m_a = ma; m_b = mb })
+        | _ -> None)
+      b.Journal.mutants
+  in
+  {
+    pairs;
+    added;
+    removed;
+    findings = ob_findings @ mu_findings;
+    time_factor;
+    min_seconds;
+  }
+
+let pp_finding fmt = function
+  | Verdict_divergence p ->
+    Format.fprintf fmt
+      "HARD %s/%s %s: verdict %s@%d -> %s@%d (%s)" p.p_design p.p_name
+      p.p_check p.p_a.Journal.ob_verdict p.p_a.Journal.ob_depth
+      p.p_b.Journal.ob_verdict p.p_b.Journal.ob_depth
+      (if p.p_key_same then
+         "same structural key: solver nondeterminism or soundness bug"
+       else "structural key changed: design or pipeline behaviour changed")
+  | Depth_divergence p ->
+    Format.fprintf fmt "HARD %s/%s %s: depth %d -> %d (%s)" p.p_design
+      p.p_name p.p_check p.p_a.Journal.ob_depth p.p_b.Journal.ob_depth
+      (if p.p_key_same then "same structural key"
+       else "structural key changed")
+  | Time_regression (p, factor) ->
+    Format.fprintf fmt "soft %s/%s %s: %.3fs -> %.3fs (%.2fx)" p.p_design
+      p.p_name p.p_check p.p_a.Journal.ob_wall_s p.p_b.Journal.ob_wall_s
+      factor
+  | Kill_regression m ->
+    Format.fprintf fmt "HARD mutant %s/%s: killed (%s@%d) -> SURVIVED"
+      m.m_b.Journal.mu_design m.m_b.Journal.mu_id
+      (match m.m_a.Journal.mu_killed_by with Some c -> c | None -> "?")
+      (match m.m_a.Journal.mu_kill_depth with Some d -> d | None -> 0)
+
+let pp fmt r =
+  Format.fprintf fmt
+    "compared %d obligation(s): %d matched, %d added, %d removed@."
+    (List.length r.pairs + List.length r.added)
+    (List.length r.pairs) (List.length r.added) (List.length r.removed);
+  if r.findings = [] then
+    Format.fprintf fmt
+      "no regressions (time factor %.2fx, noise floor %.3fs)@." r.time_factor
+      r.min_seconds
+  else begin
+    Format.fprintf fmt "%d finding(s):@." (List.length r.findings);
+    List.iter (fun f -> Format.fprintf fmt "  %a@." pp_finding f) r.findings
+  end;
+  List.iter
+    (fun (o : Journal.obligation) ->
+      Format.fprintf fmt "  new: %s/%s %s@." o.Journal.ob_design
+        o.Journal.ob_name o.Journal.ob_check)
+    r.added;
+  List.iter
+    (fun (o : Journal.obligation) ->
+      Format.fprintf fmt "  gone: %s/%s %s@." o.Journal.ob_design
+        o.Journal.ob_name o.Journal.ob_check)
+    r.removed

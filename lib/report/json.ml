@@ -1,0 +1,250 @@
+(* A minimal JSON value type with a deterministic printer and a strict
+   parser — just enough for the run journal (JSONL) and nothing more, so
+   the report subsystem stays zero-dependency. The printer emits compact
+   ASCII with keys in the order given; the same value always renders to
+   the same bytes, which is what the golden HTML test leans on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats print with 9 significant digits — sub-microsecond resolution on
+   wall times under ~16 minutes, and stable (no locale, no shortest-repr
+   variation). Integral values keep a trailing ".0" so they re-parse as
+   floats. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.9g" x
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+    if Float.is_nan x || Float.abs x = infinity then
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr x)
+  | Str s -> escape buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        emit buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && (match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail "expected '%c' at %d, got '%c'" ch c.pos x
+  | None -> fail "expected '%c' at %d, got end of input" ch c.pos
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail "invalid literal at %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then fail "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      (if c.pos >= String.length c.s then fail "unterminated escape";
+       let e = c.s.[c.pos] in
+       c.pos <- c.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' ->
+         if c.pos + 4 > String.length c.s then fail "truncated \\u escape";
+         let hex = String.sub c.s c.pos 4 in
+         c.pos <- c.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with _ -> fail "bad \\u escape %S" hex
+         in
+         (* UTF-8 encode the BMP code point (journals only ever emit
+            ASCII; this keeps foreign journals readable). *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+       | e -> fail "bad escape '\\%c'" e);
+      go ()
+    | ch -> Buffer.add_char buf ch; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.s && is_num c.s.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let tok = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt tok with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail "bad number %S at %d" tok start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input at %d" c.pos
+  | Some '{' ->
+    expect c '{';
+    skip_ws c;
+    if peek c = Some '}' then (expect c '}'; Obj [])
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> expect c ','; members ((k, v) :: acc)
+        | Some '}' -> expect c '}'; Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}' at %d" c.pos
+      in
+      members []
+    end
+  | Some '[' ->
+    expect c '[';
+    skip_ws c;
+    if peek c = Some ']' then (expect c ']'; List [])
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> expect c ','; items (v :: acc)
+        | Some ']' -> expect c ']'; List (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']' at %d" c.pos
+      in
+      items []
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail "trailing garbage at %d" c.pos;
+  v
+
+(* ---- accessors (strict: shape mismatches raise [Parse_error]) ---- *)
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_str = function Str s -> s | _ -> fail "expected string"
+let to_int = function Int i -> i | _ -> fail "expected int"
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> fail "expected number"
+
+let to_bool = function Bool b -> b | _ -> fail "expected bool"
+let to_list = function List xs -> xs | _ -> fail "expected array"
+let to_obj = function Obj kvs -> kvs | _ -> fail "expected object"
+
+let str_or default = function Str s -> s | _ -> default
+let int_or default = function Int i -> i | _ -> default
+
+let float_or default = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> default
+
+let bool_or default = function Bool b -> b | _ -> default

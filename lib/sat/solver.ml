@@ -262,7 +262,20 @@ let check_cancel s =
           "sat: %d conflicts (%.0f/s), %d restarts, %d learned, level %d"
           conflicts
           (if dt > 1e-9 then float_of_int conflicts /. dt else 0.)
-          s.n_restarts s.n_learned (Vec.size s.trail_lim))
+          s.n_restarts s.n_learned (Vec.size s.trail_lim));
+    (* Same cadence feeds the journal's solver time-series: conflict rate,
+       learned-DB size, decision level and the LBD tier tallies land in the
+       solving domain's ring buffers for per-obligation export. *)
+    Telemetry.Series.sample (fun () ->
+        let conflicts = s.n_conflicts - s.solve_c0 in
+        let dt = Telemetry.now_s () -. s.solve_t0 in
+        [ ("sat.conflict_rate",
+           if dt > 1e-9 then float_of_int conflicts /. dt else 0.);
+          ("sat.learnts", float_of_int (Vec.size s.learnts));
+          ("sat.level", float_of_int (Vec.size s.trail_lim));
+          ("sat.lbd_core", float_of_int s.n_lbd_core);
+          ("sat.lbd_mid", float_of_int s.n_lbd_mid);
+          ("sat.lbd_local", float_of_int s.n_lbd_local) ])
   end
 
 let nb_vars s = s.nvars

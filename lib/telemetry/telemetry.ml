@@ -217,6 +217,35 @@ module Histogram = struct
     }
 end
 
+(* Quantile estimate over the log-scale buckets: the smallest bucket upper
+   bound at which the cumulative count reaches rank ceil(q * count). With
+   power-of-two buckets this is exact at bucket boundaries (an observation
+   of exactly 2^i µs lands in bucket i, whose upper bound it equals) and
+   otherwise overestimates by at most one octave — the right bias for a
+   latency summary. *)
+let quantile snap q =
+  if snap.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int snap.count)))
+    in
+    let rec go acc = function
+      | [] -> (match List.rev snap.buckets with (ub, _) :: _ -> ub | [] -> 0.)
+      | (ub, n) :: rest ->
+        let acc = acc + n in
+        if acc >= rank then ub else go acc rest
+    in
+    go 0 snap.buckets
+  end
+
+let pp_histogram_snapshot fmt snap =
+  if snap.count = 0 then Format.fprintf fmt "0 obs"
+  else
+    Format.fprintf fmt "%d obs, sum %.3fs, p50 %.6fs, p90 %.6fs, max %.6fs"
+      snap.count snap.sum_s (quantile snap 0.5) (quantile snap 0.9)
+      (quantile snap 1.0)
+
 let metrics () =
   Mutex.lock metrics_lock;
   let all = Hashtbl.fold (fun k m acc -> (k, m) :: acc) metrics_tbl [] in
@@ -254,6 +283,99 @@ module Progress = struct
         last := t;
         sink (line ())
       end
+end
+
+(* ---- solver time-series sampler ----
+
+   Bounded per-domain ring buffers fed from the same poll sites as
+   [Progress] (the CDCL cancellation poll, the between-frame check). The
+   global configuration is one [Atomic.t]: unconfigured, [sample] is a
+   single [Atomic.get]. Configured, each domain rate-limits itself and
+   appends one point per named series into its own ring — no lock, no
+   shared cache line — so concurrent obligations on a worker pool never
+   contend, and [mark]/[collect] attribute samples to whatever obligation
+   the calling domain is currently solving. A full ring overwrites its
+   oldest points: long solves keep the most recent [capacity] samples. *)
+
+module Series = struct
+  type point = { at_s : float; value : float }
+
+  type cfg = { s_interval : float; s_capacity : int }
+
+  type ring = {
+    ts : float array;
+    vs : float array;
+    mutable head : int;   (* next write position *)
+    mutable len : int;
+  }
+
+  type dstate = {
+    rings : (string, ring) Hashtbl.t;
+    mutable s_last : float;   (* last sample time (rate limiting) *)
+    mutable s_t0 : float;     (* mark time; point times are relative to it *)
+  }
+
+  let config : cfg option Atomic.t = Atomic.make None
+
+  let state_key =
+    Domain.DLS.new_key (fun () ->
+        { rings = Hashtbl.create 8; s_last = 0.; s_t0 = now_s () })
+
+  let configure ?(interval = 0.02) ?(capacity = 256) () =
+    Atomic.set config
+      (Some { s_interval = Float.max 0. interval; s_capacity = max 1 capacity })
+
+  let disable () = Atomic.set config None
+  let active () = Atomic.get config <> None
+
+  let mark () =
+    let d = Domain.DLS.get state_key in
+    Hashtbl.reset d.rings;
+    d.s_last <- 0.;
+    d.s_t0 <- now_s ()
+
+  let push cap d name t v =
+    let r =
+      match Hashtbl.find_opt d.rings name with
+      | Some r -> r
+      | None ->
+        let r =
+          { ts = Array.make cap 0.; vs = Array.make cap 0.; head = 0; len = 0 }
+        in
+        Hashtbl.add d.rings name r;
+        r
+    in
+    r.ts.(r.head) <- t;
+    r.vs.(r.head) <- v;
+    r.head <- (r.head + 1) mod cap;
+    if r.len < cap then r.len <- r.len + 1
+
+  let sample f =
+    match Atomic.get config with
+    | None -> ()
+    | Some { s_interval; s_capacity } ->
+      let d = Domain.DLS.get state_key in
+      let t = now_s () in
+      if t -. d.s_last >= s_interval then begin
+        d.s_last <- t;
+        let at = t -. d.s_t0 in
+        List.iter (fun (name, v) -> push s_capacity d name at v) (f ())
+      end
+
+  let collect () =
+    let d = Domain.DLS.get state_key in
+    Hashtbl.fold
+      (fun name r acc ->
+        let cap = Array.length r.ts in
+        let start = (r.head - r.len + cap) mod cap in
+        let points =
+          List.init r.len (fun i ->
+              let j = (start + i) mod cap in
+              { at_s = r.ts.(j); value = r.vs.(j) })
+        in
+        (name, points) :: acc)
+      d.rings []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 end
 
 (* ---- Chrome trace_event export ---- *)

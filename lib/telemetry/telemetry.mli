@@ -103,6 +103,17 @@ type metric_value =
   | Gauge of int
   | Histogram of histogram_snapshot
 
+val quantile : histogram_snapshot -> float -> float
+(** [quantile snap q] estimates the [q]-quantile (clamped to [0,1]) as the
+    smallest bucket upper bound at which the cumulative count reaches rank
+    [ceil (q * count)]. Exact whenever observations sit on bucket
+    boundaries; [0.] for an empty snapshot. [quantile snap 1.0] is the
+    upper bound of the last non-empty bucket. *)
+
+val pp_histogram_snapshot : Format.formatter -> histogram_snapshot -> unit
+(** Renders ["N obs, sum S s, p50 .., p90 .., max .."] — the human form
+    used by [--stats] instead of raw bucket lists. *)
+
 val metrics : unit -> (string * metric_value) list
 (** Snapshot of every registered metric, sorted by name. *)
 
@@ -120,6 +131,45 @@ module Progress : sig
   (** Called from long-running loops. No-op unless a sink is configured and
       the domain's interval has elapsed; only then is the thunk evaluated
       and the line delivered. *)
+end
+
+(** {1 Solver time-series}
+
+    Bounded per-domain ring buffers fed from the same poll sites as
+    {!Progress} (the CDCL cancellation poll, the between-frame check).
+    Unconfigured, {!Series.sample} is one [Atomic.get]. Configured, the
+    calling domain rate-limits itself and appends one point per named
+    series into its own ring — no lock, no shared cache line. A full ring
+    overwrites its oldest points, so long solves keep the most recent
+    [capacity] samples. {!Series.mark} / {!Series.collect} bracket an
+    obligation on the solving domain to attribute its samples; portfolio
+    members run on their own spawned domains and are {e not} captured by
+    the racing obligation's collect (documented limitation). *)
+
+module Series : sig
+  type point = { at_s : float; value : float }
+  (** [at_s] is seconds since the domain's last {!mark}. *)
+
+  val configure : ?interval:float -> ?capacity:int -> unit -> unit
+  (** Enable sampling. [interval] (default 0.02 s) is the minimum spacing
+      between samples per domain; [capacity] (default 256) bounds each
+      named ring. *)
+
+  val disable : unit -> unit
+  val active : unit -> bool
+
+  val sample : (unit -> (string * float) list) -> unit
+  (** Called from poll sites. No-op unless configured and the domain's
+      interval has elapsed; only then is the thunk evaluated and one point
+      appended to each named series. *)
+
+  val mark : unit -> unit
+  (** Clear the calling domain's rings and reset its time origin; call
+      before solving an obligation. *)
+
+  val collect : unit -> (string * point list) list
+  (** The calling domain's series since the last {!mark}, sorted by name,
+      points in chronological order. *)
 end
 
 (** {1 Export} *)

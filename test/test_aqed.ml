@@ -21,6 +21,7 @@ let () =
       Test_testbench.suite;
       Test_parallel.suite;
       Test_telemetry.suite;
+      Test_report.suite;
       Test_mutate.suite;
       Test_cli.suite;
     ]

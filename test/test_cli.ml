@@ -66,6 +66,96 @@ let test_mutate_unknown_op () =
   check "unknown operator exits 2" 2
     [ "mutate"; "-d"; "memctrl-fifo"; "--ops"; "frobnicate" ]
 
+(* ---- the run ledger and the report command ---- *)
+
+let with_temp f =
+  let path = Filename.temp_file "aqed_cli" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_check_journal () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let args =
+        [ "check"; "-d"; "memctrl-fifo"; "-c"; "fc"; "-k"; "6"; "--journal";
+          path ]
+      in
+      check "journalled check exits 0" 0 args;
+      let j = Report.Journal.load path in
+      Alcotest.(check int) "one meta line" 1
+        (List.length j.Report.Journal.meta);
+      Alcotest.(check int) "one obligation" 1
+        (List.length j.Report.Journal.obligations);
+      let m = List.hd j.Report.Journal.meta in
+      Alcotest.(check string) "command" "check" m.Report.Journal.command;
+      Alcotest.(check bool) "flags recorded" true
+        (List.mem "--journal" m.Report.Journal.flags);
+      let o = List.hd j.Report.Journal.obligations in
+      Alcotest.(check string) "verdict" "clean" o.Report.Journal.ob_verdict;
+      Alcotest.(check int) "depth" 6 o.Report.Journal.ob_depth;
+      Alcotest.(check bool) "structural key recorded" true
+        (String.length o.Report.Journal.ob_key > 0);
+      Alcotest.(check bool) "winner recorded" true
+        (o.Report.Journal.ob_winner <> "");
+      Alcotest.(check bool) "solver stats attached" true
+        (o.Report.Journal.ob_solver <> None);
+      (* A second run appends; the ledger is append-only. *)
+      check "re-run appends" 0 args;
+      let j2 = Report.Journal.load path in
+      Alcotest.(check int) "two obligations after re-run" 2
+        (List.length j2.Report.Journal.obligations))
+
+let test_report_render () =
+  with_temp (fun path ->
+      Sys.remove path;
+      check "journalled check" 0
+        [ "check"; "-d"; "memctrl-fifo"; "-c"; "fc"; "-k"; "6"; "--journal";
+          path ];
+      check "summary exits 0" 0 [ "report"; path ];
+      with_temp (fun out ->
+          check "render exits 0" 0 [ "report"; path; "-o"; out ];
+          let ic = open_in_bin out in
+          let html =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Alcotest.(check bool) "html document" true
+            (String.length html > 15
+             && String.sub html 0 15 = "<!DOCTYPE html>")))
+
+let test_report_compare_exit_codes () =
+  (* Synthetic journal pairs pin the 0/1/2 contract end to end through the
+     CLI: clean, soft time regression, hard verdict divergence. *)
+  let ob verdict wall =
+    {
+      Report.Journal.ob_design = "d"; ob_name = "FC"; ob_check = "FC";
+      ob_key = "k0"; ob_verdict = verdict; ob_depth = 8;
+      ob_certificate = "none"; ob_winner = "luby:rb100:seed0";
+      ob_cached = false; ob_wall_s = wall; ob_frames = 8; ob_aig_nodes = 10;
+      ob_aig_nodes_raw = 10; ob_reduce = None; ob_solver = None;
+      ob_series = [];
+    }
+  in
+  let write path o =
+    Report.Journal.write path [ Report.Journal.Obligation o ]
+  in
+  with_temp (fun a ->
+      with_temp (fun b ->
+          write a (ob "clean" 0.1);
+          write b (ob "clean" 0.1);
+          check "identical journals exit 0" 0
+            [ "report"; "--compare"; a; b ];
+          write b (ob "clean" 0.35);
+          check "time regression exits 1" 1 [ "report"; "--compare"; a; b ];
+          check "raised threshold exits 0" 0
+            [ "report"; "--compare"; "--time-factor"; "4.0"; a; b ];
+          write b (ob "bug" 0.1);
+          check "verdict divergence exits 2" 2
+            [ "report"; "--compare"; a; b ];
+          check "wrong arity exits 2" 2 [ "report"; "--compare"; a ]))
+
 let test_wrap_certification_failure () =
   (* A certification divergence anywhere under a command maps to exit 2 —
      pinned on wrap directly, since producing a real solver/checker
@@ -95,6 +185,11 @@ let suite =
       Alcotest.test_case "mutate full kill = 0" `Slow test_mutate_all_killed;
       Alcotest.test_case "mutate survivors = 1" `Slow test_mutate_survivors;
       Alcotest.test_case "mutate unknown op = 2" `Quick test_mutate_unknown_op;
+      Alcotest.test_case "check --journal writes the ledger" `Slow
+        test_check_journal;
+      Alcotest.test_case "report renders journals" `Slow test_report_render;
+      Alcotest.test_case "report --compare exit codes" `Quick
+        test_report_compare_exit_codes;
       Alcotest.test_case "wrap exit mapping" `Quick
         test_wrap_certification_failure;
     ] )

@@ -274,6 +274,43 @@ let test_campaign_jobs_deterministic () =
   Alcotest.(check (list (pair string string))) "jobs-invariant"
     (statuses a) (statuses b)
 
+let test_campaign_journal_roundtrip () =
+  (* Campaign outcomes survive the trip through the run ledger: one mutant
+     record per outcome, identical after print + parse. Wall times are
+     zeroed before comparing — floats round-trip through 9 significant
+     digits, which is below full double precision. *)
+  let c = Mutate.run ~seed:1 ~limit:6 dead_logic_target in
+  let sanitize (m : Report.Journal.mutant) =
+    { m with Report.Journal.mu_screen_s = 0.; mu_checks_s = 0. }
+  in
+  let records =
+    List.map
+      (fun m -> Report.Journal.Mutant (sanitize m))
+      (Report.Journal.of_campaign ~design:"deadbox" c)
+  in
+  Alcotest.(check int) "one record per outcome" (List.length c.Mutate.outcomes)
+    (List.length records);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "journal round-trip" true
+        (Report.Journal.of_line (Report.Journal.to_line r) = r))
+    records;
+  (* The status strings partition exactly like the campaign accessors. *)
+  let count s =
+    List.length
+      (List.filter
+         (function
+           | Report.Journal.Mutant m -> m.Report.Journal.mu_status = s
+           | _ -> false)
+         records)
+  in
+  Alcotest.(check int) "killed" (List.length (Mutate.killed c)) (count "killed");
+  Alcotest.(check int) "survived" (List.length (Mutate.survivors c))
+    (count "survived");
+  Alcotest.(check int) "screened"
+    (List.length (Mutate.screened c))
+    (count "screened-hash" + count "screened-miter")
+
 let suite =
   ( "mutate",
     [
@@ -298,4 +335,6 @@ let suite =
         test_campaign_fifo;
       Alcotest.test_case "campaign: jobs-invariant outcomes" `Slow
         test_campaign_jobs_deterministic;
+      Alcotest.test_case "campaign: journal round-trip" `Slow
+        test_campaign_journal_roundtrip;
     ] )

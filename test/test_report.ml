@@ -1,0 +1,355 @@
+(* The report subsystem: the zero-dependency JSON printer/parser, journal
+   line and file round-trips, regression comparison severities and exit
+   codes, and the HTML dashboard — golden-tested byte-for-byte from the
+   checked-in fixture journal, which is what guarantees the render stays a
+   pure function of the journal contents.
+
+   Regenerate the golden after an intentional dashboard change with
+     AQED_UPDATE_GOLDEN=1 dune runtest
+   and copy _build/default/test/fixtures/report_golden.html back into
+   test/fixtures/. *)
+
+module J = Report.Json
+module Jr = Report.Journal
+module C = Report.Compare
+
+let fixture = "fixtures/journal_sample.jsonl"
+let golden = "fixtures/report_golden.html"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("s", J.Str "quote\" back\\slash \n tab\t ctrl \x01");
+        ("i", J.Int (-42));
+        ("f", J.Float 0.125);
+        ("t", J.Bool true);
+        ("nil", J.Null);
+        ("l", J.List [ J.Int 1; J.Float 2.5; J.Str ""; J.Bool false ]);
+        ("o", J.Obj [ ("nested", J.List []) ]) ]
+  in
+  Alcotest.(check bool) "print/parse round-trip" true
+    (J.of_string (J.to_string v) = v)
+
+let test_json_float_repr () =
+  (* Integral floats keep ".0" so they re-parse as floats, not ints;
+     NaN/inf degrade to null rather than emitting invalid JSON. *)
+  Alcotest.(check string) "integral" "3.0" (J.to_string (J.Float 3.));
+  Alcotest.(check string) "fraction" "0.125" (J.to_string (J.Float 0.125));
+  Alcotest.(check string) "nan" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf" "null" (J.to_string (J.Float Float.infinity));
+  Alcotest.(check string) "escapes" "\"a\\\"b\\\\c\\nd\\u0001\""
+    (J.to_string (J.Str "a\"b\\c\nd\x01"));
+  Alcotest.(check bool) "escaped string reparses" true
+    (J.of_string "\"a\\\"b\\\\c\\nd\\u0001\"" = J.Str "a\"b\\c\nd\x01")
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | _ -> Alcotest.fail (Printf.sprintf "%S accepted" s)
+      | exception J.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1,}"; "tru"; "\"unterminated"; "1 2";
+      "{\"a\" 1}"; "{\"a\":}"; "[01x]" ]
+
+(* ---- journal fixtures and round-trips ---- *)
+
+let test_journal_load_fixture () =
+  let j = Jr.load fixture in
+  Alcotest.(check int) "meta lines" 1 (List.length j.Jr.meta);
+  Alcotest.(check int) "obligations" 3 (List.length j.Jr.obligations);
+  Alcotest.(check int) "mutants" 3 (List.length j.Jr.mutants);
+  let m = List.hd j.Jr.meta in
+  Alcotest.(check string) "command" "check" m.Jr.command;
+  Alcotest.(check (list string)) "flags" [ "--certify"; "--journal" ]
+    m.Jr.flags;
+  let o = List.hd j.Jr.obligations in
+  Alcotest.(check string) "verdict" "bug" o.Jr.ob_verdict;
+  Alcotest.(check string) "certificate" "replayed:5" o.Jr.ob_certificate;
+  Alcotest.(check string) "winner" "luby:rb100:seed0" o.Jr.ob_winner;
+  (match o.Jr.ob_reduce with
+   | Some r -> Alcotest.(check int) "reduced nodes" 420 r.Jr.nodes_after
+   | None -> Alcotest.fail "reduce stats missing");
+  (match o.Jr.ob_solver with
+   | Some s -> Alcotest.(check int) "conflicts" 310 s.Jr.conflicts
+   | None -> Alcotest.fail "solver stats missing");
+  Alcotest.(check int) "two sampled series" 2 (List.length o.Jr.ob_series);
+  let cached = List.nth j.Jr.obligations 1 in
+  Alcotest.(check bool) "cached flag" true cached.Jr.ob_cached;
+  Alcotest.(check bool) "no solver stats on cache hit" true
+    (cached.Jr.ob_solver = None);
+  let statuses = List.map (fun m -> m.Jr.mu_status) j.Jr.mutants in
+  Alcotest.(check (list string)) "mutant statuses"
+    [ "killed"; "survived"; "screened-hash" ]
+    statuses
+
+let test_journal_line_roundtrip () =
+  let j = Jr.load fixture in
+  let records =
+    List.map (fun m -> Jr.Meta m) j.Jr.meta
+    @ List.map (fun o -> Jr.Obligation o) j.Jr.obligations
+    @ List.map (fun m -> Jr.Mutant m) j.Jr.mutants
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "to_line/of_line round-trip" true
+        (Jr.of_line (Jr.to_line r) = r))
+    records;
+  (* And through the filesystem: write + load preserves every record. *)
+  let path = Filename.temp_file "aqed_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Jr.write path records;
+      let j2 = Jr.load path in
+      Alcotest.(check bool) "file round-trip" true
+        (j2.Jr.meta = j.Jr.meta
+         && j2.Jr.obligations = j.Jr.obligations
+         && j2.Jr.mutants = j.Jr.mutants))
+
+let test_journal_rejects_bad_input () =
+  let load_lines lines =
+    let path = Filename.temp_file "aqed_journal" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc;
+        match Jr.load path with
+        | _ -> None
+        | exception Failure msg -> Some msg)
+  in
+  (* A future schema version is refused, not misread. *)
+  (match
+     load_lines
+       [ "{\"kind\":\"meta\",\"schema\":2,\"command\":\"check\"}" ]
+   with
+   | Some msg ->
+     Alcotest.(check bool) "names the schema" true (contains msg "schema 2")
+   | None -> Alcotest.fail "future schema accepted");
+  (* Malformed JSON reports the file position. *)
+  (match load_lines [ "{\"kind\":\"meta\",\"schema\":1}"; "{oops" ] with
+   | Some msg -> Alcotest.(check bool) "line number" true (contains msg ":2:")
+   | None -> Alcotest.fail "malformed line accepted");
+  match load_lines [ "{\"kind\":\"wibble\"}" ] with
+  | Some msg -> Alcotest.(check bool) "unknown kind" true (contains msg "wibble")
+  | None -> Alcotest.fail "unknown kind accepted"
+
+(* ---- compare ---- *)
+
+let ob ?(design = "d") ?(name = "FC") ?(check = "FC") ?(key = "k0")
+    ?(verdict = "clean") ?(depth = 8) ?(cached = false) ?(wall = 0.1) () =
+  {
+    Jr.ob_design = design; ob_name = name; ob_check = check; ob_key = key;
+    ob_verdict = verdict; ob_depth = depth; ob_certificate = "none";
+    ob_winner = "luby:rb100:seed0"; ob_cached = cached; ob_wall_s = wall;
+    ob_frames = depth; ob_aig_nodes = 100; ob_aig_nodes_raw = 150;
+    ob_reduce = None; ob_solver = None; ob_series = [];
+  }
+
+let mu ?(status = "killed") ?(killed_by = Some "FC") ?(kill_depth = Some 4) id =
+  {
+    Jr.mu_design = "d"; mu_id = id; mu_op = "binop"; mu_site = "s1";
+    mu_status = status; mu_killed_by = killed_by; mu_kill_depth = kill_depth;
+    mu_screen_s = 0.01; mu_checks_s = 0.1;
+  }
+
+let jt ?(obs = []) ?(mutants = []) path =
+  { Jr.path; meta = []; obligations = obs; mutants }
+
+let test_compare_clean () =
+  let a = jt "a" ~obs:[ ob () ] and b = jt "b" ~obs:[ ob () ] in
+  let r = C.run a b in
+  Alcotest.(check int) "identical journals" 0 (C.exit_code r);
+  Alcotest.(check int) "paired" 1 (List.length r.C.pairs);
+  Alcotest.(check bool) "key matched" true (List.hd r.C.pairs).C.p_key_same;
+  (* Below the noise floor a large factor is still clean... *)
+  let r =
+    C.run (jt "a" ~obs:[ ob ~wall:0.01 () ]) (jt "b" ~obs:[ ob ~wall:0.045 () ])
+  in
+  Alcotest.(check int) "under noise floor" 0 (C.exit_code r);
+  (* ...and cache hits never flag time. *)
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~wall:0.1 () ])
+      (jt "b" ~obs:[ ob ~cached:true ~wall:1.0 () ])
+  in
+  Alcotest.(check int) "cached excluded" 0 (C.exit_code r)
+
+let test_compare_soft_time () =
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~wall:0.1 () ])
+      (jt "b" ~obs:[ ob ~wall:0.35 () ])
+  in
+  Alcotest.(check int) "time regression is soft" 1 (C.exit_code r);
+  (match r.C.findings with
+   | [ C.Time_regression (_, factor) ] ->
+     Alcotest.(check (float 1e-9)) "observed factor" 3.5 factor
+   | _ -> Alcotest.fail "expected exactly one time regression");
+  (* A custom factor above the observed ratio silences it. *)
+  let r =
+    C.run ~time_factor:4.0
+      (jt "a" ~obs:[ ob ~wall:0.1 () ])
+      (jt "b" ~obs:[ ob ~wall:0.35 () ])
+  in
+  Alcotest.(check int) "configurable threshold" 0 (C.exit_code r)
+
+let test_compare_hard_verdict () =
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~verdict:"clean" () ])
+      (jt "b" ~obs:[ ob ~verdict:"bug" ~depth:5 () ])
+  in
+  Alcotest.(check int) "verdict divergence is hard" 2 (C.exit_code r);
+  (match r.C.findings with
+   | [ (C.Verdict_divergence _ as f) ] ->
+     let msg = Format.asprintf "%a" C.pp_finding f in
+     Alcotest.(check bool) "explains same-key divergence" true
+       (contains msg "same structural key")
+   | _ -> Alcotest.fail "expected a verdict divergence");
+  (* With a changed key the explanation flips to the design. *)
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~verdict:"clean" () ])
+      (jt "b" ~obs:[ ob ~verdict:"bug" ~depth:5 ~key:"k1" () ])
+  in
+  match r.C.findings with
+  | [ (C.Verdict_divergence _ as f) ] ->
+    let msg = Format.asprintf "%a" C.pp_finding f in
+    Alcotest.(check bool) "explains key change" true
+      (contains msg "structural key changed")
+  | _ -> Alcotest.fail "expected a verdict divergence"
+
+let test_compare_hard_depth () =
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~depth:5 () ])
+      (jt "b" ~obs:[ ob ~depth:6 () ])
+  in
+  Alcotest.(check int) "depth divergence is hard" 2 (C.exit_code r)
+
+let test_compare_kill_regression () =
+  let r =
+    C.run
+      (jt "a" ~mutants:[ mu "m1"; mu "m2" ])
+      (jt "b"
+         ~mutants:
+           [ mu "m1";
+             mu ~status:"survived" ~killed_by:None ~kill_depth:None "m2" ])
+  in
+  Alcotest.(check int) "kill -> survive is hard" 2 (C.exit_code r);
+  match r.C.findings with
+  | [ C.Kill_regression m ] ->
+    Alcotest.(check string) "names the mutant" "m2" m.C.m_b.Jr.mu_id
+  | _ -> Alcotest.fail "expected a kill regression"
+
+let test_compare_added_removed () =
+  let r =
+    C.run
+      (jt "a" ~obs:[ ob ~name:"FC" (); ob ~name:"RB" ~check:"RB" () ])
+      (jt "b" ~obs:[ ob ~name:"FC" (); ob ~name:"SAC" ~check:"SAC" () ])
+  in
+  Alcotest.(check int) "coverage drift alone is clean" 0 (C.exit_code r);
+  Alcotest.(check int) "added" 1 (List.length r.C.added);
+  Alcotest.(check int) "removed" 1 (List.length r.C.removed);
+  Alcotest.(check string) "added is SAC" "SAC"
+    (List.hd r.C.added).Jr.ob_check;
+  Alcotest.(check string) "removed is RB" "RB"
+    (List.hd r.C.removed).Jr.ob_check
+
+let test_compare_prefers_uncached () =
+  (* When a journal holds both a cached and an uncached record for the same
+     identity, the uncached one (the real solve time) drives the diff. *)
+  let a =
+    jt "a" ~obs:[ ob ~cached:true ~wall:0.001 (); ob ~wall:0.1 () ]
+  in
+  let b = jt "b" ~obs:[ ob ~wall:0.12 () ] in
+  let r = C.run a b in
+  match r.C.pairs with
+  | [ p ] ->
+    Alcotest.(check (float 1e-9)) "uncached record wins" 0.1
+      p.C.p_a.Jr.ob_wall_s
+  | _ -> Alcotest.fail "expected one pair"
+
+(* ---- HTML dashboard ---- *)
+
+let test_html_golden () =
+  let j = Jr.load fixture in
+  let html = Report.Html.render [ j ] in
+  if Sys.getenv_opt "AQED_UPDATE_GOLDEN" <> None then begin
+    let oc = open_out_bin golden in
+    output_string oc html;
+    close_out oc
+  end;
+  Alcotest.(check string) "golden bytes" (read_file golden) html
+
+let test_html_self_contained () =
+  let html = Report.Html.render [ Jr.load fixture ] in
+  List.iter
+    (fun banned ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no %S" banned)
+        false (contains html banned))
+    [ "http://"; "https://"; "src="; "<script"; "@import" ];
+  Alcotest.(check bool) "inline stylesheet" true (contains html "<style>");
+  Alcotest.(check bool) "sparklines rendered" true
+    (contains html "<svg class=\"spark\"");
+  Alcotest.(check bool) "survivor row highlighted" true
+    (contains html "class=\"survivor\"")
+
+let test_summary () =
+  let s = Report.Html.summary [ Jr.load fixture ] in
+  Alcotest.(check bool) "headline" true
+    (contains s "3 obligations, 0.502s solve time, 1 bug(s)");
+  Alcotest.(check bool) "cache hit marked" true (contains s "(cached)");
+  Alcotest.(check bool) "certificates shown" true (contains s "[rup:6]");
+  Alcotest.(check bool) "survivors called out" true
+    (contains s "SURVIVOR m17:Const 0x03 +1")
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json float repr" `Quick test_json_float_repr;
+      Alcotest.test_case "json rejects malformed input" `Quick
+        test_json_rejects;
+      Alcotest.test_case "journal loads fixture" `Quick
+        test_journal_load_fixture;
+      Alcotest.test_case "journal line/file round-trip" `Quick
+        test_journal_line_roundtrip;
+      Alcotest.test_case "journal rejects bad input" `Quick
+        test_journal_rejects_bad_input;
+      Alcotest.test_case "compare: clean" `Quick test_compare_clean;
+      Alcotest.test_case "compare: soft time regression" `Quick
+        test_compare_soft_time;
+      Alcotest.test_case "compare: hard verdict divergence" `Quick
+        test_compare_hard_verdict;
+      Alcotest.test_case "compare: hard depth divergence" `Quick
+        test_compare_hard_depth;
+      Alcotest.test_case "compare: mutant kill regression" `Quick
+        test_compare_kill_regression;
+      Alcotest.test_case "compare: added/removed obligations" `Quick
+        test_compare_added_removed;
+      Alcotest.test_case "compare: prefers uncached record" `Quick
+        test_compare_prefers_uncached;
+      Alcotest.test_case "html golden render" `Quick test_html_golden;
+      Alcotest.test_case "html is self-contained" `Quick
+        test_html_self_contained;
+      Alcotest.test_case "text summary" `Quick test_summary;
+    ] )

@@ -13,6 +13,7 @@ let quiesced f =
     ~finally:(fun () ->
       T.disable ();
       T.Progress.disable ();
+      T.Series.disable ();
       T.reset_events ())
     f
 
@@ -318,6 +319,63 @@ let test_disabled_records_nothing () =
       Alcotest.(check (option int)) "same counterexample length"
         (Aqed.Check.trace_length off) (Aqed.Check.trace_length on))
 
+(* ---- histogram quantiles ----
+
+   Synthetic snapshots pin the rank arithmetic exactly at bucket
+   boundaries: with 10 observations split 5/3/2, p50 exhausts the first
+   bucket exactly and p80 the second, while p90 must spill into the
+   last. *)
+
+let test_quantile_boundaries () =
+  let snap =
+    { T.count = 10; sum_s = 0.017;
+      buckets = [ (0.001, 5); (0.002, 3); (0.004, 2) ] }
+  in
+  let q = T.quantile snap in
+  Alcotest.(check (float 1e-12)) "p50 lands on first bucket" 0.001 (q 0.5);
+  Alcotest.(check (float 1e-12)) "p80 exhausts second bucket" 0.002 (q 0.8);
+  Alcotest.(check (float 1e-12)) "p90 spills into last bucket" 0.004 (q 0.9);
+  Alcotest.(check (float 1e-12)) "p100 is the max bucket" 0.004 (q 1.0);
+  Alcotest.(check (float 1e-12)) "q below 0 clamps to rank 1" 0.001 (q (-0.5));
+  Alcotest.(check (float 1e-12)) "q above 1 clamps to max" 0.004 (q 2.0);
+  Alcotest.(check (float 1e-12)) "empty snapshot" 0.
+    (T.quantile { T.count = 0; sum_s = 0.; buckets = [] } 0.5);
+  let one = { T.count = 1; sum_s = 0.5; buckets = [ (0.5, 1) ] } in
+  List.iter
+    (fun qq ->
+      Alcotest.(check (float 1e-12)) "single observation" 0.5
+        (T.quantile one qq))
+    [ 0.; 0.25; 0.5; 1. ]
+
+let test_quantile_real_histogram () =
+  (* Through a real log-scale histogram the estimate overestimates by at
+     most one octave: three 0.5 s observations land in one bucket whose
+     upper bound is in [0.5, 1.0). *)
+  let h = T.Histogram.make "test.quantile_hist" in
+  T.Histogram.observe h 0.5;
+  T.Histogram.observe h 0.5;
+  T.Histogram.observe h 0.5;
+  match List.assoc_opt "test.quantile_hist" (T.metrics ()) with
+  | Some (T.Histogram snap) ->
+    let p50 = T.quantile snap 0.5 in
+    Alcotest.(check bool) "within one octave above" true
+      (p50 >= 0.5 && p50 < 1.0);
+    Alcotest.(check (float 1e-12)) "p50 = p100 for a single bucket" p50
+      (T.quantile snap 1.0)
+  | _ -> Alcotest.fail "test.quantile_hist missing"
+
+let test_pp_histogram_snapshot () =
+  let snap =
+    { T.count = 10; sum_s = 0.017;
+      buckets = [ (0.001, 5); (0.002, 3); (0.004, 2) ] }
+  in
+  Alcotest.(check string) "rendered form"
+    "10 obs, sum 0.017s, p50 0.001000s, p90 0.004000s, max 0.004000s"
+    (Format.asprintf "%a" T.pp_histogram_snapshot snap);
+  Alcotest.(check string) "empty form" "0 obs"
+    (Format.asprintf "%a" T.pp_histogram_snapshot
+       { T.count = 0; sum_s = 0.; buckets = [] })
+
 let test_progress_ticks () =
   quiesced (fun () ->
       let lines = ref [] in
@@ -338,6 +396,102 @@ let test_progress_ticks () =
         [ "step 1"; "step 2"; "step 3" ]
         (List.rev !lines))
 
+(* Reconfiguring the sink mid-run redirects the very next tick: nothing
+   is buffered in the old sink, nothing is lost. *)
+let test_progress_reconfigure () =
+  quiesced (fun () ->
+      let a = ref [] and b = ref [] in
+      T.Progress.configure ~interval:0.0 (fun l -> a := l :: !a);
+      T.Progress.tick (fun () -> "one");
+      T.Progress.configure ~interval:0.0 (fun l -> b := l :: !b);
+      T.Progress.tick (fun () -> "two");
+      T.Progress.disable ();
+      Alcotest.(check (list string)) "first sink" [ "one" ] (List.rev !a);
+      Alcotest.(check (list string)) "second sink" [ "two" ] (List.rev !b))
+
+(* The interval is enforced per domain: with an interval no test run can
+   exceed, each fresh domain delivers exactly its first tick, and the 100
+   rate-limited ticks that follow never evaluate their thunk. *)
+let test_progress_rate_limit_per_domain () =
+  quiesced (fun () ->
+      let lines = ref [] in
+      let lock = Mutex.create () in
+      T.Progress.configure ~interval:3600.0 (fun l ->
+          Mutex.lock lock;
+          lines := l :: !lines;
+          Mutex.unlock lock);
+      let worker tag =
+        Domain.spawn (fun () ->
+            T.Progress.tick (fun () -> tag);
+            for _ = 1 to 100 do
+              T.Progress.tick (fun () ->
+                  Alcotest.fail "rate-limited tick evaluated its thunk")
+            done)
+      in
+      let d1 = worker "d1" in
+      let d2 = worker "d2" in
+      Domain.join d1;
+      Domain.join d2;
+      Alcotest.(check (list string)) "one line per domain" [ "d1"; "d2" ]
+        (List.sort String.compare !lines))
+
+(* ---- solver time-series sampler ---- *)
+
+let test_series_inactive_and_mark () =
+  quiesced (fun () ->
+      T.Series.disable ();
+      Alcotest.(check bool) "inactive" false (T.Series.active ());
+      (* The unconfigured fast path never evaluates the thunk. *)
+      T.Series.sample (fun () -> Alcotest.fail "sampled while disabled");
+      T.Series.configure ~interval:0.0 ~capacity:8 ();
+      Alcotest.(check bool) "active" true (T.Series.active ());
+      T.Series.mark ();
+      Alcotest.(check int) "empty after mark" 0
+        (List.length (T.Series.collect ()));
+      T.Series.sample (fun () -> [ ("b", 2.); ("a", 1.) ]);
+      (match T.Series.collect () with
+       | [ ("a", [ pa ]); ("b", [ pb ]) ] ->
+         Alcotest.(check (float 1e-12)) "value a" 1. pa.T.Series.value;
+         Alcotest.(check (float 1e-12)) "value b" 2. pb.T.Series.value;
+         Alcotest.(check bool) "relative time" true (pa.T.Series.at_s >= 0.)
+       | _ -> Alcotest.fail "expected series a,b with one point each");
+      (* mark clears the previous obligation's points. *)
+      T.Series.mark ();
+      Alcotest.(check int) "mark resets" 0
+        (List.length (T.Series.collect ())))
+
+let test_series_ring_wraparound () =
+  quiesced (fun () ->
+      T.Series.configure ~interval:0.0 ~capacity:4 ();
+      T.Series.mark ();
+      for i = 1 to 10 do
+        T.Series.sample (fun () -> [ ("x", float_of_int i) ])
+      done;
+      match T.Series.collect () with
+      | [ ("x", pts) ] ->
+        Alcotest.(check (list (float 1e-12))) "last capacity points survive"
+          [ 7.; 8.; 9.; 10. ]
+          (List.map (fun p -> p.T.Series.value) pts);
+        let times = List.map (fun p -> p.T.Series.at_s) pts in
+        Alcotest.(check bool) "chronological" true
+          (List.sort compare times = times)
+      | _ -> Alcotest.fail "expected exactly series x")
+
+let test_series_rate_limit () =
+  quiesced (fun () ->
+      T.Series.configure ~interval:3600.0 ();
+      (* mark resets the domain's rate-limit clock, so the first sample
+         always fires; the second is inside the interval and must not
+         evaluate its thunk. *)
+      T.Series.mark ();
+      T.Series.sample (fun () -> [ ("x", 1.) ]);
+      T.Series.sample (fun () ->
+          Alcotest.fail "rate-limited sample evaluated its thunk");
+      match T.Series.collect () with
+      | [ ("x", [ p ]) ] ->
+        Alcotest.(check (float 1e-12)) "single point" 1. p.T.Series.value
+      | _ -> Alcotest.fail "expected one point in series x")
+
 let suite =
   ( "telemetry",
     [
@@ -350,4 +504,19 @@ let suite =
       Alcotest.test_case "disabled telemetry is inert" `Quick
         test_disabled_records_nothing;
       Alcotest.test_case "progress ticks" `Quick test_progress_ticks;
+      Alcotest.test_case "quantiles at bucket boundaries" `Quick
+        test_quantile_boundaries;
+      Alcotest.test_case "quantile octave bias" `Quick
+        test_quantile_real_histogram;
+      Alcotest.test_case "histogram pretty-printer" `Quick
+        test_pp_histogram_snapshot;
+      Alcotest.test_case "progress sink reconfiguration" `Quick
+        test_progress_reconfigure;
+      Alcotest.test_case "progress rate limit per domain" `Quick
+        test_progress_rate_limit_per_domain;
+      Alcotest.test_case "series inactive/mark/collect" `Quick
+        test_series_inactive_and_mark;
+      Alcotest.test_case "series ring wraparound" `Quick
+        test_series_ring_wraparound;
+      Alcotest.test_case "series rate limit" `Quick test_series_rate_limit;
     ] )
