@@ -16,6 +16,12 @@
               database, inprocessing, warm assumption prefixes); exits 1
               on any verdict or depth mismatch, and records the aggregate
               speedup (tracked floor: >= 1.25x on the hardest obligations)
+     store    persistent verdict-store legs: the same obligation suite run
+              cold (empty store), warm (everything answers from
+              revalidated entries; >= 5x faster with identical verdicts)
+              and dirty (one design swapped for its bug variant; only the
+              changed obligation re-solves); exits 1 on any parity break,
+              warm miss, extra re-solve or a speedup below the floor
      mutate   mutation fault-injection campaign on the three memctrl
               configurations (fixed seed): generated faults instead of the
               hand-written registry; records the mutation score, kill-depth
@@ -34,12 +40,12 @@
    baseline and the parallel batch driver, checks the outcomes agree and
    reports the speedup. `-p N` additionally races N diversified solver
    configurations inside each obligation. Every run also emits
-   machine-readable BENCH_results.json (schema 6: run metadata, per-table
+   machine-readable BENCH_results.json (schema 7: run metadata, per-table
    wall times, solver stats including the glue-tier tallies, speedups,
    pre/post reduction node and clause counts, certification overhead,
-   solver-modernization A/B speedups, mutation-campaign scores, and a
-   final snapshot of the global telemetry metrics registry) so the perf
-   trajectory is tracked across PRs. *)
+   solver-modernization A/B speedups, verdict-store cold/warm/dirty legs,
+   mutation-campaign scores, and a final snapshot of the global telemetry
+   metrics registry) so the perf trajectory is tracked across PRs. *)
 
 module M = Accel.Memctrl
 module C = Testbench.Conventional
@@ -158,7 +164,7 @@ let write_json_results ~jobs ~portfolio ~total_wall =
   json_out buf
     (Obj
        ([
-          ("schema", Int 6);
+          ("schema", Int 7);
           ( "meta",
             Obj
               ([ ("jobs", Int jobs); ("portfolio", Int portfolio);
@@ -1036,6 +1042,161 @@ let print_overhead () =
          ("outcomes_match", Bool !parity);
        ])
 
+(* ---- persistent verdict store: cold / warm / dirty ---- *)
+
+(* The incremental re-verification bench (DESIGN.md §15): one obligation
+   suite run three times against a single on-disk verdict store.
+
+     cold  — empty store: every obligation solves (certified) and writes
+             its entry.
+     warm  — unchanged suite: every obligation must answer from a
+             revalidated entry (all hits, byte-identical verdicts and
+             depths), and the leg must beat cold by store_speedup_floor.
+     dirty — one design swapped for its bug variant: its structural key
+             changes, so it — and only it — re-solves; everything else
+             still hits.
+
+   Any parity break, a warm non-hit, an extra dirty re-solve, or a warm
+   speedup below the floor fails the bench (exit 1). *)
+let store_speedup_floor = 5.0
+
+let store_suite ~dirty_bug () =
+  [
+    ( "memctrl-fifo/FC bug",
+      Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:12
+        (fun () -> M.build ~bug:M.Fifo_oversize_ready M.Fifo_mode ()) );
+    ( "memctrl-fifo/FC clean",
+      Aqed.Check.prepare_fc ~name:"memctrl-fifo/FC" ~max_depth:8
+        (fun () -> M.build M.Fifo_mode ()) );
+    ( "fig2/FC",
+      Aqed.Check.prepare_fc ~name:"fig2/FC" ~max_depth:8
+        (fun () -> Accel.Fig2.build ()) );
+    ( "GSM/FC bug",
+      Aqed.Check.prepare_fc ~name:"GSM/FC" ~max_depth:16
+        (fun () -> Accel.Gsm.build ~bug:true ()) );
+    ( "Dataflow/RB bug",
+      Aqed.Check.prepare_rb ~name:"Dataflow/RB" ~max_depth:16
+        ~tau:Accel.Dataflow.tau
+        (fun () -> Accel.Dataflow.build ~bug:true ()) );
+    ( "dualpath/FC",
+      (* The dirty leg flips this design's stale-operand bug on: its key
+         changes, and its fresh solve must find the bug (depth 6 < 8). *)
+      Aqed.Check.prepare_fc ~name:"dualpath/FC" ~max_depth:8
+        (fun () -> Accel.Dualpath.build ~bug:dirty_bug ()) );
+  ]
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> (try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let print_store ~jobs () =
+  pf "\n== Persistent verdict store (cold / warm / dirty re-verification) ==\n";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aqed_bench_store.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let store = Store.open_store dir in
+  let leg ~dirty_bug =
+    let suite = store_suite ~dirty_bug () in
+    (List.map fst suite,
+     Aqed.Check.run_batch ~jobs ~store (List.map snd suite))
+  in
+  let names, cold = leg ~dirty_bug:false in
+  let _, warm = leg ~dirty_bug:false in
+  let _, dirty = leg ~dirty_bug:true in
+  let verdict_sig (r : Aqed.Check.report) =
+    match r.Aqed.Check.verdict with
+    | Aqed.Check.Bug t -> Printf.sprintf "bug@%d" (Bmc.Trace.length t)
+    | Aqed.Check.No_bug_up_to k -> Printf.sprintf "clean@%d" k
+    | Aqed.Check.Proved k -> Printf.sprintf "proved@%d" k
+  in
+  pf "%s\n" (line 80);
+  pf "%-24s %-10s | %8s %8s hit | %8s hit\n" "obligation" "verdict"
+    "cold(s)" "warm(s)" "dirty";
+  pf "%s\n" (line 80);
+  let parity = ref true and warm_all_hits = ref true in
+  let dirty_resolves = ref 0 in
+  let rows =
+    List.map2
+      (fun name
+           ((c : Aqed.Check.batch_entry),
+            ((w : Aqed.Check.batch_entry), (d : Aqed.Check.batch_entry))) ->
+        let vc = verdict_sig c.Aqed.Check.entry_report
+        and vw = verdict_sig w.Aqed.Check.entry_report in
+        if vc <> vw then parity := false;
+        if not w.Aqed.Check.entry_cached then warm_all_hits := false;
+        if not d.Aqed.Check.entry_cached then incr dirty_resolves;
+        pf "%-24s %-10s | %8.3f %8.3f %-3s | %8.3f %-3s%s\n" name vc
+          c.Aqed.Check.entry_wall w.Aqed.Check.entry_wall
+          (if w.Aqed.Check.entry_cached then "yes" else "NO")
+          d.Aqed.Check.entry_wall
+          (if d.Aqed.Check.entry_cached then "yes" else "no")
+          (if vc = vw then "" else "  << VERDICT MISMATCH");
+        Obj
+          [
+            ("name", Str name);
+            ("verdict_cold", Str vc);
+            ("verdict_warm", Str vw);
+            ("wall_s_cold", Num c.Aqed.Check.entry_wall);
+            ("wall_s_warm", Num w.Aqed.Check.entry_wall);
+            ("warm_hit", Bool w.Aqed.Check.entry_cached);
+            ("dirty_hit", Bool d.Aqed.Check.entry_cached);
+          ])
+      names
+      (List.combine cold.Aqed.Check.entries
+         (List.combine warm.Aqed.Check.entries dirty.Aqed.Check.entries))
+  in
+  pf "%s\n" (line 80);
+  (* Exactly one obligation (the dualpath bug swap) changes key on the
+     dirty leg; its fresh solve must now report the bug. *)
+  let dirty_swap = List.nth dirty.Aqed.Check.entries 5 in
+  let dirty_ok =
+    !dirty_resolves = 1
+    && (not dirty_swap.Aqed.Check.entry_cached)
+    && Aqed.Check.found_bug dirty_swap.Aqed.Check.entry_report
+  in
+  let speedup =
+    if warm.Aqed.Check.batch_wall > 0. then
+      cold.Aqed.Check.batch_wall /. warm.Aqed.Check.batch_wall
+    else 0.
+  in
+  let ok =
+    !parity && !warm_all_hits && dirty_ok && speedup >= store_speedup_floor
+  in
+  if not ok then bench_failed := true;
+  pf "cold %.3fs, warm %.3fs — %.1fx warm speedup (floor %.1fx)%s\n"
+    cold.Aqed.Check.batch_wall warm.Aqed.Check.batch_wall speedup
+    store_speedup_floor
+    (if ok then ""
+     else "  (FAILURE: parity, warm hit, dirty re-solve or speedup floor)");
+  pf "dirty leg: %d re-solve(s) (expected 1: the swapped dualpath variant)\n"
+    !dirty_resolves;
+  let st = Store.stats store in
+  pf "store: %d entries, %d bytes on disk\n" st.Store.n_entries
+    st.Store.n_bytes;
+  record "store"
+    (Obj
+       [
+         ("parity", Bool !parity);
+         ("warm_all_hits", Bool !warm_all_hits);
+         ("dirty_resolves", Int !dirty_resolves);
+         ("dirty_ok", Bool dirty_ok);
+         ("wall_s_cold", Num cold.Aqed.Check.batch_wall);
+         ("wall_s_warm", Num warm.Aqed.Check.batch_wall);
+         ("wall_s_dirty", Num dirty.Aqed.Check.batch_wall);
+         ("speedup", Num speedup);
+         ("speedup_floor", Num store_speedup_floor);
+         ("entries", Int st.Store.n_entries);
+         ("bytes", Int st.Store.n_bytes);
+         ("rows", Arr rows);
+       ]);
+  rm_rf dir
+
 (* ---- mutation campaign ---- *)
 
 (* The generated-faults counterpart of Table 1 (EXPERIMENTS.md E7): instead
@@ -1443,6 +1604,14 @@ let () =
           jobs;
           seed = mutate_seed;
           flags = args;
+          (* The bench always runs the checks' defaults, so nightly
+             journals carry a stable fingerprint and compares across
+             nights stay like-for-like. *)
+          fingerprint =
+            Store.config_fingerprint ~reduce:true ~sweep:false
+              ~certify:false
+              ~solver_label:(Bmc.Engine.config_label
+                               Bmc.Engine.default_config);
         } ];
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -1457,6 +1626,7 @@ let () =
        | "certify" -> print_certify ()
        | "sat" -> print_sat ()
        | "overhead" -> print_overhead ()
+       | "store" -> print_store ~jobs ()
        | "mutate" -> print_mutate ~jobs ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
@@ -1464,10 +1634,11 @@ let () =
          print_table1 (); print_fig5 ();
          print_table2 ~jobs ~portfolio (); print_fig2 ();
          print_reduce (); print_certify (); print_sat ();
+         print_store ~jobs ();
          print_mutate ~jobs ();
          print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat overhead mutate kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat overhead store mutate kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;

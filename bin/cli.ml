@@ -9,6 +9,13 @@
      aqed_cli mutate -d fifo [--ops ...] [--seed N] [-j 4]   fault campaign
      aqed_cli sim -d aes -n 5              quick transaction-level run
      aqed_cli sat file.cnf                 solve a DIMACS instance
+     aqed_cli store {stats,gc,verify} DIR  verdict-store maintenance
+
+   Incremental re-verification (check, verify and mutate): --store DIR
+   consults a persistent content-addressed verdict store before solving
+   and writes certified results back. Unchanged obligations answer from
+   revalidated entries (counterexample replay / RUP acceptance); changed
+   ones — whose structural key differs — are the only re-solves.
 
    -j N on `check` races N diversified solver configurations (portfolio
    BMC); on `verify` it sizes the worker pool the FC/RB/SAC obligations are
@@ -183,7 +190,7 @@ let git_rev () =
   | rev -> rev
   | exception _ -> ""
 
-let journal_meta ~command ~design ~jobs ~seed =
+let journal_meta ~command ~design ~jobs ~seed ~fingerprint =
   {
     Report.Journal.created_s = Unix.gettimeofday ();
     command;
@@ -192,6 +199,7 @@ let journal_meta ~command ~design ~jobs ~seed =
     jobs;
     seed;
     flags = current_flags ();
+    fingerprint;
   }
 
 (* Telemetry wiring shared by check, verify and mutate: --trace enables
@@ -213,11 +221,19 @@ let with_telemetry ?(stats = false) ?(journal = None) ~trace ~progress f =
     Telemetry.Series.disable ();
     if stats then begin
       Format.eprintf "metrics:@.";
+      (* store./cache. counters are the cache-effectiveness report; print
+         them even at zero — on an all-hit run "store.misses 0" is the
+         headline, and suppressing zero-delta counters hid it. *)
+      let prefixed p name =
+        String.length name >= String.length p
+        && String.sub name 0 (String.length p) = p
+      in
+      let always name = prefixed "store." name || prefixed "cache." name in
       List.iter
         (fun (name, v) ->
           match v with
           | Telemetry.Counter n | Telemetry.Gauge n ->
-            if n <> 0 then Format.eprintf "  %-28s %d@." name n
+            if n <> 0 || always name then Format.eprintf "  %-28s %d@." name n
           | Telemetry.Histogram h ->
             if h.Telemetry.count > 0 then
               Format.eprintf "  %-28s %a@." name
@@ -249,27 +265,48 @@ let solver_config restarts no_inprocess =
 let design_label d bug =
   match bug with None -> d.name | Some b -> d.name ^ "+" ^ b
 
+(* The cache-relevant config fingerprint recorded in every journal meta
+   line (store or no store), so [report --compare] can refuse to compare
+   wall times across configurations. Store-mediated solves force
+   certification, hence the [certify || store] term. *)
+let config_fp ~reduce ~sweep ~certify ~solver ~store =
+  Store.config_fingerprint ~reduce ~sweep
+    ~certify:(certify || store <> None)
+    ~solver_label:(Bmc.Engine.config_label solver)
+
+(* One deterministic line of store traffic after a --store run. The
+   counters are process-global and a CLI process runs one command, so they
+   are exactly this run's traffic. *)
+let store_summary () =
+  let get name = Telemetry.Counter.get (Telemetry.Counter.make name) in
+  Printf.printf
+    "store: %d hits (%d revalidated, %d warm starts), %d misses, %d \
+     invalid, %d writes\n"
+    (get "store.hits") (get "store.revalidated") (get "store.warm_starts")
+    (get "store.misses") (get "store.invalid") (get "store.writes")
+
 let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
-    restarts no_inprocess journal =
+    restarts no_inprocess journal store_dir =
   let d = find_design design_name in
   let portfolio = max 1 jobs in
   let reduce = not no_reduce in
   let solver = solver_config restarts no_inprocess in
+  let store = Option.map Store.open_store store_dir in
   let report =
     match String.lowercase_ascii check with
     | "fc" ->
       Aqed.Check.functional_consistency ~max_depth:depth ?shared:d.shared
-        ~portfolio ~certify ~solver ~reduce ~sweep
+        ~portfolio ~certify ~solver ?store ~reduce ~sweep
         (fun () -> d.build ?bug ())
     | "rb" ->
       Aqed.Check.response_bound ~max_depth:depth ~tau:d.tau ~portfolio
-        ~certify ~solver ~reduce ~sweep
+        ~certify ~solver ?store ~reduce ~sweep
         (fun () -> d.build_rb ?bug ())
     | "sac" -> (
         match d.spec with
         | Some spec ->
           Aqed.Check.single_action ~max_depth:depth ~spec ~portfolio ~certify
-            ~solver ~reduce ~sweep
+            ~solver ?store ~reduce ~sweep
             (fun () -> d.build ?bug ())
         | None -> failwith "this design has no registered SAC spec")
     | other -> failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
@@ -293,13 +330,15 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
   (match report.Aqed.Check.verdict with
    | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
    | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ());
+  if store <> None then store_summary ();
   (match journal with
    | None -> ()
    | Some path ->
      let design = design_label d bug in
+     let fingerprint = config_fp ~reduce ~sweep ~certify ~solver ~store in
      Report.Journal.append path
        [ Report.Journal.Meta
-           (journal_meta ~command:"check" ~design ~jobs ~seed:0);
+           (journal_meta ~command:"check" ~design ~jobs ~seed:0 ~fingerprint);
          Report.Journal.Obligation (Report.Journal.of_report ~design report)
        ]);
   (* With --certify the exit code reports certification (a confirmed bug
@@ -311,10 +350,11 @@ let cmd_check design_name bug check depth jobs stats no_reduce sweep certify
    obligation cache deduplicating structurally identical instances. Unlike
    [Check.verify] this does not stop at the first bug — all checks run. *)
 let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
-    certify restarts no_inprocess journal =
+    certify restarts no_inprocess journal store_dir =
   let d = find_design design_name in
   let reduce = not no_reduce in
   let solver = solver_config restarts no_inprocess in
+  let store = Option.map Store.open_store store_dir in
   let obligations =
     [
       Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared ~reduce ~sweep
@@ -331,7 +371,7 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
   let cache = Aqed.Check.create_cache () in
   let batch =
     Aqed.Check.run_batch ~jobs:(max 1 jobs) ~cache
-      ~portfolio:(max 1 portfolio) ~certify ~solver obligations
+      ~portfolio:(max 1 portfolio) ~certify ~solver ?store obligations
   in
   Format.printf "%a@." Aqed.Check.pp_batch batch;
   if stats then begin
@@ -353,13 +393,15 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
       | Aqed.Check.Bug t -> Format.printf "%a@." Bmc.Trace.pp t
       | Aqed.Check.No_bug_up_to _ | Aqed.Check.Proved _ -> ())
     reports;
+  if store <> None then store_summary ();
   (match journal with
    | None -> ()
    | Some path ->
      let design = design_label d bug in
+     let fingerprint = config_fp ~reduce ~sweep ~certify ~solver ~store in
      Report.Journal.append path
        (Report.Journal.Meta
-          (journal_meta ~command:"verify" ~design ~jobs ~seed:0)
+          (journal_meta ~command:"verify" ~design ~jobs ~seed:0 ~fingerprint)
         :: List.map
              (fun o -> Report.Journal.Obligation o)
              (Report.Journal.of_batch ~design batch)));
@@ -369,8 +411,10 @@ let cmd_verify design_name bug depth jobs portfolio stats no_reduce sweep
    replace the hand-written bug registry. Exit code 0 means every checked
    mutant was killed; 1 means survivors exist (verification gaps — their
    mutation sites are listed); 2 is an error. *)
-let cmd_mutate design_name ops seed limit budget depth jobs journal =
+let cmd_mutate design_name ops seed limit budget depth jobs journal store_dir
+    =
   let d = find_design design_name in
+  let store = Option.map Store.open_store store_dir in
   let ops =
     match ops with
     | [] -> Mutate.all_ops
@@ -397,15 +441,23 @@ let cmd_mutate design_name ops seed limit budget depth jobs journal =
   in
   let campaign =
     Mutate.run ~ops ~seed ~limit ~budget ~max_depth:depth ~jobs:(max 1 jobs)
-      target
+      ?store target
   in
   Format.printf "%a@." Mutate.pp_campaign campaign;
+  if store <> None then store_summary ();
   (match journal with
    | None -> ()
    | Some path ->
+     let fingerprint =
+       (* mutate runs the checks with their defaults: reduction on, sweep
+          off, the default solver config. *)
+       config_fp ~reduce:true ~sweep:false ~certify:false
+         ~solver:Bmc.Engine.default_config ~store
+     in
      Report.Journal.append path
        (Report.Journal.Meta
-          (journal_meta ~command:"mutate" ~design:d.name ~jobs ~seed)
+          (journal_meta ~command:"mutate" ~design:d.name ~jobs ~seed
+             ~fingerprint)
         :: List.map
              (fun m -> Report.Journal.Mutant m)
              (Report.Journal.of_campaign ~design:d.name campaign)));
@@ -475,6 +527,43 @@ let cmd_report paths output summary compare time_factor min_seconds =
       print_string (Report.Html.summary journals);
     0
   end
+
+(* Maintenance on a persistent verdict store directory. [store verify] is
+   codec-level: every entry must parse and checksum; certificate
+   revalidation (replay / RUP acceptance) needs the design and happens at
+   lookup time in the checks. *)
+let cmd_store_stats dir =
+  let s = Store.stats (Store.open_store dir) in
+  Printf.printf "store %s: %d entries, %d bytes\n" dir s.Store.n_entries
+    s.Store.n_bytes;
+  0
+
+let cmd_store_gc dir max_bytes max_entries =
+  if max_bytes = None && max_entries = None then
+    failwith "store gc: give --max-bytes and/or --max-entries";
+  let r = Store.gc ?max_bytes ?max_entries (Store.open_store dir) in
+  Printf.printf "store %s: kept %d, removed %d, %d bytes\n" dir
+    r.Store.gc_kept r.Store.gc_removed r.Store.gc_bytes;
+  0
+
+let cmd_store_verify dir =
+  let items = Store.scan (Store.open_store dir) in
+  let bad = ref 0 in
+  List.iter
+    (fun (i : Store.scan_item) ->
+      match i.Store.s_entry with
+      | Ok e ->
+        Printf.printf "  ok   %s %s %s\n" i.Store.s_file e.Store.e_check
+          (match e.Store.e_verdict with
+           | Store.Bug t -> Printf.sprintf "bug@%d" (Bmc.Trace.length t)
+           | Store.Clean d -> Printf.sprintf "clean@%d" d)
+      | Error reason ->
+        incr bad;
+        Printf.printf "  BAD  %s: %s\n" i.Store.s_file reason)
+    items;
+  Printf.printf "store %s: %d entries, %d invalid\n" dir (List.length items)
+    !bad;
+  if !bad = 0 then 0 else 1
 
 let cmd_sat certify path =
   let cnf = Sat.Dimacs.parse_file path in
@@ -604,6 +693,16 @@ let journal_arg =
                  (git rev, jobs, flags). Render or diff the ledger with \
                  $(b,aqed_cli report).")
 
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Persistent verdict store: consult $(docv) before solving \
+                 and write certified results back. Hits are revalidated \
+                 (counterexample replay / RUP acceptance) before being \
+                 trusted; corrupted or stale entries degrade to a re-solve. \
+                 Implies certification of store-mediated verdicts. Maintain \
+                 the directory with $(b,aqed_cli store).")
+
 let certify_arg =
   Arg.(value & flag
        & info [ "certify" ]
@@ -627,11 +726,11 @@ let list_cmd =
 
 let check_cmd =
   let run d b c k j stats trace progress no_reduce sweep certify restarts
-      no_inprocess journal =
+      no_inprocess journal store =
     wrap (fun () ->
         with_telemetry ~stats ~journal ~trace ~progress (fun () ->
             cmd_check d b c k j stats no_reduce sweep certify restarts
-              no_inprocess journal))
+              no_inprocess journal store))
   in
   Cmd.v
     (Cmd.info "check"
@@ -639,15 +738,16 @@ let check_cmd =
              $(b,--certify), 0 on a certified verdict and 2 on divergence)")
     Term.(const run $ design_arg $ bug_arg $ check_arg $ depth_arg $ jobs_arg
           $ stats_arg $ trace_arg $ progress_arg $ no_reduce_arg $ sweep_arg
-          $ certify_arg $ restarts_arg $ no_inprocess_arg $ journal_arg)
+          $ certify_arg $ restarts_arg $ no_inprocess_arg $ journal_arg
+          $ store_arg)
 
 let verify_cmd =
   let run d b k j p stats trace progress no_reduce sweep certify restarts
-      no_inprocess journal =
+      no_inprocess journal store =
     wrap (fun () ->
         with_telemetry ~stats ~journal ~trace ~progress (fun () ->
             cmd_verify d b k j p stats no_reduce sweep certify restarts
-              no_inprocess journal))
+              no_inprocess journal store))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -657,7 +757,7 @@ let verify_cmd =
     Term.(const run $ design_arg $ bug_arg $ depth_arg $ jobs_arg
           $ portfolio_arg $ stats_arg $ trace_arg $ progress_arg
           $ no_reduce_arg $ sweep_arg $ certify_arg $ restarts_arg
-          $ no_inprocess_arg $ journal_arg)
+          $ no_inprocess_arg $ journal_arg $ store_arg)
 
 let mutate_cmd =
   let ops_arg =
@@ -682,10 +782,10 @@ let mutate_cmd =
              ~doc:"Conflict budget for the equivalence-screen miter; \
                    inconclusive miters keep the mutant.")
   in
-  let run d ops seed limit budget k j trace progress journal =
+  let run d ops seed limit budget k j trace progress journal store =
     wrap (fun () ->
         with_telemetry ~journal ~trace ~progress (fun () ->
-            cmd_mutate d ops seed limit budget k j journal))
+            cmd_mutate d ops seed limit budget k j journal store))
   in
   Cmd.v
     (Cmd.info "mutate"
@@ -694,7 +794,8 @@ let mutate_cmd =
              FC/RB/SAC flow on the rest (exit code 1 when any mutant \
              survives every check)")
     Term.(const run $ design_arg $ ops_arg $ seed_arg $ limit_arg $ budget_arg
-          $ depth_arg $ jobs_arg $ trace_arg $ progress_arg $ journal_arg)
+          $ depth_arg $ jobs_arg $ trace_arg $ progress_arg $ journal_arg
+          $ store_arg)
 
 let sim_cmd =
   let run d b n = wrap (fun () -> cmd_sim d b n) in
@@ -756,6 +857,49 @@ let report_cmd =
     Term.(const run $ paths $ output $ summary $ compare $ time_factor
           $ min_seconds)
 
+let store_cmd =
+  let dir_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Verdict store directory.")
+  in
+  let stats_c =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print entry count and on-disk size")
+      Term.(const (fun d -> wrap (fun () -> cmd_store_stats d)) $ dir_pos)
+  in
+  let gc_c =
+    let max_bytes =
+      Arg.(value & opt (some int) None
+           & info [ "max-bytes" ] ~docv:"N"
+               ~doc:"Remove oldest entries until the store holds at most \
+                     $(docv) bytes.")
+    in
+    let max_entries =
+      Arg.(value & opt (some int) None
+           & info [ "max-entries" ] ~docv:"N"
+               ~doc:"Remove oldest entries until the store holds at most \
+                     $(docv) entries.")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Size-bounded collection: drop oldest entries until the \
+               store fits the given bounds")
+      Term.(const (fun d b e -> wrap (fun () -> cmd_store_gc d b e))
+            $ dir_pos $ max_bytes $ max_entries)
+  in
+  let verify_c =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Parse and checksum every entry (exit 1 when any is \
+               invalid); certificate revalidation happens at lookup time \
+               in the checks, this is the codec-level audit")
+      Term.(const (fun d -> wrap (fun () -> cmd_store_verify d)) $ dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a persistent verdict store directory")
+    [ stats_c; gc_c; verify_c ]
+
 let sat_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
   let certify =
@@ -773,4 +917,4 @@ let run ~argv () =
   Cmd.eval' ~argv
     (Cmd.group info
        [ list_cmd; check_cmd; verify_cmd; mutate_cmd; sim_cmd; sat_cmd;
-         report_cmd ])
+         report_cmd; store_cmd ])

@@ -15,6 +15,8 @@ type certificate =
 
 exception Certification_failed of string
 
+exception Warm_start_invalid of string
+
 type report = {
   outcome : outcome;
   frames_explored : int;
@@ -479,8 +481,17 @@ let export_aiger circuit ~prop oc =
    flag. The flag is polled both inside the CDCL loop (via
    [Solver.set_cancel]) and between frames, so a losing portfolio member
    stops within a bounded amount of work wherever it happens to be. *)
-let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
-    ~frame_consts ~config ~cancel =
+(* [warm] frames at the start of the search are trusted clean (the caller
+   holds a certified verdict store entry covering them): each is encoded
+   and its bad literal blocked as a problem clause, but never solved. The
+   search then resumes at [warm + 1] on the full unrolling, so deeper
+   verdicts and counterexamples are identical to a cold search — under the
+   warm assumption. If the bad cone folds to constant true inside the
+   trusted prefix the assumption is contradicted structurally and the
+   search raises {!Warm_start_invalid} instead of masking the bug; the
+   caller falls back to a cold solve. *)
+let bounded_search ?(certify = None) ?(warm = 0) rel ~name ~max_depth
+    ~trace_regs ~frame_consts ~config ~cancel =
   Telemetry.Span.with_ "bmc.search"
     ~args:
       [ ("prop", Telemetry.Str name);
@@ -551,7 +562,30 @@ let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
                   (match a with Violated -> "violated" | Clean -> "clean") ) ])
           (fun () ->
             let env = make_frame ?consts solver rel binding in
-            (env, query_frame ?cert ~depth solver env rel.bad))
+            let answer =
+              if depth <= warm then begin
+                (* Trusted-clean frame: assert the bad cone false without a
+                   SAT query. Under certification the added clause reaches
+                   the RUP checker as a problem clause via the next solved
+                   frame's delta, so the certificate composes: this run
+                   certifies frames [warm+1 ..] conditional on the stored
+                   certificate for frames [1 .. warm]. *)
+                (match Tseitin.value_of ~pol:Tseitin.Both env rel.bad with
+                 | Tseitin.Cst false -> ()
+                 | Tseitin.Cst true ->
+                   raise
+                     (Warm_start_invalid
+                        (Printf.sprintf
+                           "frame %d: bad cone is structurally violated \
+                            inside the trusted-clean prefix (stale store \
+                            entry?)"
+                           depth))
+                 | Tseitin.Lit bad_lit -> Solver.add_clause solver [ -bad_lit ]);
+                Clean
+              end
+              else query_frame ?cert ~depth solver env rel.bad
+            in
+            (env, answer))
       in
       Telemetry.Counter.incr m_frames;
       Telemetry.Gauge.set g_frame_depth depth;
@@ -577,7 +611,7 @@ let bounded_search ?(certify = None) rel ~name ~max_depth ~trace_regs
            the last frame, where no further query would benefit. Under
            certification the derived clauses land in the proof log and are
            replayed by the next frame's delta. *)
-        if config.inprocess && depth < max_depth then
+        if config.inprocess && depth < max_depth && depth >= warm then
           Solver.simplify_inplace solver;
         go envs_rev (depth + 1)
     end
@@ -702,8 +736,16 @@ let prepare ?(reduce = true) ?(sweep = false) ?(induction = false) circuit
 let prepared_key p = Lazy.force p.prepared_key
 let prepared_stats p = p.rel.reduce_stats
 
+(* Cheap revalidation of a stored counterexample: replay it on the
+   cycle-accurate simulator (the same independent mechanism certification
+   uses) against the prepared obligation's source circuit. Returns the
+   first violating cycle, [None] when the trace witnesses nothing. *)
+let replay_prepared p trace =
+  let sim = Rtl.Sim.create p.prepared_circuit in
+  Trace.replay_result sim trace p.prepared_prop
+
 let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
-    ?(certify = false) ?(config = default_config) p =
+    ?(certify = false) ?(config = default_config) ?(warm_depth = 0) p =
   (* Temporal decomposition rides the [reduce] switch: with reduction off the
      engine must encode exactly the raw relation (that is the --no-reduce
      contract the A/B regression leans on). The chain below is rooted at
@@ -725,9 +767,10 @@ let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
   let certify =
     if certify then Some (p.prepared_circuit, p.prepared_prop) else None
   in
+  let warm = min (max 0 warm_depth) max_depth in
   let run ~config ~cancel =
-    bounded_search ~certify p.rel ~name:p.prepared_name ~max_depth ~trace_regs
-      ~frame_consts ~config ~cancel
+    bounded_search ~certify ~warm p.rel ~name:p.prepared_name ~max_depth
+      ~trace_regs ~frame_consts ~config ~cancel
   in
   if portfolio <= 1 then run ~config ~cancel:None
   else race_portfolio (portfolio_configs ~base:config portfolio) run

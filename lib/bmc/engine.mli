@@ -70,6 +70,13 @@ exception Certification_failed of string
     propagation. Either indicates a soundness bug in the encode/solve
     pipeline (or a corrupted proof) and is always worth reporting. *)
 
+exception Warm_start_invalid of string
+(** A warm-started search ({!check_prepared} with [warm_depth > 0]) found
+    the bad cone structurally violated inside the trusted-clean prefix —
+    the caller's stored verdict cannot be right for this relation. The
+    caller should discard the stored entry and fall back to a cold
+    search. *)
+
 type report = {
   outcome : outcome;
   frames_explored : int;
@@ -177,7 +184,7 @@ val prepared_stats : prepared -> Logic.Reduce.stats option
 
 val check_prepared :
   ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
-  ?config:solver_config ->
+  ?config:solver_config -> ?warm_depth:int ->
   prepared -> report
 (** Bounded search from reset. When the prepared relation was reduced, the
     search also applies temporal decomposition
@@ -193,10 +200,29 @@ val check_prepared :
     [config] (default {!default_config}) selects the solver configuration;
     with [portfolio > 1] it seeds member 0 and the base of the
     diversification menu. Every configuration returns the same verdict at
-    the same depth. *)
+    the same depth.
+
+    [warm_depth] (default 0) resumes an incremental re-verification: frames
+    [1 .. warm_depth] are trusted clean on the caller's authority (a
+    certified verdict-store entry for this exact prepared key), encoded
+    with their bad literals blocked but never solved, and the search starts
+    querying at [warm_depth + 1]. Verdicts and counterexample depths beyond
+    the prefix are identical to a cold search; a structural contradiction
+    inside the prefix raises {!Warm_start_invalid} rather than masking a
+    bug. Under [certify], the returned [Rup_certified] covers the frames
+    this run solved, conditional on the stored certificate for the
+    prefix. *)
 
 val prove_prepared : ?max_depth:int -> prepared -> report
 (** The prepared value must come from [prepare ~induction:true]. *)
+
+val replay_prepared : prepared -> Trace.t -> int option
+(** Replays a trace on the cycle-accurate simulator against the prepared
+    obligation's source circuit and returns the first violating cycle
+    ([None] when the property never fails or an assumption breaks). This
+    is the cheap revalidation step for stored counterexamples: a stored
+    [Bug] entry is only trusted when the replay confirms the violation on
+    the trace's final cycle. *)
 
 val check :
   ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->

@@ -38,8 +38,8 @@ let m_bugs = Telemetry.Counter.make "check.bugs"
 (* The search side of one obligation: takes an already-prepared (bit-blasted
    and reduced) relation, so preparing once serves both the cache key and
    the solve. *)
-let run_bmc ?(portfolio = 1) ?(certify = false) ?solver name ~max_depth
-    ~induction prepared =
+let run_bmc ?(portfolio = 1) ?(certify = false) ?solver ?(warm_depth = 0)
+    name ~max_depth ~induction prepared =
   Telemetry.Counter.incr m_obligations;
   Telemetry.Span.with_ "check"
     ~args:
@@ -71,7 +71,7 @@ let run_bmc ?(portfolio = 1) ?(certify = false) ?solver name ~max_depth
     if induction then Bmc.Engine.prove_prepared ~max_depth prepared
     else
       Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify
-        ?config:solver prepared
+        ?config:solver ~warm_depth prepared
   in
   let series =
     if Telemetry.Series.active () then
@@ -210,25 +210,178 @@ let prepare_sac ?name ?(max_depth = 32) ~spec ?(induction = false)
         (iface.Iface.circuit, monitor.Sac_monitor.prop));
   }
 
-let run_obligation ?portfolio ?certify ?solver ob =
-  run_bmc ?portfolio ?certify ?solver ob.ob_check ~max_depth:ob.ob_max_depth
-    ~induction:ob.ob_induction (prepare_engine ob)
+(* ---- the persistent verdict store ----
+
+   Policy layer over [Store]: the store library guarantees an entry is
+   intact (checksummed, version-matched, key- and fingerprint-exact);
+   this layer decides whether the verdict inside may be trusted, and it
+   never does so without certificate revalidation — a stored
+   counterexample must replay on the cycle-accurate simulator against a
+   freshly prepared instance, and a stored clean verdict is accepted only
+   when its clean frames were RUP-certified at the recorded depth.
+   Anything less degrades to a miss and a (certified) re-solve that
+   overwrites the entry.
+
+   Durable verdicts are certified verdicts: every store-mediated solve
+   runs with [~certify:true] regardless of the caller's flag, so the
+   entries written back always carry a replay- or RUP-backed
+   certificate. *)
+
+let m_store_hits = Telemetry.Counter.make "store.hits"
+let m_store_misses = Telemetry.Counter.make "store.misses"
+let m_store_revalidated = Telemetry.Counter.make "store.revalidated"
+let m_store_invalid = Telemetry.Counter.make "store.invalid"
+let m_store_warm = Telemetry.Counter.make "store.warm_starts"
+
+(* A hit's report is rebuilt from the entry; [wall] is the time this
+   process actually spent (prepare + lookup + revalidate), which is what
+   journals and the warm-speedup measurement want. The entry's original
+   solve time lives in [Store.e_wall]. *)
+let report_of_entry ~check ~key ~wall ~verdict ~certificate
+    (e : Store.entry) =
+  {
+    check;
+    verdict;
+    wall_time = wall;
+    bmc_frames = e.Store.e_frames;
+    aig_nodes = e.Store.e_aig_nodes;
+    aig_nodes_raw = e.Store.e_aig_nodes_raw;
+    reduce_stats = e.Store.e_reduce;
+    solver_stats = e.Store.e_solver;
+    certificate;
+    key;
+    winner = e.Store.e_winner;
+    series = [];
+  }
+
+(* Only fully certified, non-induction verdicts are durable: a [Bug] with
+   its replayed (shrunk) trace, or a clean bound with its RUP depth.
+   [Proved] verdicts come from the uncertified induction path and are
+   never stored. *)
+let entry_of_report ~fingerprint ~check (r : report) =
+  let base verdict cert =
+    Some
+      {
+        Store.e_key = r.key;
+        e_fingerprint = fingerprint;
+        e_check = check;
+        e_verdict = verdict;
+        e_cert = cert;
+        e_frames = r.bmc_frames;
+        e_aig_nodes = r.aig_nodes;
+        e_aig_nodes_raw = r.aig_nodes_raw;
+        e_winner = r.winner;
+        e_wall = r.wall_time;
+        e_reduce = r.reduce_stats;
+        e_solver = r.solver_stats;
+        e_created_s = Unix.gettimeofday ();
+      }
+  in
+  match (r.verdict, r.certificate) with
+  | Bug t, Replayed c -> base (Store.Bug t) (Store.Cert_replayed c)
+  | No_bug_up_to k, Rup_certified j -> base (Store.Clean k) (Store.Cert_rup j)
+  | (Bug _ | No_bug_up_to _ | Proved _), _ -> None
+
+(* Solve one non-induction obligation through the store. Returns
+   [(store_hit, report)]; [store_hit] is true only when the verdict was
+   answered from a revalidated entry without solving. *)
+let run_with_store store ?portfolio ?solver ob prepared =
+  let key = Bmc.Engine.prepared_key prepared in
+  let solver_label =
+    Bmc.Engine.config_label
+      (match solver with Some c -> c | None -> Bmc.Engine.default_config)
+  in
+  let config =
+    Store.config_fingerprint ~reduce:ob.ob_reduce ~sweep:ob.ob_sweep
+      ~certify:true ~solver_label
+  in
+  let fingerprint = Store.fingerprint ~config ~check:ob.ob_check in
+  let t0 = Unix.gettimeofday () in
+  let solve ?(warm_depth = 0) () =
+    let r =
+      run_bmc ?portfolio ~certify:true ?solver ~warm_depth ob.ob_check
+        ~max_depth:ob.ob_max_depth ~induction:false prepared
+    in
+    (match entry_of_report ~fingerprint ~check:ob.ob_check r with
+     | Some e -> Store.store store e
+     | None -> ());
+    r
+  in
+  let miss () =
+    Telemetry.Counter.incr m_store_misses;
+    (false, solve ())
+  in
+  let invalid_then_miss () =
+    Telemetry.Counter.incr m_store_invalid;
+    miss ()
+  in
+  let hit verdict certificate e =
+    Telemetry.Counter.incr m_store_hits;
+    Telemetry.Counter.incr m_store_revalidated;
+    ( true,
+      report_of_entry ~check:ob.ob_check ~key
+        ~wall:(Unix.gettimeofday () -. t0)
+        ~verdict ~certificate e )
+  in
+  let k = ob.ob_max_depth in
+  match Store.lookup store ~key ~fingerprint with
+  | None -> miss ()
+  | Some e -> (
+      match (e.Store.e_verdict, e.Store.e_cert) with
+      | Store.Bug t, Store.Cert_replayed _ -> (
+          let len = Bmc.Trace.length t in
+          (* Revalidate on the independent simulator against the freshly
+             prepared instance; only the exact final-cycle violation
+             confirms. *)
+          match Bmc.Engine.replay_prepared prepared t with
+          | Some c when c = len - 1 ->
+            if len <= k then hit (Bug t) (Replayed (len - 1)) e
+            else
+              (* The stored bug is beyond this bound. Entries come from
+                 certified searches, which RUP-check every clean frame on
+                 the way to the counterexample, so frames 1..len-1 — and a
+                 fortiori 1..k — are certified clean. *)
+              hit (No_bug_up_to k) (Rup_certified k) e
+          | Some _ | None -> invalid_then_miss ())
+      | Store.Clean d0, Store.Cert_rup j when j >= d0 ->
+        if d0 >= k then hit (No_bug_up_to k) (Rup_certified k) e
+        else begin
+          (* A deeper bound than the entry covers: resume the bounded
+             search from the stored clean depth instead of from reset. The
+             re-solve writes the deeper entry back. *)
+          Telemetry.Counter.incr m_store_warm;
+          match solve ~warm_depth:d0 () with
+          | r -> (false, r)
+          | exception Bmc.Engine.Warm_start_invalid _ -> invalid_then_miss ()
+        end
+      | (Store.Bug _ | Store.Clean _), _ ->
+        (* Certificate kind disagrees with the verdict: never trust it. *)
+        invalid_then_miss ())
+
+let run_obligation ?portfolio ?certify ?solver ?store ob =
+  match store with
+  | Some s when not ob.ob_induction ->
+    snd (run_with_store s ?portfolio ?solver ob (prepare_engine ob))
+  | Some _ | None ->
+    run_bmc ?portfolio ?certify ?solver ob.ob_check
+      ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction
+      (prepare_engine ob)
 
 let functional_consistency ?max_depth ?cnt_width ?shared ?lanes ?induction
-    ?portfolio ?certify ?solver ?reduce ?sweep build =
-  run_obligation ?portfolio ?certify ?solver
+    ?portfolio ?certify ?solver ?store ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver ?store
     (prepare_fc ?max_depth ?cnt_width ?shared ?lanes ?induction ?reduce ?sweep
        build)
 
 let response_bound ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
-    ?induction ?portfolio ?certify ?solver ?reduce ?sweep build =
-  run_obligation ?portfolio ?certify ?solver
+    ?induction ?portfolio ?certify ?solver ?store ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver ?store
     (prepare_rb ?max_depth ?cnt_width ~tau ?in_min ?starvation_bound
        ?induction ?reduce ?sweep build)
 
 let single_action ?max_depth ~spec ?induction ?portfolio ?certify ?solver
-    ?reduce ?sweep build =
-  run_obligation ?portfolio ?certify ?solver
+    ?store ?reduce ?sweep build =
+  run_obligation ?portfolio ?certify ?solver ?store
     (prepare_sac ?max_depth ~spec ?induction ?reduce ?sweep build)
 
 let found_bug r = match r.verdict with Bug _ -> true | No_bug_up_to _ | Proved _ -> false
@@ -239,16 +392,17 @@ let trace_length r =
   | No_bug_up_to _ | Proved _ -> None
 
 let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
-    ?(induction = false) ?portfolio ?certify ?solver ?reduce ?sweep build =
+    ?(induction = false) ?portfolio ?certify ?solver ?store ?reduce ?sweep
+    build =
   let fc =
     functional_consistency ?max_depth ?cnt_width ?shared ~induction ?portfolio
-      ?certify ?solver ?reduce ?sweep build
+      ?certify ?solver ?store ?reduce ?sweep build
   in
   if found_bug fc then [ fc ]
   else begin
     let rb =
       response_bound ?max_depth ?cnt_width ~tau ?in_min ~induction ?portfolio
-        ?certify ?solver ?reduce ?sweep build
+        ?certify ?solver ?store ?reduce ?sweep build
     in
     if found_bug rb then [ fc; rb ]
     else
@@ -257,7 +411,7 @@ let verify ?max_depth ?cnt_width ~tau ?in_min ?shared ?spec
       | Some spec ->
         [ fc; rb;
           single_action ?max_depth ~spec ~induction ?portfolio ?certify
-            ?solver ?reduce ?sweep build ]
+            ?solver ?store ?reduce ?sweep build ]
   end
 
 (* ---- the parallel batch driver ---- *)
@@ -287,12 +441,21 @@ type batch_result = {
    is the structural hash of the bit-blasted instance plus the solve
    parameters; [Parallel.Cache] is single-flight, so identical obligations
    landing on different workers at the same time still solve once. *)
-let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ob =
+let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store ob =
   let t0 = Unix.gettimeofday () in
+  (* Induction obligations bypass the store (their Proved verdicts come
+     from the uncertified induction path and cannot be cheaply
+     revalidated); every store-mediated solve is certified. *)
+  let store =
+    match store with Some s when not ob.ob_induction -> Some s | _ -> None
+  in
+  let certify = certify || store <> None in
   let cached, report =
-    match cache with
-    | None -> (false, run_obligation ?portfolio ~certify ?solver ob)
-    | Some c ->
+    match (cache, store) with
+    | None, None -> (false, run_obligation ?portfolio ~certify ?solver ob)
+    | None, Some s ->
+      run_with_store s ?portfolio ?solver ob (prepare_engine ob)
+    | Some c, _ ->
       (* One bit-blast serves both the key and (on a miss) the solve. The
          key is over the reduced graph, so preparations with different
          [reduce] settings never collide. Certified and uncertified runs
@@ -304,9 +467,22 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ob =
           (Bmc.Engine.prepared_key prepared)
           ob.ob_check ob.ob_max_depth ob.ob_induction certify
       in
-      Parallel.Cache.find_or_compute c key (fun () ->
-          run_bmc ?portfolio ~certify ?solver ob.ob_check
-            ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction prepared)
+      let store_hit = ref false in
+      let cached, report =
+        Parallel.Cache.find_or_compute c key (fun () ->
+            match store with
+            | None ->
+              run_bmc ?portfolio ~certify ?solver ob.ob_check
+                ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction
+                prepared
+            | Some s ->
+              let h, r = run_with_store s ?portfolio ?solver ob prepared in
+              store_hit := h;
+              r)
+      in
+      (* A store hit behind the in-process cache is still a cache answer
+         from the entry's point of view. *)
+      (cached || !store_hit, report)
   in
   {
     entry_name = ob.ob_name;
@@ -315,9 +491,12 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ob =
     entry_wall = Unix.gettimeofday () -. t0;
   }
 
-let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver obligations =
+let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver ?store
+    obligations =
   let t0 = Unix.gettimeofday () in
-  let solve ob = solve_obligation ?cache ?portfolio ?certify ?solver ob in
+  let solve ob =
+    solve_obligation ?cache ?portfolio ?certify ?solver ?store ob
+  in
   let entries, nworkers =
     match pool with
     | Some p -> (Parallel.Pool.map_list p solve obligations, Parallel.Pool.workers p)
@@ -330,9 +509,9 @@ let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver obligations =
      diff charges this batch for the other's lookups. Without a cache the
      pair stays 0/0, so printers keep eliding the cache summary. *)
   let batch_hits, batch_misses =
-    match cache with
-    | None -> (0, 0)
-    | Some _ ->
+    match (cache, store) with
+    | None, None -> (0, 0)
+    | _ ->
       List.fold_left
         (fun (h, m) e -> if e.entry_cached then (h + 1, m) else (h, m + 1))
         (0, 0) entries

@@ -71,6 +71,7 @@ val functional_consistency :
   ?portfolio:int ->
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -97,6 +98,7 @@ val response_bound :
   ?portfolio:int ->
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -110,6 +112,7 @@ val single_action :
   ?portfolio:int ->
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report
@@ -122,7 +125,12 @@ val single_action :
     selects the solver configuration — restart strategy, between-frame
     inprocessing, legacy baseline; every configuration returns the same
     verdict at the same depth, so it is a speed knob only (CLI
-    [--restarts] / [--no-inprocess]). *)
+    [--restarts] / [--no-inprocess]).
+
+    On every check, [store] (CLI [--store DIR]) consults the persistent
+    content-addressed verdict store before solving and writes the
+    (certified) result back after — see {!run_obligation} for the trust
+    model. *)
 
 val verify :
   ?max_depth:int ->
@@ -135,6 +143,7 @@ val verify :
   ?portfolio:int ->
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   ?reduce:bool ->
   ?sweep:bool ->
   (unit -> Iface.t) -> report list
@@ -202,9 +211,29 @@ val prepare_sac :
 
 val run_obligation :
   ?portfolio:int -> ?certify:bool -> ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   obligation -> report
 (** Solves one obligation on the calling domain (the sequential baseline
-    the batch driver is measured against). *)
+    the batch driver is measured against).
+
+    With [store], the persistent verdict store is consulted first, keyed
+    by {!Bmc.Engine.prepared_key} extended with a config fingerprint
+    ({!Store.fingerprint}: format version, check kind, reduce/sweep/
+    certify/solver options) — so a verdict is never reused across
+    configurations that could produce different reports. A hit is trusted
+    only after revalidation: a stored counterexample must replay on the
+    cycle-accurate simulator with the violation on its final cycle, and a
+    stored clean verdict must carry an RUP certificate at its recorded
+    depth. When the stored clean depth is shallower than [max_depth], the
+    search warm-starts from it ({!Bmc.Engine.check_prepared}
+    [~warm_depth]) instead of from reset; when it is deeper, the verdict
+    is clamped to the requested bound. Corrupted, version-skewed or
+    non-revalidating entries degrade to a miss and are overwritten by the
+    re-solve. Store-mediated solves always run [~certify:true] (durable
+    verdicts are certified verdicts); induction obligations bypass the
+    store. Traffic lands on the [store.hits] / [store.misses] /
+    [store.revalidated] / [store.invalid] / [store.warm_starts]
+    counters. *)
 
 type cache
 (** A concurrent obligation cache, keyed by {!Bmc.Engine.prepared_key}
@@ -240,6 +269,7 @@ val run_batch :
   ?portfolio:int ->
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
+  ?store:Store.t ->
   obligation list -> batch_result
 (** Fans the obligations across a worker pool. [pool] reuses an existing
     pool; otherwise a fresh one with [jobs] workers (default
@@ -249,9 +279,13 @@ val run_batch :
     sequential semantics on one worker domain. [portfolio] additionally
     races solver configurations {e within} each obligation — useful when
     obligations are few and cores are many. [solver] selects the per-solve
-    configuration; it is {e not} part of the cache key (all configurations
-    produce identical reports up to timing), so A/B measurements must
-    bypass the cache. *)
+    configuration; it is {e not} part of the in-process cache key (all
+    configurations produce identical reports up to timing), so A/B
+    measurements must bypass the cache. [store] threads the persistent
+    verdict store under every worker (and under the in-process cache, which
+    stays single-flight in front of it): unchanged obligations answer from
+    revalidated entries, changed ones — whose structural key differs — are
+    the only ones re-solved. A store hit counts as [entry_cached]. *)
 
 val batch_reports : batch_result -> report list
 

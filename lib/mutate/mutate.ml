@@ -504,7 +504,7 @@ let m_survived = Telemetry.Counter.make "mutate.survived"
 
 (* First-detection flow on one screened-in mutant: FC, then RB, then SAC —
    the order the paper's flow runs them — stopping at the first kill. *)
-let first_detection ?(max_depth = 12) ?(portfolio = 1) t m =
+let first_detection ?(max_depth = 12) ?(portfolio = 1) ?store t m =
   let detect (r : Aqed.Check.report) =
     match r.Aqed.Check.verdict with
     | Aqed.Check.Bug trace ->
@@ -518,14 +518,14 @@ let first_detection ?(max_depth = 12) ?(portfolio = 1) t m =
   in
   let fc =
     Aqed.Check.functional_consistency ~max_depth ?shared:t.shared ~portfolio
-      (mutant_build t.build m)
+      ?store (mutant_build t.build m)
   in
   let wall = ref fc.Aqed.Check.wall_time in
   match detect fc with
   | Some d -> (Killed d, !wall)
   | None -> (
       let rb =
-        Aqed.Check.response_bound ~max_depth ~tau:t.tau ~portfolio
+        Aqed.Check.response_bound ~max_depth ~tau:t.tau ~portfolio ?store
           (mutant_build t.build_rb m)
       in
       wall := !wall +. rb.Aqed.Check.wall_time;
@@ -536,7 +536,7 @@ let first_detection ?(max_depth = 12) ?(portfolio = 1) t m =
           | None -> (Survived, !wall)
           | Some spec -> (
               let sac =
-                Aqed.Check.single_action ~max_depth ~spec ~portfolio
+                Aqed.Check.single_action ~max_depth ~spec ~portfolio ?store
                   (mutant_build t.build m)
               in
               wall := !wall +. sac.Aqed.Check.wall_time;
@@ -544,7 +544,8 @@ let first_detection ?(max_depth = 12) ?(portfolio = 1) t m =
               | Some d -> (Killed d, !wall)
               | None -> (Survived, !wall))))
 
-let run ?ops ?(seed = 0) ?limit ?budget ?max_depth ?jobs ?pool ?portfolio t =
+let run ?ops ?(seed = 0) ?limit ?budget ?max_depth ?jobs ?pool ?portfolio
+    ?store t =
   let t0 = Telemetry.now_s () in
   let mutants = generate ?ops ~seed ?limit t in
   Telemetry.Counter.add m_generated (List.length mutants);
@@ -564,7 +565,9 @@ let run ?ops ?(seed = 0) ?limit ?budget ?max_depth ?jobs ?pool ?portfolio t =
           screen_wall = Telemetry.now_s () -. s0; checks_wall = 0. }
       | Distinct ->
         let screen_wall = Telemetry.now_s () -. s0 in
-        let status, checks_wall = first_detection ?max_depth ?portfolio t m in
+        let status, checks_wall =
+          first_detection ?max_depth ?portfolio ?store t m
+        in
         (match status with
          | Killed _ ->
            Telemetry.Counter.incr m_killed;

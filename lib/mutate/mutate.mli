@@ -148,12 +148,18 @@ val run :
   ?jobs:int ->
   ?pool:Parallel.Pool.t ->
   ?portfolio:int ->
+  ?store:Store.t ->
   target -> campaign
 (** Generates, screens and checks. Each mutant is screened and solved on a
     worker of [pool] (or a fresh pool of [jobs] workers, default 1);
     first-detection order is FC, then RB, then SAC (when [target.spec] is
     present), each bounded by [max_depth] (default 12). Progress streams
-    through {!Telemetry.Progress} as mutants complete. *)
+    through {!Telemetry.Progress} as mutants complete.
+
+    [store] threads the persistent verdict store under every mutant's
+    FC/RB/SAC checks (see {!Aqed.Check.run_obligation}): across repeated
+    campaigns — the nightly re-running the same seed — unchanged mutants'
+    obligations answer from revalidated entries instead of re-solving. *)
 
 (** {1 Accounting} *)
 

@@ -12,6 +12,12 @@
    - wall-time regression beyond [time_factor]x, when both sides are above
      the [min_seconds] noise floor and neither was a cache hit
                                             -> soft  (exit 1)
+   - config fingerprint mismatch (the two journals' meta records carry
+     different cache-relevant fingerprints: reduce/sweep/certify/solver
+     options) -> soft, and wall-time regressions are suppressed — timing
+     across different configs is not a like-for-like comparison. Verdict
+     and depth divergences still gate hard: every config must agree on
+     those.
    - anything else (incl. added/removed)    -> clean (exit 0)
 
    Mutation campaigns gate on kills: a mutant killed in A but surviving in
@@ -33,6 +39,8 @@ type finding =
   | Depth_divergence of pair
   | Time_regression of pair * float  (* observed factor *)
   | Kill_regression of mutant_pair
+  | Config_mismatch of string * string
+      (* distinct meta fingerprints A -> B; present at most once *)
 
 type result = {
   pairs : pair list;
@@ -45,7 +53,7 @@ type result = {
 
 let is_hard = function
   | Verdict_divergence _ | Depth_divergence _ | Kill_regression _ -> true
-  | Time_regression _ -> false
+  | Time_regression _ | Config_mismatch _ -> false
 
 let exit_code r =
   if List.exists is_hard r.findings then 2
@@ -69,8 +77,21 @@ let index obs =
     obs;
   tbl
 
+(* The journal's distinct nonempty config fingerprints, in a canonical
+   order. Pre-fingerprint journals contribute nothing, so comparisons
+   against them never flag (nothing to compare). *)
+let fingerprints (j : Journal.t) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (m : Journal.meta) ->
+         if m.Journal.fingerprint = "" then None
+         else Some m.Journal.fingerprint)
+       j.Journal.meta)
+
 let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
     (b : Journal.t) =
+  let fa = fingerprints a and fb = fingerprints b in
+  let config_mismatch = fa <> [] && fb <> [] && fa <> fb in
   let ia = index a.Journal.obligations
   and ib = index b.Journal.obligations in
   (* Deterministic traversal: A's obligations in file order drive the
@@ -116,7 +137,8 @@ let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
           let wa = p.p_a.Journal.ob_wall_s
           and wb = p.p_b.Journal.ob_wall_s in
           if
-            (not p.p_a.Journal.ob_cached)
+            (not config_mismatch)
+            && (not p.p_a.Journal.ob_cached)
             && (not p.p_b.Journal.ob_cached)
             && wa >= min_seconds && wb >= min_seconds
             && wb > wa *. time_factor
@@ -142,11 +164,16 @@ let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
         | _ -> None)
       b.Journal.mutants
   in
+  let cfg_findings =
+    if config_mismatch then
+      [ Config_mismatch (String.concat " | " fa, String.concat " | " fb) ]
+    else []
+  in
   {
     pairs;
     added;
     removed;
-    findings = ob_findings @ mu_findings;
+    findings = cfg_findings @ ob_findings @ mu_findings;
     time_factor;
     min_seconds;
   }
@@ -174,6 +201,11 @@ let pp_finding fmt = function
       m.m_b.Journal.mu_design m.m_b.Journal.mu_id
       (match m.m_a.Journal.mu_killed_by with Some c -> c | None -> "?")
       (match m.m_a.Journal.mu_kill_depth with Some d -> d | None -> 0)
+  | Config_mismatch (fa, fb) ->
+    Format.fprintf fmt
+      "soft config fingerprint differs: [%s] -> [%s]; wall-time \
+       comparisons suppressed"
+      fa fb
 
 let pp fmt r =
   Format.fprintf fmt

@@ -24,6 +24,10 @@ type meta = {
   jobs : int;
   seed : int;
   flags : string list;
+  fingerprint : string;
+      (* cache-relevant config fingerprint ({!Store.config_fingerprint}):
+         format version, reduce/sweep/certify, solver config label. "" in
+         journals written before it was recorded. *)
 }
 
 type reduce = {
@@ -104,7 +108,8 @@ let json_of_meta m =
       ("git_rev", Json.Str m.git_rev);
       ("jobs", Json.Int m.jobs);
       ("seed", Json.Int m.seed);
-      ("flags", Json.List (List.map (fun f -> Json.Str f) m.flags)) ]
+      ("flags", Json.List (List.map (fun f -> Json.Str f) m.flags));
+      ("fingerprint", Json.Str m.fingerprint) ]
 
 let json_of_reduce r =
   Json.Obj
@@ -204,6 +209,7 @@ let meta_of_json j =
       (match Json.member "flags" j with
        | Json.List xs -> List.map Json.to_str xs
        | _ -> []);
+    fingerprint = Json.str_or "" (Json.member "fingerprint" j);
   }
 
 let reduce_of_json j =

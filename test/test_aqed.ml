@@ -15,6 +15,7 @@ let () =
       Test_io.suite;
       Test_batch.suite;
       Test_check.suite;
+      Test_store.suite;
       Test_monitors.suite;
       Test_hls.suite;
       Test_accel.suite;

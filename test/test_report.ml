@@ -172,6 +172,12 @@ let mu ?(status = "killed") ?(killed_by = Some "FC") ?(kill_depth = Some 4) id =
 let jt ?(obs = []) ?(mutants = []) path =
   { Jr.path; meta = []; obligations = obs; mutants }
 
+let jmeta fingerprint =
+  {
+    Jr.created_s = 0.; command = "verify"; design = "d"; git_rev = "";
+    jobs = 1; seed = 0; flags = []; fingerprint;
+  }
+
 let test_compare_clean () =
   let a = jt "a" ~obs:[ ob () ] and b = jt "b" ~obs:[ ob () ] in
   let r = C.run a b in
@@ -287,6 +293,38 @@ let test_compare_prefers_uncached () =
       p.C.p_a.Jr.ob_wall_s
   | _ -> Alcotest.fail "expected one pair"
 
+let test_compare_config_mismatch () =
+  let with_fp fp j = { j with Jr.meta = [ jmeta fp ] } in
+  let a = with_fp "v1;reduce=true" (jt "a" ~obs:[ ob ~wall:0.1 () ]) in
+  (* Different fingerprints: the mismatch is soft and the (large) wall-time
+     delta is suppressed — not a like-for-like comparison. *)
+  let b = with_fp "v1;reduce=false" (jt "b" ~obs:[ ob ~wall:0.35 () ]) in
+  let r = C.run a b in
+  Alcotest.(check int) "mismatch is soft" 1 (C.exit_code r);
+  (match r.C.findings with
+   | [ (C.Config_mismatch _ as f) ] ->
+     let msg = Format.asprintf "%a" C.pp_finding f in
+     Alcotest.(check bool) "explains suppression" true
+       (contains msg "suppressed")
+   | _ -> Alcotest.fail "expected only the config mismatch");
+  (* Verdict divergence still gates hard across configs. *)
+  let b2 =
+    with_fp "v1;reduce=false" (jt "b" ~obs:[ ob ~verdict:"bug" ~depth:5 () ])
+  in
+  Alcotest.(check int) "verdicts gate across configs" 2
+    (C.exit_code (C.run a b2));
+  (* Equal fingerprints: time regressions flag as before. *)
+  let b3 = with_fp "v1;reduce=true" (jt "b" ~obs:[ ob ~wall:0.35 () ]) in
+  (match (C.run a b3).C.findings with
+   | [ C.Time_regression _ ] -> ()
+   | _ -> Alcotest.fail "expected a time regression under equal configs");
+  (* A pre-fingerprint journal (empty meta fingerprint) never flags a
+     mismatch — there is nothing to compare. *)
+  let b4 = with_fp "" (jt "b" ~obs:[ ob ~wall:0.35 () ]) in
+  match (C.run a b4).C.findings with
+  | [ C.Time_regression _ ] -> ()
+  | _ -> Alcotest.fail "expected a time regression vs legacy journal"
+
 (* ---- HTML dashboard ---- *)
 
 let test_html_golden () =
@@ -348,6 +386,8 @@ let suite =
         test_compare_added_removed;
       Alcotest.test_case "compare: prefers uncached record" `Quick
         test_compare_prefers_uncached;
+      Alcotest.test_case "compare: config fingerprint mismatch" `Quick
+        test_compare_config_mismatch;
       Alcotest.test_case "html golden render" `Quick test_html_golden;
       Alcotest.test_case "html is self-contained" `Quick
         test_html_self_contained;
