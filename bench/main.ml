@@ -1197,6 +1197,216 @@ let print_store ~jobs () =
        ]);
   rm_rf dir
 
+(* ---- verification service daemon ---- *)
+
+(* The service-mode counterpart of the store bench (DESIGN.md §16): the
+   same obligation suite solved once directly (cold — populating a shared
+   verdict store), then submitted by N concurrent clients to an
+   in-process [Serve] daemon sharing that store.
+
+   Gates (any failure exits 1):
+     parity   — every served verdict/depth matches the direct run;
+     warm     — every served job answers from the store (ob_cached);
+     speedup  — the concurrent served leg beats the direct cold leg by
+                serve_speedup_floor (store hits dominate IPC overhead);
+     timeout  — a deep AES job with a sub-second deadline comes back as
+                a typed timeout, and the daemon completes a further job
+                on the same pool afterwards;
+     drain    — the summary accounts every accepted job.
+
+   AQED_SERVE_STORE overrides the store directory (the nightly points it
+   at the cached vstore/). On a carried-over store the direct leg itself
+   answers warm, so the speedup floor only applies when the direct leg
+   solved everything fresh — parity and all-hits are gated regardless. *)
+let serve_speedup_floor = 5.0
+
+let print_serve ~jobs () =
+  pf "\n== Verification service (N concurrent clients vs direct, warm store) ==\n";
+  let dir, persistent =
+    match Sys.getenv_opt "AQED_SERVE_STORE" with
+    | Some d -> (d, true)
+    | None ->
+      ( Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "aqed_bench_serve.%d" (Unix.getpid ())),
+        false )
+  in
+  if not persistent then rm_rf dir;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aqed_bench_serve.%d.sock" (Unix.getpid ()))
+  in
+  let store = Store.open_store dir in
+  let suite () = store_suite ~dirty_bug:false () in
+  let names = List.map fst (suite ()) in
+  (* Direct baseline: the cold leg. Fills the store the daemon shares. *)
+  let direct = Aqed.Check.run_batch ~jobs ~store (List.map snd (suite ())) in
+  let verdict_sig (r : Aqed.Check.report) =
+    match r.Aqed.Check.verdict with
+    | Aqed.Check.Bug t -> Printf.sprintf "bug@%d" (Bmc.Trace.length t)
+    | Aqed.Check.No_bug_up_to k -> Printf.sprintf "clean@%d" k
+    | Aqed.Check.Proved k -> Printf.sprintf "proved@%d" k
+  in
+  let resolve (spec : Serve.job_spec) =
+    match List.assoc_opt spec.Serve.sj_design (suite ()) with
+    | Some ob -> Ok (spec.Serve.sj_design, ob)
+    | None ->
+      if spec.Serve.sj_design = "aes-deep" then
+        Ok
+          ( "aes-deep",
+            Aqed.Check.prepare_fc ~name:"aes-deep/FC"
+              ~max_depth:spec.Serve.sj_depth ~shared:Accel.Aes.shared_key
+              (fun () -> Accel.Aes.build ()) )
+      else Error (Printf.sprintf "unknown bench design %S" spec.Serve.sj_design)
+  in
+  let srv =
+    Serve.start
+      (Serve.config ~store ~workers:(max 1 jobs) ~job_timeout_s:120.
+         ~resolve socket)
+  in
+  (* Served leg: one client thread per obligation, all concurrent. *)
+  let n = List.length names in
+  let outcomes = Array.make n None in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.mapi
+      (fun i name ->
+        Thread.create
+          (fun () ->
+            let r =
+              try
+                let c = Serve.Client.connect socket in
+                let r = Serve.Client.submit c (Serve.job_spec name) in
+                Serve.Client.close c;
+                r
+              with e -> Serve.Client.Refused (Printexc.to_string e)
+            in
+            outcomes.(i) <- Some r)
+          ())
+      names
+  in
+  List.iter Thread.join threads;
+  let serve_wall = Unix.gettimeofday () -. t0 in
+  (* Robustness: a deep job against a sub-second deadline must come back
+     as a typed timeout, then the same daemon must still complete work. *)
+  let timeout_ok, revive_ok =
+    let c = Serve.Client.connect socket in
+    let t =
+      Serve.Client.submit c
+        (Serve.job_spec ~depth:24 ~timeout_s:0.3 "aes-deep")
+    in
+    let timeout_ok =
+      match t with Serve.Client.Timed_out _ -> true | _ -> false
+    in
+    let revive_ok =
+      match Serve.Client.submit c (Serve.job_spec "fig2/FC") with
+      | Serve.Client.Completed _ -> true
+      | _ -> false
+    in
+    Serve.Client.close c;
+    (timeout_ok, revive_ok)
+  in
+  Serve.stop srv;
+  let sm = Serve.wait srv in
+  pf "%s\n" (line 80);
+  pf "%-24s %-10s %-10s | %8s %8s hit\n" "obligation" "direct" "served"
+    "direct(s)" "served(s)";
+  pf "%s\n" (line 80);
+  let parity = ref true and warm_all_hits = ref true in
+  let rows =
+    List.map
+      (fun ((name, (d : Aqed.Check.batch_entry)), outcome) ->
+        let vd = verdict_sig d.Aqed.Check.entry_report in
+        let vs, ws, hit =
+          match outcome with
+          | Some (Serve.Client.Completed (_, wall, ob)) ->
+            ( Printf.sprintf "%s@%d" ob.Report.Journal.ob_verdict
+                ob.Report.Journal.ob_depth,
+              wall, ob.Report.Journal.ob_cached )
+          | Some (Serve.Client.Timed_out (_, wall)) -> ("timeout", wall, false)
+          | Some (Serve.Client.Busy _) -> ("busy", 0., false)
+          | Some (Serve.Client.Refused m) -> ("refused:" ^ m, 0., false)
+          | None -> ("no reply", 0., false)
+        in
+        if vd <> vs then parity := false;
+        if not hit then warm_all_hits := false;
+        pf "%-24s %-10s %-10s | %8.3f %8.3f %-3s%s\n" name vd vs
+          d.Aqed.Check.entry_wall ws
+          (if hit then "yes" else "NO")
+          (if vd = vs then "" else "  << VERDICT MISMATCH");
+        Obj
+          [
+            ("name", Str name);
+            ("verdict_direct", Str vd);
+            ("verdict_served", Str vs);
+            ("wall_s_direct", Num d.Aqed.Check.entry_wall);
+            ("wall_s_served", Num ws);
+            ("served_hit", Bool hit);
+          ])
+      (List.combine
+         (List.combine names direct.Aqed.Check.entries)
+         (Array.to_list outcomes))
+  in
+  pf "%s\n" (line 80);
+  let speedup =
+    if serve_wall > 0. then direct.Aqed.Check.batch_wall /. serve_wall else 0.
+  in
+  (* n suite jobs + the timeout probe + its revival job, all accepted. *)
+  let drain_ok =
+    sm.Serve.sm_accepted = n + 2
+    && sm.Serve.sm_completed = n + 1
+    && sm.Serve.sm_timeouts = 1
+    && sm.Serve.sm_rejected = 0
+    && sm.Serve.sm_errors = 0
+  in
+  let direct_all_fresh =
+    List.for_all
+      (fun (e : Aqed.Check.batch_entry) -> not e.Aqed.Check.entry_cached)
+      direct.Aqed.Check.entries
+  in
+  let speedup_ok =
+    (not direct_all_fresh) || speedup >= serve_speedup_floor
+  in
+  let ok =
+    !parity && !warm_all_hits && timeout_ok && revive_ok && drain_ok
+    && speedup_ok
+  in
+  if not ok then bench_failed := true;
+  pf "direct %s %.3fs, served warm %.3fs (%d clients) — %.1fx speedup (floor %.1fx%s)%s\n"
+    (if direct_all_fresh then "cold" else "warm")
+    direct.Aqed.Check.batch_wall serve_wall n speedup serve_speedup_floor
+    (if direct_all_fresh then "" else ", waived: direct leg answered warm")
+    (if ok then ""
+     else "  (FAILURE: parity, warm hit, timeout, drain or speedup floor)");
+  pf "timeout probe: %s; post-timeout job: %s\n"
+    (if timeout_ok then "typed timeout" else "NOT A TIMEOUT")
+    (if revive_ok then "completed" else "FAILED");
+  pf "drain: %d accepted, %d completed, %d timeouts, %d rejected, %d errors\n"
+    sm.Serve.sm_accepted sm.Serve.sm_completed sm.Serve.sm_timeouts
+    sm.Serve.sm_rejected sm.Serve.sm_errors;
+  record "serve"
+    (Obj
+       [
+         ("parity", Bool !parity);
+         ("warm_all_hits", Bool !warm_all_hits);
+         ("timeout_typed", Bool timeout_ok);
+         ("post_timeout_completed", Bool revive_ok);
+         ("drain_ok", Bool drain_ok);
+         ("clients", Int n);
+         ("wall_s_direct", Num direct.Aqed.Check.batch_wall);
+         ("wall_s_served", Num serve_wall);
+         ("speedup", Num speedup);
+         ("speedup_floor", Num serve_speedup_floor);
+         ("direct_all_fresh", Bool direct_all_fresh);
+         ("speedup_ok", Bool speedup_ok);
+         ("accepted", Int sm.Serve.sm_accepted);
+         ("completed", Int sm.Serve.sm_completed);
+         ("timeouts", Int sm.Serve.sm_timeouts);
+         ("rejected", Int sm.Serve.sm_rejected);
+         ("errors", Int sm.Serve.sm_errors);
+         ("rows", Arr rows);
+       ]);
+  if not persistent then rm_rf dir
+
 (* ---- mutation campaign ---- *)
 
 (* The generated-faults counterpart of Table 1 (EXPERIMENTS.md E7): instead
@@ -1627,6 +1837,7 @@ let () =
        | "sat" -> print_sat ()
        | "overhead" -> print_overhead ()
        | "store" -> print_store ~jobs ()
+       | "serve" -> print_serve ~jobs ()
        | "mutate" -> print_mutate ~jobs ()
        | "kernels" -> print_kernels ()
        | "ablate" -> print_ablations ()
@@ -1635,10 +1846,11 @@ let () =
          print_table2 ~jobs ~portfolio (); print_fig2 ();
          print_reduce (); print_certify (); print_sat ();
          print_store ~jobs ();
+         print_serve ~jobs ();
          print_mutate ~jobs ();
          print_ablations (); print_kernels ()
        | other ->
-         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat overhead store mutate kernels ablate all)\n"
+         pf "unknown bench target %S (try: table1 fig5 table2 fig2 reduce certify sat overhead store serve mutate kernels ablate all)\n"
            other);
       record ("wall_s_" ^ t) (Num (Unix.gettimeofday () -. t1)))
     targets;

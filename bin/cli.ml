@@ -10,6 +10,9 @@
      aqed_cli sim -d aes -n 5              quick transaction-level run
      aqed_cli sat file.cnf                 solve a DIMACS instance
      aqed_cli store {stats,gc,verify} DIR  verdict-store maintenance
+     aqed_cli serve --socket P [-j N]      verification service daemon
+     aqed_cli submit --socket P -d aes     queue one job on a daemon
+     aqed_cli status --socket P            one daemon status line
 
    Incremental re-verification (check, verify and mutate): --store DIR
    consults a persistent content-addressed verdict store before solving
@@ -542,8 +545,9 @@ let cmd_store_gc dir max_bytes max_entries =
   if max_bytes = None && max_entries = None then
     failwith "store gc: give --max-bytes and/or --max-entries";
   let r = Store.gc ?max_bytes ?max_entries (Store.open_store dir) in
-  Printf.printf "store %s: kept %d, removed %d, %d bytes\n" dir
-    r.Store.gc_kept r.Store.gc_removed r.Store.gc_bytes;
+  Printf.printf "store %s: kept %d, removed %d, %d bytes, %d tmp orphans\n"
+    dir r.Store.gc_kept r.Store.gc_removed r.Store.gc_bytes
+    r.Store.gc_tmp_removed;
   0
 
 let cmd_store_verify dir =
@@ -564,6 +568,123 @@ let cmd_store_verify dir =
   Printf.printf "store %s: %d entries, %d invalid\n" dir (List.length items)
     !bad;
   if !bad = 0 then 0 else 1
+
+(* ---- verification service (serve / submit / status) ---- *)
+
+(* The daemon-side job resolver: maps a wire job spec onto the design
+   registry, producing the journal design label and a prepared-able
+   obligation. Every failure is an [Error] that becomes a typed error
+   frame for the submitting client — never an exception in the daemon. *)
+let resolve_job (spec : Serve.job_spec) =
+  match
+    let d = find_design spec.Serve.sj_design in
+    let bug = spec.Serve.sj_bug in
+    let depth = spec.Serve.sj_depth in
+    let ob =
+      match String.lowercase_ascii spec.Serve.sj_check with
+      | "fc" ->
+        Aqed.Check.prepare_fc ~max_depth:depth ?shared:d.shared
+          (fun () -> d.build ?bug ())
+      | "rb" ->
+        Aqed.Check.prepare_rb ~max_depth:depth ~tau:d.tau
+          (fun () -> d.build_rb ?bug ())
+      | "sac" -> (
+          match d.spec with
+          | Some spec_fn ->
+            Aqed.Check.prepare_sac ~max_depth:depth ~spec:spec_fn
+              (fun () -> d.build ?bug ())
+          | None -> failwith "this design has no registered SAC spec")
+      | other ->
+        failwith (Printf.sprintf "unknown check %s (fc|rb|sac)" other)
+    in
+    (* Validate the bug name now, on the daemon's request path, so a typo
+       is a typed rejection instead of a solve-time failure on a worker. *)
+    ignore (d.build ?bug ());
+    (design_label d bug, ob)
+  with
+  | v -> Ok v
+  | exception Failure m -> Error m
+
+let cmd_serve socket store_dir jobs capacity timeout idle journal =
+  let store = Option.map Store.open_store store_dir in
+  let journal =
+    Option.map
+      (fun path ->
+        let fingerprint =
+          config_fp ~reduce:true ~sweep:false ~certify:false
+            ~solver:Bmc.Engine.default_config ~store
+        in
+        ( path,
+          journal_meta ~command:"serve" ~design:"serve" ~jobs ~seed:0
+            ~fingerprint ))
+      journal
+  in
+  let cfg =
+    Serve.config ?store ~workers:(max 1 jobs) ~capacity
+      ~job_timeout_s:timeout ~idle_timeout_s:idle ?journal
+      ~resolve:resolve_job socket
+  in
+  let srv = Serve.start cfg in
+  let drain _ = Serve.stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+  Printf.eprintf "serve: listening on %s (%d workers, capacity %d)\n%!"
+    socket cfg.Serve.workers cfg.Serve.capacity;
+  let s = Serve.wait srv in
+  Printf.printf
+    "serve: drained — %d accepted, %d completed, %d timeouts, %d rejected, \
+     %d errors\n"
+    s.Serve.sm_accepted s.Serve.sm_completed s.Serve.sm_timeouts
+    s.Serve.sm_rejected s.Serve.sm_errors;
+  0
+
+let connect_client socket =
+  try Serve.Client.connect socket
+  with Unix.Unix_error (e, _, _) ->
+    failwith
+      (Printf.sprintf "cannot connect to %s: %s" socket
+         (Unix.error_message e))
+
+let cmd_submit socket design bug check depth certify timeout =
+  let c = connect_client socket in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  let spec =
+    Serve.job_spec ?bug ~check ~depth ~certify ?timeout_s:timeout design
+  in
+  match Serve.Client.submit c spec with
+  | Serve.Client.Completed (job, wall, o) ->
+    Printf.printf "job %d: %s/%s %s %s@%d%s (%.3fs server wall)%s\n" job
+      o.Report.Journal.ob_design o.Report.Journal.ob_name
+      o.Report.Journal.ob_check o.Report.Journal.ob_verdict
+      o.Report.Journal.ob_depth
+      (if o.Report.Journal.ob_certificate = "none" then ""
+       else " [" ^ o.Report.Journal.ob_certificate ^ "]")
+      wall
+      (if o.Report.Journal.ob_cached then " (cached)" else "");
+    if o.Report.Journal.ob_verdict = "bug" && not certify then 1 else 0
+  | Serve.Client.Timed_out (job, wall) ->
+    Printf.eprintf "job %d: TIMEOUT after %.3fs\n" job wall;
+    2
+  | Serve.Client.Busy (active, capacity) ->
+    Printf.eprintf "busy: %d/%d jobs in flight, retry later\n" active
+      capacity;
+    2
+  | Serve.Client.Refused msg -> failwith msg
+
+let cmd_status socket =
+  let c = connect_client socket in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  let j = Serve.Client.status c in
+  let i k = Report.Json.int_or 0 (Report.Json.member k j) in
+  Printf.printf
+    "serve %s: %d active (%d queued) of %d capacity; %d accepted, %d \
+     completed, %d timeouts, %d rejected, %d errors%s\n"
+    socket (i "active") (i "queued") (i "capacity") (i "accepted")
+    (i "completed") (i "timeouts") (i "rejected") (i "errors")
+    (if Report.Json.bool_or false (Report.Json.member "draining" j) then
+       " (draining)"
+     else "");
+  0
 
 let cmd_sat certify path =
   let cnf = Sat.Dimacs.parse_file path in
@@ -908,6 +1029,69 @@ let sat_cmd =
   Cmd.v (Cmd.info "sat" ~doc:"Solve a DIMACS CNF with the built-in CDCL solver")
     Term.(const (fun cert p -> wrap (fun () -> cmd_sat cert p)) $ certify $ path)
 
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the verification service.")
+
+let serve_cmd =
+  let capacity =
+    Arg.(value & opt int 32
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Maximum accepted-but-unfinished jobs; submits beyond it \
+                   get a typed busy reply instead of queueing without \
+                   bound.")
+  in
+  let timeout =
+    Arg.(value & opt float 300.
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Default per-job wall-clock deadline in seconds; a job \
+                   that exceeds it is cooperatively cancelled and answered \
+                   with a typed timeout frame (the worker pool survives).")
+  in
+  let idle =
+    Arg.(value & opt float 30.
+         & info [ "idle-timeout" ] ~docv:"S"
+             ~doc:"Close a connection after $(docv) seconds without a \
+                   request.")
+  in
+  let run socket store jobs capacity timeout idle journal =
+    wrap (fun () ->
+        cmd_serve socket store jobs capacity timeout idle journal)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the verification service daemon: accept jobs over a \
+             Unix-domain socket, solve them on a shared worker pool (and \
+             shared verdict store with $(b,--store)), drain gracefully on \
+             SIGTERM/SIGINT")
+    Term.(const run $ socket_arg $ store_arg $ jobs_arg $ capacity $ timeout
+          $ idle $ journal_arg)
+
+let submit_cmd =
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Per-job wall-clock deadline, overriding the daemon's \
+                   default.")
+  in
+  let run socket d b c k certify timeout =
+    wrap (fun () -> cmd_submit socket d b c k certify timeout)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Queue one check on a running verification service and wait \
+             for its verdict (exit code 1 when a bug is found, 2 on \
+             timeout, busy or error)")
+    Term.(const run $ socket_arg $ design_arg $ bug_arg $ check_arg
+          $ depth_arg $ certify_arg $ timeout)
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print one status line from a running \
+                             verification service")
+    Term.(const (fun s -> wrap (fun () -> cmd_status s)) $ socket_arg)
+
 let run ~argv () =
   current_argv := argv;
   let info =
@@ -917,4 +1101,4 @@ let run ~argv () =
   Cmd.eval' ~argv
     (Cmd.group info
        [ list_cmd; check_cmd; verify_cmd; mutate_cmd; sim_cmd; sat_cmd;
-         report_cmd; store_cmd ])
+         report_cmd; store_cmd; serve_cmd; submit_cmd; status_cmd ])

@@ -539,7 +539,10 @@ let bounded_search ?(certify = None) ?(warm = 0) rel ~name ~max_depth
     else begin
       Telemetry.Progress.tick (fun () ->
           Printf.sprintf "bmc %s: frame %d/%d" name depth max_depth);
-      Telemetry.Series.sample (fun () ->
+      (* Forced: a frame is a whole SAT solve, so one point per frame is
+         cheap and guarantees fast obligations still chart their depth
+         progression instead of an empty series. *)
+      Telemetry.Series.sample ~force:true (fun () ->
           [ ("bmc.depth", float_of_int depth) ]);
       let tf = Unix.gettimeofday () in
       let binding =
@@ -625,8 +628,24 @@ let bounded_search ?(certify = None) ?(warm = 0) rel ~name ~max_depth
    order, so the winning outcome and counterexample depth are the same
    whichever configuration lands first — only the solver statistics and
    wall time depend on the race. *)
-let race_portfolio configs run =
+let race_portfolio ?ext_cancel configs run =
   let cancel = Atomic.make false in
+  (* An external cancellation flag (per-job timeout in the serve daemon)
+     must reach the racing members, which poll only the race's own flag. A
+     cheap bridge domain forwards it; the race flag is never written back
+     to the caller's, so a shared external flag stays untouched when a
+     winner trips the internal one. *)
+  let stop_bridge = Atomic.make false in
+  let bridge =
+    Option.map
+      (fun ext ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop_bridge) do
+              if Atomic.get ext then Atomic.set cancel true;
+              Unix.sleepf 0.002
+            done))
+      ext_cancel
+  in
   let lock = Mutex.create () in
   let winner = ref None in
   let error = ref None in
@@ -661,10 +680,18 @@ let race_portfolio configs run =
       configs
   in
   List.iter Domain.join domains;
+  Atomic.set stop_bridge true;
+  Option.iter Domain.join bridge;
   match (!winner, !error) with
   | Some r, _ -> r
   | None, Some e -> raise e
-  | None, None -> failwith "Bmc.race_portfolio: no member finished"
+  | None, None ->
+    (* Every member unwound on the race flag. When the external flag is
+       the reason, surface the cooperative-cancellation exception the
+       caller is waiting for rather than an internal error. *)
+    if match ext_cancel with Some f -> Atomic.get f | None -> false then
+      raise Solver.Cancelled
+    else failwith "Bmc.race_portfolio: no member finished"
 
 (* ---- prepared obligations ---- *)
 
@@ -745,7 +772,7 @@ let replay_prepared p trace =
   Trace.replay_result sim trace p.prepared_prop
 
 let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
-    ?(certify = false) ?(config = default_config) ?(warm_depth = 0) p =
+    ?(certify = false) ?(config = default_config) ?(warm_depth = 0) ?cancel p =
   (* Temporal decomposition rides the [reduce] switch: with reduction off the
      engine must encode exactly the raw relation (that is the --no-reduce
      contract the A/B regression leans on). The chain below is rooted at
@@ -772,8 +799,11 @@ let check_prepared ?(max_depth = 64) ?(trace_regs = true) ?(portfolio = 1)
     bounded_search ~certify ~warm p.rel ~name:p.prepared_name ~max_depth
       ~trace_regs ~frame_consts ~config ~cancel
   in
-  if portfolio <= 1 then run ~config ~cancel:None
-  else race_portfolio (portfolio_configs ~base:config portfolio) run
+  if portfolio <= 1 then run ~config ~cancel
+  else
+    race_portfolio ?ext_cancel:cancel
+      (portfolio_configs ~base:config portfolio)
+      run
 
 let check ?max_depth ?trace_regs ?portfolio ?certify ?config ?(reduce = true)
     ?(sweep = false) circuit ~prop =

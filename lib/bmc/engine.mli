@@ -184,7 +184,7 @@ val prepared_stats : prepared -> Logic.Reduce.stats option
 
 val check_prepared :
   ?max_depth:int -> ?trace_regs:bool -> ?portfolio:int -> ?certify:bool ->
-  ?config:solver_config -> ?warm_depth:int ->
+  ?config:solver_config -> ?warm_depth:int -> ?cancel:bool Atomic.t ->
   prepared -> report
 (** Bounded search from reset. When the prepared relation was reduced, the
     search also applies temporal decomposition
@@ -211,7 +211,15 @@ val check_prepared :
     inside the prefix raises {!Warm_start_invalid} rather than masking a
     bug. Under [certify], the returned [Rup_certified] covers the frames
     this run solved, conditional on the stored certificate for the
-    prefix. *)
+    prefix.
+
+    [cancel] is an external cooperative stop flag (e.g. a job timeout):
+    when it flips to [true] the in-flight SAT solve unwinds and the call
+    raises {!Sat.Solver.Cancelled}. Sequentially the flag is polled inside
+    the CDCL loop; a portfolio bridges it onto the internal race flag from
+    a monitor domain. The flag is only read, never written — a portfolio
+    win cancels losers through its own internal flag, so a caller-shared
+    [cancel] is not tripped by normal completion. *)
 
 val prove_prepared : ?max_depth:int -> prepared -> report
 (** The prepared value must come from [prepare ~induction:true]. *)

@@ -39,7 +39,7 @@ let m_bugs = Telemetry.Counter.make "check.bugs"
    and reduced) relation, so preparing once serves both the cache key and
    the solve. *)
 let run_bmc ?(portfolio = 1) ?(certify = false) ?solver ?(warm_depth = 0)
-    name ~max_depth ~induction prepared =
+    ?cancel name ~max_depth ~induction prepared =
   Telemetry.Counter.incr m_obligations;
   Telemetry.Span.with_ "check"
     ~args:
@@ -71,7 +71,7 @@ let run_bmc ?(portfolio = 1) ?(certify = false) ?solver ?(warm_depth = 0)
     if induction then Bmc.Engine.prove_prepared ~max_depth prepared
     else
       Bmc.Engine.check_prepared ~max_depth ~portfolio ~certify
-        ?config:solver ~warm_depth prepared
+        ?config:solver ~warm_depth ?cancel prepared
   in
   let series =
     if Telemetry.Series.active () then
@@ -285,7 +285,7 @@ let entry_of_report ~fingerprint ~check (r : report) =
 (* Solve one non-induction obligation through the store. Returns
    [(store_hit, report)]; [store_hit] is true only when the verdict was
    answered from a revalidated entry without solving. *)
-let run_with_store store ?portfolio ?solver ob prepared =
+let run_with_store store ?portfolio ?solver ?cancel ob prepared =
   let key = Bmc.Engine.prepared_key prepared in
   let solver_label =
     Bmc.Engine.config_label
@@ -299,8 +299,8 @@ let run_with_store store ?portfolio ?solver ob prepared =
   let t0 = Unix.gettimeofday () in
   let solve ?(warm_depth = 0) () =
     let r =
-      run_bmc ?portfolio ~certify:true ?solver ~warm_depth ob.ob_check
-        ~max_depth:ob.ob_max_depth ~induction:false prepared
+      run_bmc ?portfolio ~certify:true ?solver ~warm_depth ?cancel
+        ob.ob_check ~max_depth:ob.ob_max_depth ~induction:false prepared
     in
     (match entry_of_report ~fingerprint ~check:ob.ob_check r with
      | Some e -> Store.store store e
@@ -358,12 +358,12 @@ let run_with_store store ?portfolio ?solver ob prepared =
         (* Certificate kind disagrees with the verdict: never trust it. *)
         invalid_then_miss ())
 
-let run_obligation ?portfolio ?certify ?solver ?store ob =
+let run_obligation ?portfolio ?certify ?solver ?store ?cancel ob =
   match store with
   | Some s when not ob.ob_induction ->
-    snd (run_with_store s ?portfolio ?solver ob (prepare_engine ob))
+    snd (run_with_store s ?portfolio ?solver ?cancel ob (prepare_engine ob))
   | Some _ | None ->
-    run_bmc ?portfolio ?certify ?solver ob.ob_check
+    run_bmc ?portfolio ?certify ?solver ?cancel ob.ob_check
       ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction
       (prepare_engine ob)
 
@@ -441,7 +441,8 @@ type batch_result = {
    is the structural hash of the bit-blasted instance plus the solve
    parameters; [Parallel.Cache] is single-flight, so identical obligations
    landing on different workers at the same time still solve once. *)
-let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store ob =
+let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store
+    ?cancel ob =
   let t0 = Unix.gettimeofday () in
   (* Induction obligations bypass the store (their Proved verdicts come
      from the uncertified induction path and cannot be cheaply
@@ -452,9 +453,10 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store ob =
   let certify = certify || store <> None in
   let cached, report =
     match (cache, store) with
-    | None, None -> (false, run_obligation ?portfolio ~certify ?solver ob)
+    | None, None ->
+      (false, run_obligation ?portfolio ~certify ?solver ?cancel ob)
     | None, Some s ->
-      run_with_store s ?portfolio ?solver ob (prepare_engine ob)
+      run_with_store s ?portfolio ?solver ?cancel ob (prepare_engine ob)
     | Some c, _ ->
       (* One bit-blast serves both the key and (on a miss) the solve. The
          key is over the reduced graph, so preparations with different
@@ -472,11 +474,13 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store ob =
         Parallel.Cache.find_or_compute c key (fun () ->
             match store with
             | None ->
-              run_bmc ?portfolio ~certify ?solver ob.ob_check
+              run_bmc ?portfolio ~certify ?solver ?cancel ob.ob_check
                 ~max_depth:ob.ob_max_depth ~induction:ob.ob_induction
                 prepared
             | Some s ->
-              let h, r = run_with_store s ?portfolio ?solver ob prepared in
+              let h, r =
+                run_with_store s ?portfolio ?solver ?cancel ob prepared
+              in
               store_hit := h;
               r)
       in
@@ -491,11 +495,11 @@ let solve_obligation ?cache ?portfolio ?(certify = false) ?solver ?store ob =
     entry_wall = Unix.gettimeofday () -. t0;
   }
 
-let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver ?store
+let run_batch ?jobs ?pool ?cache ?portfolio ?certify ?solver ?store ?cancel
     obligations =
   let t0 = Unix.gettimeofday () in
   let solve ob =
-    solve_obligation ?cache ?portfolio ?certify ?solver ?store ob
+    solve_obligation ?cache ?portfolio ?certify ?solver ?store ?cancel ob
   in
   let entries, nworkers =
     match pool with

@@ -211,7 +211,7 @@ val prepare_sac :
 
 val run_obligation :
   ?portfolio:int -> ?certify:bool -> ?solver:Bmc.Engine.solver_config ->
-  ?store:Store.t ->
+  ?store:Store.t -> ?cancel:bool Atomic.t ->
   obligation -> report
 (** Solves one obligation on the calling domain (the sequential baseline
     the batch driver is measured against).
@@ -233,7 +233,14 @@ val run_obligation :
     verdicts are certified verdicts); induction obligations bypass the
     store. Traffic lands on the [store.hits] / [store.misses] /
     [store.revalidated] / [store.invalid] / [store.warm_starts]
-    counters. *)
+    counters.
+
+    [cancel] is a cooperative stop flag: set it (from any domain) and the
+    in-flight SAT solve unwinds with {!Sat.Solver.Cancelled} within a few
+    thousand propagations. Induction runs ignore it (the inductive path is
+    short and uncancellable). The flag is only ever {e read} here — a
+    portfolio win never writes it back — so one flag can be shared across
+    obligations or reused after a reset to [false]. *)
 
 type cache
 (** A concurrent obligation cache, keyed by {!Bmc.Engine.prepared_key}
@@ -270,6 +277,7 @@ val run_batch :
   ?certify:bool ->
   ?solver:Bmc.Engine.solver_config ->
   ?store:Store.t ->
+  ?cancel:bool Atomic.t ->
   obligation list -> batch_result
 (** Fans the obligations across a worker pool. [pool] reuses an existing
     pool; otherwise a fresh one with [jobs] workers (default
@@ -285,7 +293,10 @@ val run_batch :
     verdict store under every worker (and under the in-process cache, which
     stays single-flight in front of it): unchanged obligations answer from
     revalidated entries, changed ones — whose structural key differs — are
-    the only ones re-solved. A store hit counts as [entry_cached]. *)
+    the only ones re-solved. A store hit counts as [entry_cached].
+    [cancel] is threaded to every worker's solve (see {!run_obligation});
+    setting it abandons the whole batch — each in-flight obligation raises
+    {!Sat.Solver.Cancelled} on its worker. *)
 
 val batch_reports : batch_result -> report list
 

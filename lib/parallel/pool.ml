@@ -102,6 +102,18 @@ let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
 let workers p = Array.length p.deques
 
+(* Queue-depth introspection: tasks pushed but not yet picked up. Each
+   deque's count is read under its own mutex; the sum is a momentary
+   snapshot, not a transaction across deques — fine for a gauge. *)
+let queued p =
+  Array.fold_left
+    (fun acc d ->
+      Mutex.lock d.dm;
+      let c = d.count in
+      Mutex.unlock d.dm;
+      acc + c)
+    0 p.deques
+
 (* Scan for a task: own deque back first (when a worker), then steal from
    the front of the others, starting after our own slot to spread thieves. *)
 let find_task p me =

@@ -28,6 +28,12 @@ val create : ?workers:int -> unit -> t
 
 val workers : t -> int
 
+val queued : t -> int
+(** Number of submitted tasks not yet picked up by a worker — a momentary
+    snapshot across the deques, intended for load gauges (e.g. a service
+    deciding whether to shed new work). Tasks already executing are not
+    counted. *)
+
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueues a task and returns its future immediately. Raises
     [Invalid_argument] if the pool has been shut down. *)

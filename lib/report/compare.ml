@@ -30,6 +30,9 @@ type pair = {
   p_key_same : bool;
   p_a : Journal.obligation;
   p_b : Journal.obligation;
+  p_config_mismatch : bool;
+      (* the two sides' runs carry different config fingerprints; time
+         comparisons on this pair are not like-for-like *)
 }
 
 type mutant_pair = { m_a : Journal.mutant; m_b : Journal.mutant }
@@ -63,19 +66,32 @@ let exit_code r =
 let ident (o : Journal.obligation) =
   (o.Journal.ob_design, o.Journal.ob_name, o.Journal.ob_check)
 
-(* First record per identity wins, except that an uncached record replaces
-   a cached one: the uncached side carries the real solve time. *)
-let index obs =
+(* The record per identity that drives the diff. Within one run the first
+   record wins, except that an uncached record replaces a cached one (the
+   uncached side carries the real solve time). Across runs of an appended
+   multi-run file the *latest* run always wins: the journal's current
+   state is its last run, and each obligation is keyed to its own
+   (preceding) meta, never the first. Hand-built journals with no run
+   grouping all map to run 0, preserving the single-run rule. *)
+let index (j : Journal.t) =
+  let run_idx o =
+    match Journal.run_for j o with Some (i, _) -> i | None -> 0
+  in
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun (o : Journal.obligation) ->
+      let i = run_idx o in
       match Hashtbl.find_opt tbl (ident o) with
-      | None -> Hashtbl.add tbl (ident o) o
-      | Some prev ->
-        if prev.Journal.ob_cached && not o.Journal.ob_cached then
-          Hashtbl.replace tbl (ident o) o)
-    obs;
-  tbl
+      | None -> Hashtbl.add tbl (ident o) (i, o)
+      | Some (pi, prev) ->
+        if
+          i > pi
+          || (i = pi && prev.Journal.ob_cached && not o.Journal.ob_cached)
+        then Hashtbl.replace tbl (ident o) (i, o))
+    j.Journal.obligations;
+  let out = Hashtbl.create 64 in
+  Hashtbl.iter (fun k (_, o) -> Hashtbl.replace out k o) tbl;
+  out
 
 (* The journal's distinct nonempty config fingerprints, in a canonical
    order. Pre-fingerprint journals contribute nothing, so comparisons
@@ -88,12 +104,18 @@ let fingerprints (j : Journal.t) =
          else Some m.Journal.fingerprint)
        j.Journal.meta)
 
+(* The fingerprint governing one obligation: its own run's, when the run
+   grouping is available — so a multi-run file compares each record
+   against the configuration that actually produced it — otherwise the
+   journal-wide canonical list (legacy and hand-built journals). *)
+let fp_of (j : Journal.t) (o : Journal.obligation) =
+  match Journal.meta_for j o with
+  | Some m -> m.Journal.fingerprint
+  | None -> String.concat " | " (fingerprints j)
+
 let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
     (b : Journal.t) =
-  let fa = fingerprints a and fb = fingerprints b in
-  let config_mismatch = fa <> [] && fb <> [] && fa <> fb in
-  let ia = index a.Journal.obligations
-  and ib = index b.Journal.obligations in
+  let ia = index a and ib = index b in
   (* Deterministic traversal: A's obligations in file order drive the
      join. *)
   let seen = Hashtbl.create 64 in
@@ -107,12 +129,14 @@ let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
           let oa = Hashtbl.find ia id in
           match Hashtbl.find_opt ib id with
           | Some ob ->
+            let fpa = fp_of a oa and fpb = fp_of b ob in
             ( { p_design = oa.Journal.ob_design;
                 p_name = oa.Journal.ob_name;
                 p_check = oa.Journal.ob_check;
                 p_key_same = oa.Journal.ob_key = ob.Journal.ob_key;
                 p_a = oa;
                 p_b = ob;
+                p_config_mismatch = fpa <> "" && fpb <> "" && fpa <> fpb;
               }
               :: pairs,
               removed )
@@ -137,7 +161,7 @@ let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
           let wa = p.p_a.Journal.ob_wall_s
           and wb = p.p_b.Journal.ob_wall_s in
           if
-            (not config_mismatch)
+            (not p.p_config_mismatch)
             && (not p.p_a.Journal.ob_cached)
             && (not p.p_b.Journal.ob_cached)
             && wa >= min_seconds && wb >= min_seconds
@@ -164,9 +188,24 @@ let run ?(time_factor = 1.5) ?(min_seconds = 0.05) (a : Journal.t)
         | _ -> None)
       b.Journal.mutants
   in
+  (* One soft finding summarizes every mismatched pair's fingerprints.
+     When the journals share no identities at all, fall back to the
+     journal-wide comparison so a wholesale config change still
+     surfaces. *)
   let cfg_findings =
-    if config_mismatch then
-      [ Config_mismatch (String.concat " | " fa, String.concat " | " fb) ]
+    let mismatched = List.filter (fun p -> p.p_config_mismatch) pairs in
+    if mismatched <> [] then
+      let side f =
+        String.concat " | " (List.sort_uniq compare (List.map f mismatched))
+      in
+      [ Config_mismatch
+          (side (fun p -> fp_of a p.p_a), side (fun p -> fp_of b p.p_b)) ]
+    else if pairs = [] then begin
+      let fa = fingerprints a and fb = fingerprints b in
+      if fa <> [] && fb <> [] && fa <> fb then
+        [ Config_mismatch (String.concat " | " fa, String.concat " | " fb) ]
+      else []
+    end
     else []
   in
   {

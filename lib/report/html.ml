@@ -26,10 +26,14 @@ let pct x = Printf.sprintf "%.1f" (100. *. x)
 
 (* A fixed-size polyline over the points, normalized to the value range.
    Flat series draw a midline. Coordinates print with one decimal, so the
-   same points always produce the same bytes. *)
-let sparkline pts =
+   same points always produce the same bytes. A single-point series (one
+   forced sample from a sub-interval solve) renders as a full-width flat
+   line — same bytes as a two-point flat series — rather than an empty
+   SVG. *)
+let rec sparkline pts =
   match pts with
-  | [] | [ _ ] -> ""
+  | [] -> ""
+  | [ (t, v) ] -> sparkline [ (t, v); (t +. 1., v) ]
   | pts ->
     let w = 140. and h = 26. in
     let ts = List.map fst pts and vs = List.map snd pts in
@@ -255,16 +259,31 @@ let summary (journals : Journal.t list) =
   in
   Printf.bprintf buf "%d obligations, %.3fs solve time, %d bug(s)\n"
     (List.length obs) total_wall bugs;
+  let emit_ob (o : Journal.obligation) =
+    Printf.bprintf buf "  %-30s %-4s %s@%d %8.3fs%s %s\n"
+      (o.Journal.ob_design ^ "/" ^ o.Journal.ob_name)
+      o.Journal.ob_check o.Journal.ob_verdict o.Journal.ob_depth
+      o.Journal.ob_wall_s
+      (if o.Journal.ob_cached then " (cached)" else "")
+      (if o.Journal.ob_certificate = "none" then ""
+       else "[" ^ o.Journal.ob_certificate ^ "]")
+  in
+  (* A multi-run (appended) journal lists each run under its own meta so
+     obligations read against the configuration that produced them;
+     single-run and hand-built journals keep the flat listing. *)
   List.iter
-    (fun (o : Journal.obligation) ->
-      Printf.bprintf buf "  %-30s %-4s %s@%d %8.3fs%s %s\n"
-        (o.Journal.ob_design ^ "/" ^ o.Journal.ob_name)
-        o.Journal.ob_check o.Journal.ob_verdict o.Journal.ob_depth
-        o.Journal.ob_wall_s
-        (if o.Journal.ob_cached then " (cached)" else "")
-        (if o.Journal.ob_certificate = "none" then ""
-         else "[" ^ o.Journal.ob_certificate ^ "]"))
-    obs;
+    (fun (j : Journal.t) ->
+      match j.Journal.runs with
+      | [] | [ _ ] -> List.iter emit_ob j.Journal.obligations
+      | runs ->
+        List.iteri
+          (fun i (r : Journal.run) ->
+            let m = r.Journal.run_meta in
+            Printf.bprintf buf " run %d/%d: %s %s\n" (i + 1)
+              (List.length runs) m.Journal.command m.Journal.design;
+            List.iter emit_ob r.Journal.run_obligations)
+          runs)
+    journals;
   if mus <> [] then begin
     let killed =
       List.length (List.filter (fun m -> m.Journal.mu_status = "killed") mus)

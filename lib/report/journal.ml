@@ -89,11 +89,26 @@ type record =
   | Obligation of obligation
   | Mutant of mutant
 
+type run = {
+  run_meta : meta;
+  run_obligations : obligation list;
+  run_mutants : mutant list;
+}
+(* One appended run: a meta line and every record up to the next meta.
+   [--journal FILE] appends a fresh meta per invocation, so a multi-run
+   file must attribute each obligation to the *preceding* meta — its own
+   run's configuration — never to the first. *)
+
 type t = {
   path : string;
   meta : meta list;          (* every meta line, in file order *)
   obligations : obligation list;
   mutants : mutant list;
+  runs : run list;
+      (* file-order run grouping. [load] fills it whenever the file holds
+         at least one meta record (and errors on records before the first
+         one); hand-built journals and meta-less legacy files leave it
+         empty, in which case consumers fall back to the flat lists. *)
 }
 
 (* ---- to JSON ---- *)
@@ -325,9 +340,49 @@ let write path records =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       write_channel oc records)
 
+(* Group numbered records into runs, each keyed to its preceding meta. A
+   record before the first meta of a file that *does* carry metas is a
+   truncated or corrupted prefix — there is no way to tell which run it
+   belongs to — and is refused with its line number. Files with no meta at
+   all (hand-built or legacy) have no association to get wrong and group
+   to nothing. *)
+let group_runs path numbered =
+  if not (List.exists (function _, Meta _ -> true | _ -> false) numbered)
+  then []
+  else begin
+    let finish (m, obs, mus) =
+      { run_meta = m;
+        run_obligations = List.rev obs;
+        run_mutants = List.rev mus }
+    in
+    let orphan n kind =
+      failwith
+        (Printf.sprintf
+           "%s:%d: %s record before the first meta — cannot attribute it \
+            to a run (truncated or meta-less prefix)"
+           path n kind)
+    in
+    let rec go cur acc = function
+      | [] ->
+        List.rev (match cur with None -> acc | Some c -> finish c :: acc)
+      | (_, Meta m) :: rest ->
+        let acc = match cur with None -> acc | Some c -> finish c :: acc in
+        go (Some (m, [], [])) acc rest
+      | (n, Obligation o) :: rest -> (
+        match cur with
+        | None -> orphan n "obligation"
+        | Some (m, obs, mus) -> go (Some (m, o :: obs, mus)) acc rest)
+      | (n, Mutant mu) :: rest -> (
+        match cur with
+        | None -> orphan n "mutant"
+        | Some (m, obs, mus) -> go (Some (m, obs, mu :: mus)) acc rest)
+    in
+    go None [] numbered
+  end
+
 let load path =
   let ic = open_in path in
-  let records =
+  let numbered =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
         let rec go n acc =
           match input_line ic with
@@ -335,12 +390,13 @@ let load path =
           | "" -> go (n + 1) acc
           | line -> (
             match of_line line with
-            | r -> go (n + 1) (r :: acc)
+            | r -> go (n + 1) ((n, r) :: acc)
             | exception (Failure msg | Json.Parse_error msg) ->
               failwith (Printf.sprintf "%s:%d: %s" path n msg))
         in
         go 1 [])
   in
+  let records = List.map snd numbered in
   {
     path;
     meta = List.filter_map (function Meta m -> Some m | _ -> None) records;
@@ -348,7 +404,25 @@ let load path =
       List.filter_map (function Obligation o -> Some o | _ -> None) records;
     mutants =
       List.filter_map (function Mutant m -> Some m | _ -> None) records;
+    runs = group_runs path numbered;
   }
+
+(* The run an obligation belongs to, as (file-order index, meta). Matching
+   is by physical identity — [t.obligations] and [t.runs] share their
+   values after [load] — so duplicate records in different runs still
+   resolve to their own run. [None] for hand-built journals with an empty
+   [runs]. *)
+let run_for t (o : obligation) =
+  let rec find i = function
+    | [] -> None
+    | r :: rest ->
+      if List.exists (fun o' -> o' == o) r.run_obligations then
+        Some (i, r.run_meta)
+      else find (i + 1) rest
+  in
+  find 0 t.runs
+
+let meta_for t o = Option.map snd (run_for t o)
 
 (* ---- conversions from in-process results ---- *)
 

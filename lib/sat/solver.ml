@@ -247,6 +247,19 @@ let next_random s =
 
 let set_cancel s flag = s.cancel <- Some flag
 
+(* One snapshot of the per-solve series, shared between the rate-limited
+   poll-site sample below and the forced first/last samples in [solve]. *)
+let series_snapshot s () =
+  let conflicts = s.n_conflicts - s.solve_c0 in
+  let dt = Telemetry.now_s () -. s.solve_t0 in
+  [ ("sat.conflict_rate",
+     if dt > 1e-9 then float_of_int conflicts /. dt else 0.);
+    ("sat.learnts", float_of_int (Vec.size s.learnts));
+    ("sat.level", float_of_int (Vec.size s.trail_lim));
+    ("sat.lbd_core", float_of_int s.n_lbd_core);
+    ("sat.lbd_mid", float_of_int s.n_lbd_mid);
+    ("sat.lbd_local", float_of_int s.n_lbd_local) ]
+
 let check_cancel s =
   s.poll <- s.poll + 1;
   if s.poll land 255 = 0 then begin
@@ -266,16 +279,7 @@ let check_cancel s =
     (* Same cadence feeds the journal's solver time-series: conflict rate,
        learned-DB size, decision level and the LBD tier tallies land in the
        solving domain's ring buffers for per-obligation export. *)
-    Telemetry.Series.sample (fun () ->
-        let conflicts = s.n_conflicts - s.solve_c0 in
-        let dt = Telemetry.now_s () -. s.solve_t0 in
-        [ ("sat.conflict_rate",
-           if dt > 1e-9 then float_of_int conflicts /. dt else 0.);
-          ("sat.learnts", float_of_int (Vec.size s.learnts));
-          ("sat.level", float_of_int (Vec.size s.trail_lim));
-          ("sat.lbd_core", float_of_int s.n_lbd_core);
-          ("sat.lbd_mid", float_of_int s.n_lbd_mid);
-          ("sat.lbd_local", float_of_int s.n_lbd_local) ])
+    Telemetry.Series.sample (series_snapshot s)
   end
 
 let nb_vars s = s.nvars
@@ -1160,9 +1164,14 @@ let solve ?(assumptions = []) s =
   s.conflict_ceiling <- max_int;
   s.solve_t0 <- Telemetry.now_s ();
   s.solve_c0 <- s.n_conflicts;
+  (* Sub-interval solves would otherwise contribute zero series points (the
+     poll-site sample is rate-limited): force one sample at entry and one
+     at exit so every solve leaves at least a first and a last point. *)
+  Telemetry.Series.sample ~force:true (series_snapshot s);
   let d0 = s.n_decisions and p0 = s.n_propagations and r0 = s.n_restarts in
   let lc0 = s.n_lbd_core and lm0 = s.n_lbd_mid and ll0 = s.n_lbd_local in
   let account () =
+    Telemetry.Series.sample ~force:true (series_snapshot s);
     Telemetry.Counter.add m_conflicts (s.n_conflicts - s.solve_c0);
     Telemetry.Counter.add m_decisions (s.n_decisions - d0);
     Telemetry.Counter.add m_propagations (s.n_propagations - p0);

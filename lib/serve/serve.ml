@@ -1,0 +1,595 @@
+(* The verification service daemon: a long-running process owning one
+   worker pool, one in-process obligation cache and (optionally) one
+   persistent verdict store, accepting solve jobs over a Unix-domain
+   socket.
+
+   Wire protocol: JSONL — one JSON object per line in both directions,
+   printed and parsed with {!Report.Json} (the journal codec, so the
+   service adds no dependency and its verdict frames are journal
+   records). Requests carry an ["op"]:
+
+     {"op":"submit","design":D,...}   queue one obligation
+     {"op":"status"}                  one status frame
+
+   Replies carry a ["frame"]:
+
+     accepted  {"frame":"accepted","job":N}
+     busy      {"frame":"busy","active":A,"capacity":C,"draining":B}
+     done      {"frame":"done","job":N,"wall_s":S,"obligation":{...}}
+     timeout   {"frame":"timeout","job":N,"wall_s":S}
+     error     {"frame":"error","message":M}
+     status    {"frame":"status",...counters...}
+
+   The ["obligation"] payload of a [done] frame is byte-identical to a
+   journal obligation record ({!Report.Journal.json_of_obligation}), so a
+   client can append it to a ledger or diff it against a direct
+   [verify --journal] run.
+
+   Robustness model:
+   - each connection is handled on its own systhread; a malformed frame
+     gets an [error] reply and closes that connection only — the daemon
+     and every other connection keep running;
+   - admission is bounded: at [capacity] accepted-but-unfinished jobs, a
+     submit gets a typed [busy] frame instead of queueing without bound;
+   - every job has a wall-clock deadline; a watchdog thread trips the
+     job's cooperative cancel flag and the solve unwinds through
+     {!Sat.Solver.Cancelled} into a typed [timeout] frame — the pool
+     worker survives and takes the next job;
+   - reads are idle-bounded: a client that connects and goes silent is
+     closed after [idle_timeout_s];
+   - [stop] (wired to SIGTERM/SIGINT by the CLI) drains: the listener
+     closes, in-flight jobs run to completion and stream their frames,
+     then the journal is flushed and [wait] returns. Accepted jobs are
+     never dropped — each ends in exactly one [done]/[timeout]/[error]
+     frame. *)
+
+module Json = Report.Json
+module Journal = Report.Journal
+
+(* ---- telemetry ---- *)
+
+let m_accepted = Telemetry.Counter.make "serve.accepted"
+let m_rejected = Telemetry.Counter.make "serve.rejected"
+let m_timeouts = Telemetry.Counter.make "serve.timeouts"
+let m_completed = Telemetry.Counter.make "serve.completed"
+let g_active = Telemetry.Gauge.make "serve.active_jobs"
+
+(* ---- job specs ---- *)
+
+type job_spec = {
+  sj_design : string;
+  sj_bug : string option;
+  sj_check : string;          (* "fc" | "rb" | "sac" *)
+  sj_depth : int;
+  sj_certify : bool;
+  sj_timeout_s : float option;  (* per-job override of the server default *)
+}
+
+let job_spec ?bug ?(check = "fc") ?(depth = 14) ?(certify = false)
+    ?timeout_s design =
+  {
+    sj_design = design;
+    sj_bug = bug;
+    sj_check = check;
+    sj_depth = depth;
+    sj_certify = certify;
+    sj_timeout_s = timeout_s;
+  }
+
+let json_of_job_spec s =
+  Json.Obj
+    [ ("op", Json.Str "submit");
+      ("design", Json.Str s.sj_design);
+      ("bug", match s.sj_bug with None -> Json.Null | Some b -> Json.Str b);
+      ("check", Json.Str s.sj_check);
+      ("depth", Json.Int s.sj_depth);
+      ("certify", Json.Bool s.sj_certify);
+      ( "timeout_s",
+        match s.sj_timeout_s with None -> Json.Null | Some t -> Json.Float t
+      ) ]
+
+let job_spec_of_json j =
+  let design = Json.str_or "" (Json.member "design" j) in
+  if design = "" then failwith "submit: missing design";
+  {
+    sj_design = design;
+    sj_bug = (match Json.member "bug" j with Json.Str b -> Some b | _ -> None);
+    sj_check = Json.str_or "fc" (Json.member "check" j);
+    sj_depth = Json.int_or 14 (Json.member "depth" j);
+    sj_certify = Json.bool_or false (Json.member "certify" j);
+    sj_timeout_s =
+      (match Json.member "timeout_s" j with
+       | Json.Float t -> Some t
+       | Json.Int t -> Some (float_of_int t)
+       | _ -> None);
+  }
+
+(* ---- configuration ---- *)
+
+type config = {
+  socket_path : string;
+  resolve : job_spec -> (string * Aqed.Check.obligation, string) result;
+      (* job -> (design label, prepared-able obligation); the CLI builds
+         this from its design registry so the service library stays
+         registry-agnostic *)
+  store : Store.t option;
+  workers : int;
+  capacity : int;
+  job_timeout_s : float;
+  idle_timeout_s : float;
+  journal : (string * Journal.meta) option;
+      (* flushed once on drain; the meta is mandatory so the appended run
+         always groups (a meta-less suffix would poison later loads) *)
+}
+
+let config ?store ?workers ?(capacity = 32) ?(job_timeout_s = 300.)
+    ?(idle_timeout_s = 30.) ?journal ~resolve socket_path =
+  {
+    socket_path;
+    resolve;
+    store;
+    workers =
+      (match workers with
+       | Some w -> max 1 w
+       | None -> Parallel.Pool.default_workers ());
+    capacity = max 1 capacity;
+    job_timeout_s;
+    idle_timeout_s;
+    journal;
+  }
+
+type summary = {
+  sm_accepted : int;
+  sm_completed : int;
+  sm_timeouts : int;
+  sm_rejected : int;
+  sm_errors : int;
+}
+
+(* ---- server state ---- *)
+
+type server = {
+  cfg : config;
+  pool : Parallel.Pool.t;
+  cache : Aqed.Check.cache;
+  listen_fd : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  wd_stop : bool Atomic.t;
+  lock : Mutex.t;   (* guards every mutable field below *)
+  mutable active : int;          (* accepted, not yet finished *)
+  mutable next_job : int;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable jobs : (int * float * bool Atomic.t) list;  (* id, deadline, cancel *)
+  mutable done_obs : Journal.obligation list;         (* newest first *)
+  mutable conns : Thread.t list;
+  mutable accept_th : Thread.t option;
+  mutable watchdog_th : Thread.t option;
+}
+
+let locked srv f =
+  Mutex.lock srv.lock;
+  match f () with
+  | v ->
+    Mutex.unlock srv.lock;
+    v
+  | exception e ->
+    Mutex.unlock srv.lock;
+    raise e
+
+(* ---- framed socket I/O ---- *)
+
+(* Granularity of the blocking-read timeout: every [tick] seconds a
+   reader wakes up to re-check the drain flag and its idle budget, so a
+   drain never waits on an idle client longer than one tick. *)
+let tick = 0.25
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send_frame fd j = send_all fd (Json.to_string j ^ "\n")
+
+type conn = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable inbuf : string;
+}
+
+let take_line c =
+  match String.index_opt c.inbuf '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub c.inbuf 0 i in
+    c.inbuf <-
+      String.sub c.inbuf (i + 1) (String.length c.inbuf - i - 1);
+    Some line
+
+(* One request line, or [None] on EOF, idle timeout, or drain. The
+   per-read timeout is [tick] (SO_RCVTIMEO); idle accounting restarts
+   whenever bytes arrive. *)
+let recv_line srv c =
+  let rec go idle_left =
+    match take_line c with
+    | Some l -> Some l
+    | None ->
+      if Atomic.get srv.stop_flag then None
+      else if idle_left <= 0. then None
+      else begin
+        match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+        | 0 -> None
+        | n ->
+          c.inbuf <- c.inbuf ^ Bytes.sub_string c.chunk 0 n;
+          go srv.cfg.idle_timeout_s
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          go (idle_left -. tick)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go idle_left
+        | exception Unix.Unix_error (_, _, _) -> None
+      end
+  in
+  go srv.cfg.idle_timeout_s
+
+(* ---- frames ---- *)
+
+let error_frame msg =
+  Json.Obj [ ("frame", Json.Str "error"); ("message", Json.Str msg) ]
+
+let busy_frame srv =
+  let active, draining =
+    locked srv (fun () -> (srv.active, Atomic.get srv.stop_flag))
+  in
+  Json.Obj
+    [ ("frame", Json.Str "busy");
+      ("active", Json.Int active);
+      ("capacity", Json.Int srv.cfg.capacity);
+      ("draining", Json.Bool draining) ]
+
+let status_frame srv =
+  let active, accepted, completed, timeouts, rejected, errors =
+    locked srv (fun () ->
+        ( srv.active, srv.accepted, srv.completed, srv.timeouts,
+          srv.rejected, srv.errors ))
+  in
+  Json.Obj
+    [ ("frame", Json.Str "status");
+      ("active", Json.Int active);
+      ("queued", Json.Int (Parallel.Pool.queued srv.pool));
+      ("capacity", Json.Int srv.cfg.capacity);
+      ("accepted", Json.Int accepted);
+      ("completed", Json.Int completed);
+      ("timeouts", Json.Int timeouts);
+      ("rejected", Json.Int rejected);
+      ("errors", Json.Int errors);
+      ("draining", Json.Bool (Atomic.get srv.stop_flag)) ]
+
+(* ---- job execution ---- *)
+
+(* Run one admitted job on the shared pool and stream its terminal frame.
+   The solve goes through the exact batch path a direct CLI run uses
+   (store + single-flight cache + certification), so verdict payloads are
+   identical to [verify --journal] records. *)
+let run_job srv fd job design ob ~certify timeout_s =
+  let cancel = Atomic.make false in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  locked srv (fun () -> srv.jobs <- (job, deadline, cancel) :: srv.jobs);
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Telemetry.Span.with_ "serve.job"
+      ~args:[ ("job", Telemetry.Int job); ("design", Telemetry.Str design) ]
+    @@ fun () ->
+    match
+      Aqed.Check.run_batch ~pool:srv.pool ~cache:srv.cache
+        ?store:srv.cfg.store ~certify ~cancel [ ob ]
+    with
+    | b -> (
+        match b.Aqed.Check.entries with
+        | [ e ] -> `Done e
+        | _ -> `Error "internal: batch returned no entry")
+    | exception Sat.Solver.Cancelled -> `Timeout
+    | exception Bmc.Engine.Certification_failed m ->
+      `Error ("certification failed: " ^ m)
+    | exception Failure m -> `Error m
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  locked srv (fun () ->
+      srv.jobs <- List.filter (fun (id, _, _) -> id <> job) srv.jobs;
+      srv.active <- srv.active - 1;
+      Telemetry.Gauge.set g_active srv.active);
+  match outcome with
+  | `Done (e : Aqed.Check.batch_entry) ->
+    let oblig =
+      Journal.of_report ~design ~name:e.Aqed.Check.entry_name
+        ~cached:e.Aqed.Check.entry_cached e.Aqed.Check.entry_report
+    in
+    locked srv (fun () ->
+        srv.completed <- srv.completed + 1;
+        srv.done_obs <- oblig :: srv.done_obs);
+    Telemetry.Counter.incr m_completed;
+    send_frame fd
+      (Json.Obj
+         [ ("frame", Json.Str "done");
+           ("job", Json.Int job);
+           ("wall_s", Json.Float wall);
+           ("obligation", Journal.json_of_obligation oblig) ])
+  | `Timeout ->
+    locked srv (fun () -> srv.timeouts <- srv.timeouts + 1);
+    Telemetry.Counter.incr m_timeouts;
+    send_frame fd
+      (Json.Obj
+         [ ("frame", Json.Str "timeout");
+           ("job", Json.Int job);
+           ("wall_s", Json.Float wall) ])
+  | `Error msg ->
+    locked srv (fun () -> srv.errors <- srv.errors + 1);
+    send_frame fd
+      (Json.Obj
+         [ ("frame", Json.Str "error");
+           ("job", Json.Int job);
+           ("message", Json.Str msg) ])
+
+(* [`Continue] keeps the connection open for the next request; [`Close]
+   tears it down (protocol violations only — typed rejections like [busy]
+   keep the connection). *)
+let handle_submit srv fd j =
+  match job_spec_of_json j with
+  | exception (Failure m | Json.Parse_error m) ->
+    send_frame fd (error_frame ("bad submit: " ^ m));
+    `Close
+  | spec -> (
+      match srv.cfg.resolve spec with
+      | Error m ->
+        send_frame fd (error_frame m);
+        `Close
+      | Ok (design, ob) ->
+        let admitted_job =
+          locked srv (fun () ->
+              if Atomic.get srv.stop_flag || srv.active >= srv.cfg.capacity
+              then begin
+                srv.rejected <- srv.rejected + 1;
+                None
+              end
+              else begin
+                srv.active <- srv.active + 1;
+                srv.accepted <- srv.accepted + 1;
+                srv.next_job <- srv.next_job + 1;
+                Telemetry.Gauge.set g_active srv.active;
+                Some srv.next_job
+              end)
+        in
+        (match admitted_job with
+         | None ->
+           Telemetry.Counter.incr m_rejected;
+           send_frame fd (busy_frame srv)
+         | Some job ->
+           Telemetry.Counter.incr m_accepted;
+           send_frame fd
+             (Json.Obj
+                [ ("frame", Json.Str "accepted"); ("job", Json.Int job) ]);
+           let timeout_s =
+             match spec.sj_timeout_s with
+             | Some t -> t
+             | None -> srv.cfg.job_timeout_s
+           in
+           run_job srv fd job design ob ~certify:spec.sj_certify timeout_s);
+        `Continue)
+
+let handle_conn srv fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO tick;
+  let c = { fd; chunk = Bytes.create 4096; inbuf = "" } in
+  let rec loop () =
+    match recv_line srv c with
+    | None -> ()
+    | Some line ->
+      if String.trim line = "" then loop ()
+      else begin
+        match Json.of_string line with
+        | exception Json.Parse_error m ->
+          (* Crash isolation: a malformed frame poisons this connection
+             only. Reply typed, then close. *)
+          send_frame fd (error_frame ("parse error: " ^ m))
+        | j -> (
+            match Json.str_or "" (Json.member "op" j) with
+            | "status" ->
+              send_frame fd (status_frame srv);
+              loop ()
+            | "submit" -> (
+                match handle_submit srv fd j with
+                | `Continue -> loop ()
+                | `Close -> ())
+            | op ->
+              send_frame fd (error_frame (Printf.sprintf "unknown op %S" op))
+          )
+      end
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- lifecycle ---- *)
+
+let watchdog srv () =
+  while not (Atomic.get srv.wd_stop) do
+    let now = Unix.gettimeofday () in
+    locked srv (fun () ->
+        List.iter
+          (fun (_, deadline, cancel) ->
+            if now >= deadline then Atomic.set cancel true)
+          srv.jobs);
+    Thread.delay 0.05
+  done
+
+let accept_loop srv () =
+  let rec go () =
+    if not (Atomic.get srv.stop_flag) then begin
+      (match Unix.select [ srv.listen_fd ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ -> (
+           match Unix.accept srv.listen_fd with
+           | fd, _ ->
+             let th = Thread.create (handle_conn srv) fd in
+             locked srv (fun () -> srv.conns <- th :: srv.conns)
+           | exception Unix.Unix_error (_, _, _) -> ())
+       | exception Unix.Unix_error (_, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let start cfg =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let srv =
+    {
+      cfg;
+      pool = Parallel.Pool.create ~workers:cfg.workers ();
+      cache = Aqed.Check.create_cache ();
+      listen_fd;
+      stop_flag = Atomic.make false;
+      wd_stop = Atomic.make false;
+      lock = Mutex.create ();
+      active = 0;
+      next_job = 0;
+      accepted = 0;
+      completed = 0;
+      timeouts = 0;
+      rejected = 0;
+      errors = 0;
+      jobs = [];
+      done_obs = [];
+      conns = [];
+      accept_th = None;
+      watchdog_th = None;
+    }
+  in
+  srv.accept_th <- Some (Thread.create (accept_loop srv) ());
+  srv.watchdog_th <- Some (Thread.create (watchdog srv) ());
+  srv
+
+(* Begin the drain. Only flips an atomic, so it is safe from a signal
+   handler (the CLI wires SIGTERM/SIGINT here). *)
+let stop srv = Atomic.set srv.stop_flag true
+
+let flush_journal srv =
+  match srv.cfg.journal with
+  | None -> ()
+  | Some (path, meta) ->
+    let obs = locked srv (fun () -> List.rev srv.done_obs) in
+    if obs <> [] then
+      Journal.append path
+        (Journal.Meta meta
+         :: List.map (fun o -> Journal.Obligation o) obs)
+
+let wait srv =
+  Option.iter Thread.join srv.accept_th;
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink srv.cfg.socket_path with Unix.Unix_error _ -> ());
+  (* The accept thread has stopped, so [conns] is final; in-flight jobs
+     finish inside their connection threads (drain loses no accepted
+     job). *)
+  let conns = locked srv (fun () -> srv.conns) in
+  List.iter Thread.join conns;
+  Atomic.set srv.wd_stop true;
+  Option.iter Thread.join srv.watchdog_th;
+  Parallel.Pool.shutdown srv.pool;
+  flush_journal srv;
+  locked srv (fun () ->
+      {
+        sm_accepted = srv.accepted;
+        sm_completed = srv.completed;
+        sm_timeouts = srv.timeouts;
+        sm_rejected = srv.rejected;
+        sm_errors = srv.errors;
+      })
+
+(* ---- client ---- *)
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    chunk : Bytes.t;
+    mutable inbuf : string;
+  }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; chunk = Bytes.create 4096; inbuf = "" }
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let send t j = send_all t.fd (Json.to_string j ^ "\n")
+
+  (* Blocking: the server always answers a request with at least one
+     frame, and a drain completes in-flight jobs before closing. *)
+  let recv t =
+    let rec line () =
+      match String.index_opt t.inbuf '\n' with
+      | Some i ->
+        let l = String.sub t.inbuf 0 i in
+        t.inbuf <-
+          String.sub t.inbuf (i + 1) (String.length t.inbuf - i - 1);
+        l
+      | None -> (
+          match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+          | 0 -> failwith "serve: connection closed by server"
+          | n ->
+            t.inbuf <- t.inbuf ^ Bytes.sub_string t.chunk 0 n;
+            line ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> line ())
+    in
+    Json.of_string (line ())
+
+  type outcome =
+    | Completed of int * float * Journal.obligation
+        (** job id, server-side wall seconds, the verdict record *)
+    | Timed_out of int * float
+    | Busy of int * int  (** active, capacity *)
+    | Refused of string
+
+  let submit t spec =
+    send t (json_of_job_spec spec);
+    let rec next () =
+      let j = recv t in
+      match Json.str_or "" (Json.member "frame" j) with
+      | "accepted" -> next ()
+      | "done" ->
+        Completed
+          ( Json.int_or 0 (Json.member "job" j),
+            Json.float_or 0. (Json.member "wall_s" j),
+            Journal.obligation_of_json (Json.member "obligation" j) )
+      | "timeout" ->
+        Timed_out
+          ( Json.int_or 0 (Json.member "job" j),
+            Json.float_or 0. (Json.member "wall_s" j) )
+      | "busy" ->
+        Busy
+          ( Json.int_or 0 (Json.member "active" j),
+            Json.int_or 0 (Json.member "capacity" j) )
+      | "error" -> Refused (Json.str_or "" (Json.member "message" j))
+      | f -> Refused (Printf.sprintf "unexpected frame %S" f)
+    in
+    next ()
+
+  let status t =
+    send t (Json.Obj [ ("op", Json.Str "status") ]);
+    recv t
+end

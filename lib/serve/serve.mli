@@ -1,0 +1,130 @@
+(** The verification service daemon behind [aqed_cli serve].
+
+    A long-running process owning one {!Parallel.Pool}, one in-process
+    obligation cache and (optionally) one persistent verdict {!Store.t},
+    accepting solve jobs over a Unix-domain socket. The wire protocol is
+    JSONL in both directions, printed and parsed with {!Report.Json}; the
+    verdict payload of a completed job is byte-identical to a journal
+    obligation record ({!Report.Journal.json_of_obligation}), so service
+    results diff cleanly against direct [verify --journal] runs.
+
+    Robustness: bounded admission (typed [busy] frame at capacity),
+    per-job wall-clock deadlines enforced through the solver's
+    cooperative cancellation ({!Sat.Solver.Cancelled} becomes a typed
+    [timeout] frame; the worker pool survives), per-connection crash
+    isolation (a malformed frame closes that connection only),
+    idle-client read timeouts, and graceful drain: {!stop} (wired to
+    SIGTERM/SIGINT by the CLI) stops accepting, in-flight jobs finish and
+    stream their frames, the journal is flushed, {!wait} returns. *)
+
+(** {1 Job specs} *)
+
+type job_spec = {
+  sj_design : string;           (** registry name, e.g. ["aes"] *)
+  sj_bug : string option;       (** bug to inject, as in [check -b] *)
+  sj_check : string;            (** ["fc"], ["rb"] or ["sac"] *)
+  sj_depth : int;               (** BMC bound *)
+  sj_certify : bool;
+  sj_timeout_s : float option;  (** per-job override of the server's
+                                    default deadline *)
+}
+
+val job_spec :
+  ?bug:string -> ?check:string -> ?depth:int -> ?certify:bool ->
+  ?timeout_s:float -> string -> job_spec
+(** [job_spec design] with the CLI defaults: ["fc"], depth 14, no
+    certification, the server's default timeout. *)
+
+val json_of_job_spec : job_spec -> Report.Json.t
+val job_spec_of_json : Report.Json.t -> job_spec
+(** Wire codec for submit requests. [job_spec_of_json] raises [Failure]
+    on a missing design and tolerates absent optional fields. *)
+
+(** {1 Server} *)
+
+type config = {
+  socket_path : string;
+  resolve : job_spec -> (string * Aqed.Check.obligation, string) result;
+      (** maps a job to its (design label, prepared-able obligation); the
+          CLI builds this from its design registry, tests from whatever
+          toy designs they like — the service itself is registry-agnostic.
+          [Error] becomes a typed [error] frame for the client. *)
+  store : Store.t option;       (** shared persistent verdict store *)
+  workers : int;                (** pool width *)
+  capacity : int;               (** max accepted-but-unfinished jobs *)
+  job_timeout_s : float;        (** default per-job wall-clock deadline *)
+  idle_timeout_s : float;       (** silent-connection read timeout *)
+  journal : (string * Report.Journal.meta) option;
+      (** appended once on drain — the meta heads the run so multi-run
+          journal grouping stays well-formed *)
+}
+
+val config :
+  ?store:Store.t -> ?workers:int -> ?capacity:int -> ?job_timeout_s:float ->
+  ?idle_timeout_s:float -> ?journal:(string * Report.Journal.meta) ->
+  resolve:(job_spec -> (string * Aqed.Check.obligation, string) result) ->
+  string -> config
+(** [config ~resolve socket_path]. Defaults: no store,
+    {!Parallel.Pool.default_workers}, capacity 32, 300 s job timeout,
+    30 s idle timeout, no journal. *)
+
+type summary = {
+  sm_accepted : int;
+  sm_completed : int;
+  sm_timeouts : int;
+  sm_rejected : int;
+  sm_errors : int;
+}
+(** Lifetime totals, returned by {!wait}. Every accepted job is accounted
+    in exactly one of [completed]/[timeouts]/[errors]. *)
+
+type server
+
+val start : config -> server
+(** Binds the socket (unlinking a stale one), spawns the acceptor and the
+    deadline watchdog, and returns immediately. Raises [Unix.Unix_error]
+    when the socket cannot be bound. *)
+
+val stop : server -> unit
+(** Begins the drain: stop accepting, let in-flight jobs finish. Only
+    flips an atomic, so it is safe from a signal handler. Idempotent. *)
+
+val wait : server -> summary
+(** Blocks until the drain completes: joins the acceptor, every
+    connection thread and the watchdog, shuts the pool down, flushes the
+    journal, removes the socket file. Call {!stop} first (or from a
+    signal handler / another thread) — [wait] alone never returns. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** Connect to a daemon's socket path. Raises [Unix.Unix_error] when no
+      daemon is listening. *)
+
+  val close : t -> unit
+
+  type outcome =
+    | Completed of int * float * Report.Journal.obligation
+        (** job id, server-side wall seconds, the verdict record *)
+    | Timed_out of int * float
+        (** the job hit its deadline; the daemon and its pool survive *)
+    | Busy of int * int
+        (** rejected at admission: (active, capacity). Also the drain
+            answer — retry later or elsewhere *)
+    | Refused of string
+        (** typed error frame (unknown design, certification failure, …) *)
+
+  val submit : t -> job_spec -> outcome
+  (** Submit one job and block until its terminal frame. *)
+
+  val status : t -> Report.Json.t
+  (** One status frame: active/queued/capacity plus lifetime counters. *)
+
+  val send : t -> Report.Json.t -> unit
+  val recv : t -> Report.Json.t
+  (** Raw frame I/O, for tests poking at the protocol. [recv] raises
+      [Failure] when the server closes the connection. *)
+end

@@ -331,13 +331,31 @@ let store t e =
 
 (* ---- maintenance ---- *)
 
-let entry_files t =
+(* A writer that dies between creating its temp file and the rename leaves
+   [<digest>.entry.tmp.<pid>.<n>] behind. Such orphans must never be taken
+   for entries by the readdir-based maintenance below — the [".tmp."] infix
+   is filtered explicitly rather than relying on the suffix test alone —
+   and [gc] reclaims them once they are older than a grace period, i.e.
+   once no live writer can still be about to rename them. *)
+let is_tmp_file f =
+  let n = String.length f in
+  let rec has i =
+    i + 5 <= n && (String.sub f i 5 = ".tmp." || has (i + 1))
+  in
+  has 0
+
+let listing t =
   match Sys.readdir t.store_dir with
   | exception Sys_error _ -> []
-  | files ->
-    let all = Array.to_list files in
-    List.sort String.compare
-      (List.filter (fun f -> Filename.check_suffix f entry_suffix) all)
+  | files -> Array.to_list files
+
+let entry_files t =
+  List.sort String.compare
+    (List.filter
+       (fun f -> Filename.check_suffix f entry_suffix && not (is_tmp_file f))
+       (listing t))
+
+let tmp_files t = List.filter is_tmp_file (listing t)
 
 type stats = { n_entries : int; n_bytes : int }
 
@@ -350,9 +368,30 @@ let stats t =
     { n_entries = 0; n_bytes = 0 }
     (entry_files t)
 
-type gc_result = { gc_kept : int; gc_removed : int; gc_bytes : int }
+type gc_result = {
+  gc_kept : int;
+  gc_removed : int;
+  gc_bytes : int;
+  gc_tmp_removed : int;
+}
 
-let gc ?max_bytes ?max_entries t =
+let gc ?max_bytes ?max_entries ?(tmp_grace_s = 600.) t =
+  (* Orphaned writer temp files first: anything older than the grace
+     period was abandoned by a crashed writer (a live one renames within
+     milliseconds of creating the file) and is reclaimed regardless of the
+     size bounds. *)
+  let now = Unix.gettimeofday () in
+  let tmp_removed =
+    List.fold_left
+      (fun n f ->
+        let path = Filename.concat t.store_dir f in
+        match Unix.stat path with
+        | st when now -. st.Unix.st_mtime >= tmp_grace_s ->
+          (try Sys.remove path with Sys_error _ -> ());
+          n + 1
+        | _ | (exception Unix.Unix_error _) -> n)
+      0 (tmp_files t)
+  in
   let files =
     List.filter_map
       (fun f ->
@@ -383,7 +422,8 @@ let gc ?max_bytes ?max_entries t =
         else (kept + 1, removed, bytes + size))
       (0, 0, 0) files
   in
-  { gc_kept = kept; gc_removed = removed; gc_bytes = bytes }
+  { gc_kept = kept; gc_removed = removed; gc_bytes = bytes;
+    gc_tmp_removed = tmp_removed }
 
 type scan_item = { s_file : string; s_entry : (entry, string) result }
 

@@ -106,17 +106,26 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Entry files only: writer temp files ([*.tmp.*], possibly orphaned by a
+    crashed writer) are never counted. *)
 
 type gc_result = {
   gc_kept : int;
   gc_removed : int;
   gc_bytes : int;  (** bytes remaining after collection *)
+  gc_tmp_removed : int;
+      (** orphaned writer temp files reclaimed by this pass *)
 }
 
-val gc : ?max_bytes:int -> ?max_entries:int -> t -> gc_result
+val gc : ?max_bytes:int -> ?max_entries:int -> ?tmp_grace_s:float -> t ->
+  gc_result
 (** Size-bounded collection: removes oldest entries (by mtime) until the
-    store fits both bounds. With neither bound given this is a no-op.
-    Removals are counted on [store.gc_removed]. *)
+    store fits both bounds. With neither bound given the entry pass is a
+    no-op. Removals are counted on [store.gc_removed]. Every pass also
+    deletes writer temp files older than [tmp_grace_s] (default 600 s) —
+    debris from a writer that crashed between creating its temp file and
+    the atomic rename; the grace period keeps live writers' in-flight
+    files safe. *)
 
 type scan_item = {
   s_file : string;                    (** basename within the store dir *)
@@ -124,5 +133,6 @@ type scan_item = {
 }
 
 val scan : t -> scan_item list
-(** Parses every entry in the store (deterministic filename order) —
-    the engine behind [aqed_cli store verify]. *)
+(** Parses every entry in the store (deterministic filename order,
+    [*.tmp.*] writer debris excluded) — the engine behind
+    [aqed_cli store verify]. *)

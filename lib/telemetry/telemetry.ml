@@ -350,13 +350,13 @@ module Series = struct
     r.head <- (r.head + 1) mod cap;
     if r.len < cap then r.len <- r.len + 1
 
-  let sample f =
+  let sample ?(force = false) f =
     match Atomic.get config with
     | None -> ()
     | Some { s_interval; s_capacity } ->
       let d = Domain.DLS.get state_key in
       let t = now_s () in
-      if t -. d.s_last >= s_interval then begin
+      if force || t -. d.s_last >= s_interval then begin
         d.s_last <- t;
         let at = t -. d.s_t0 in
         List.iter (fun (name, v) -> push s_capacity d name at v) (f ())

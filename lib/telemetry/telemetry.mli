@@ -158,10 +158,13 @@ module Series : sig
   val disable : unit -> unit
   val active : unit -> bool
 
-  val sample : (unit -> (string * float) list) -> unit
+  val sample : ?force:bool -> (unit -> (string * float) list) -> unit
   (** Called from poll sites. No-op unless configured and the domain's
       interval has elapsed; only then is the thunk evaluated and one point
-      appended to each named series. *)
+      appended to each named series. [~force:true] bypasses the interval
+      (still a no-op when unconfigured): solve entry/exit points use it so
+      even a solve faster than one interval contributes a first and last
+      sample instead of an empty series. *)
 
   val mark : unit -> unit
   (** Clear the calling domain's rings and reset its time origin; call

@@ -24,5 +24,6 @@ let () =
       Test_telemetry.suite;
       Test_report.suite;
       Test_mutate.suite;
+      Test_serve.suite;
       Test_cli.suite;
     ]

@@ -150,6 +150,86 @@ let test_journal_rejects_bad_input () =
   | Some msg -> Alcotest.(check bool) "unknown kind" true (contains msg "wibble")
   | None -> Alcotest.fail "unknown kind accepted"
 
+let test_journal_two_run_roundtrip () =
+  (* --journal appends a fresh meta per run; the loaded grouping must key
+     every obligation to its *preceding* meta, and a record landing before
+     the first meta of a meta-carrying file is refused with its line. *)
+  let meta fp =
+    Jr.Meta
+      { Jr.created_s = 0.; command = "verify"; design = "d"; git_rev = "";
+        jobs = 1; seed = 0; flags = []; fingerprint = fp }
+  in
+  let obl name wall cached =
+    Jr.Obligation
+      { Jr.ob_design = "d"; ob_name = name; ob_check = "FC"; ob_key = "k0";
+        ob_verdict = "clean"; ob_depth = 8; ob_certificate = "none";
+        ob_winner = "w"; ob_cached = cached; ob_wall_s = wall;
+        ob_frames = 8; ob_aig_nodes = 10; ob_aig_nodes_raw = 10;
+        ob_reduce = None; ob_solver = None; ob_series = [] }
+  in
+  let path = Filename.temp_file "aqed_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (* Two appended runs, as two CLI invocations would produce. *)
+      Jr.append path [ meta "v1;cold"; obl "FC" 0.2 false ];
+      Jr.append path [ meta "v1;warm"; obl "FC" 0.001 true ];
+      let j = Jr.load path in
+      Alcotest.(check int) "two metas" 2 (List.length j.Jr.meta);
+      Alcotest.(check int) "two runs" 2 (List.length j.Jr.runs);
+      List.iteri
+        (fun i (r : Jr.run) ->
+          Alcotest.(check int)
+            (Printf.sprintf "run %d holds one obligation" i)
+            1
+            (List.length r.Jr.run_obligations))
+        j.Jr.runs;
+      (* Each obligation resolves to its own (preceding) meta, not the
+         first. *)
+      let fps =
+        List.map
+          (fun o ->
+            match Jr.meta_for j o with
+            | Some m -> m.Jr.fingerprint
+            | None -> Alcotest.fail "obligation lost its run")
+          j.Jr.obligations
+      in
+      Alcotest.(check (list string)) "keyed to the preceding meta"
+        [ "v1;cold"; "v1;warm" ] fps;
+      (* Compare against a fresh single-run journal: the *latest* run's
+         record drives the join (cached warm hit, so no time finding), and
+         the per-run fingerprints — not the merged global list — decide
+         config mismatches. *)
+      let b = Filename.temp_file "aqed_journal" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove b with Sys_error _ -> ())
+        (fun () ->
+          Sys.remove b;
+          Jr.append b [ meta "v1;warm"; obl "FC" 0.9 false ];
+          let jb = Jr.load b in
+          let r = C.run j jb in
+          (match r.C.pairs with
+           | [ p ] ->
+             Alcotest.(check bool) "latest run's record drives the join"
+               true p.C.p_a.Jr.ob_cached;
+             Alcotest.(check bool) "per-run fingerprints agree" false
+               p.C.p_config_mismatch
+           | _ -> Alcotest.fail "expected one pair");
+          Alcotest.(check int) "no findings" 0 (List.length r.C.findings));
+      (* A truncated prefix — records before the first meta — errors with
+         the offending line. *)
+      let oc = open_out path in
+      output_string oc (Jr.to_line (obl "FC" 0.1 false) ^ "\n");
+      output_string oc (Jr.to_line (meta "v1;x") ^ "\n");
+      close_out oc;
+      match Jr.load path with
+      | _ -> Alcotest.fail "meta-less prefix accepted"
+      | exception Failure msg ->
+        Alcotest.(check bool) "names the line" true (contains msg ":1:");
+        Alcotest.(check bool) "explains the prefix" true
+          (contains msg "before the first meta"))
+
 (* ---- compare ---- *)
 
 let ob ?(design = "d") ?(name = "FC") ?(check = "FC") ?(key = "k0")
@@ -170,7 +250,7 @@ let mu ?(status = "killed") ?(killed_by = Some "FC") ?(kill_depth = Some 4) id =
   }
 
 let jt ?(obs = []) ?(mutants = []) path =
-  { Jr.path; meta = []; obligations = obs; mutants }
+  { Jr.path; meta = []; obligations = obs; mutants; runs = [] }
 
 let jmeta fingerprint =
   {
@@ -351,6 +431,19 @@ let test_html_self_contained () =
   Alcotest.(check bool) "survivor row highlighted" true
     (contains html "class=\"survivor\"")
 
+let test_sparkline_single_point () =
+  Alcotest.(check string) "empty series renders nothing" ""
+    (Report.Html.sparkline []);
+  (* One forced sample from a sub-interval solve renders a full-width flat
+     line, byte-identical to a two-point flat series — never an empty
+     SVG. *)
+  let one = Report.Html.sparkline [ (0.01, 5.) ] in
+  Alcotest.(check bool) "single point renders" true
+    (contains one "polyline");
+  Alcotest.(check string) "flat line bytes"
+    (Report.Html.sparkline [ (0.01, 5.); (1.01, 5.) ])
+    one
+
 let test_summary () =
   let s = Report.Html.summary [ Jr.load fixture ] in
   Alcotest.(check bool) "headline" true
@@ -373,6 +466,8 @@ let suite =
         test_journal_line_roundtrip;
       Alcotest.test_case "journal rejects bad input" `Quick
         test_journal_rejects_bad_input;
+      Alcotest.test_case "journal two-run append round-trip" `Quick
+        test_journal_two_run_roundtrip;
       Alcotest.test_case "compare: clean" `Quick test_compare_clean;
       Alcotest.test_case "compare: soft time regression" `Quick
         test_compare_soft_time;
@@ -391,5 +486,7 @@ let suite =
       Alcotest.test_case "html golden render" `Quick test_html_golden;
       Alcotest.test_case "html is self-contained" `Quick
         test_html_self_contained;
+      Alcotest.test_case "sparkline: single point draws a flat line" `Quick
+        test_sparkline_single_point;
       Alcotest.test_case "text summary" `Quick test_summary;
     ] )

@@ -1,0 +1,299 @@
+(* The verification service daemon: submit/complete verdict parity against
+   a direct solve, per-job wall-clock timeouts with a surviving pool,
+   malformed-frame connection isolation, SIGTERM drain flushing the store
+   and journal, and bounded-admission backpressure.
+
+   Cheap jobs use the 4-bit echo design (as in test_store); the "slow"
+   job is a deep AES FC obligation, which reliably outlives a
+   sub-second deadline. *)
+
+module Ir = Rtl.Ir
+
+let echo ?(twist = false) () =
+  let c = Ir.create "echo_serve" in
+  let in_valid, _, in_data, out_ready =
+    Aqed.Iface.standard_inputs c ~data_width:4 ()
+  in
+  let have = Ir.reg0 c "have" 1 in
+  let value = Ir.reg0 c "value" 4 in
+  let parity = Ir.reg0 c "parity" 1 in
+  let in_ready = Ir.lognot have in
+  let in_fire = Ir.logand in_valid in_ready in
+  let out_fire = Ir.logand have out_ready in
+  let base = Ir.add in_data (Ir.constant c ~width:4 3) in
+  let stored =
+    if twist then Ir.mux parity (Ir.logxor base (Ir.constant c ~width:4 1)) base
+    else base
+  in
+  Ir.connect c value (Ir.mux in_fire stored value);
+  Ir.connect c have (Ir.mux in_fire (Ir.vdd c) (Ir.mux out_fire (Ir.gnd c) have));
+  Ir.connect c parity (Ir.mux in_fire (Ir.lognot parity) parity);
+  Aqed.Iface.make c ~in_valid ~in_data ~in_ready ~out_valid:have
+    ~out_data:value ~out_ready ()
+
+let ob_fc ?(twist = false) ~depth () =
+  Aqed.Check.prepare_fc ~max_depth:depth ~cnt_width:8 (fun () ->
+      echo ~twist ())
+
+(* The test-side resolver: two cheap echo designs plus a deliberately
+   expensive deep AES obligation for timeout/backpressure scenarios. *)
+let resolve (spec : Serve.job_spec) =
+  let depth = spec.Serve.sj_depth in
+  match spec.Serve.sj_design with
+  | "echo" -> Ok ("echo", ob_fc ~depth ())
+  | "echo-twist" -> Ok ("echo-twist", ob_fc ~twist:true ~depth ())
+  | "aes-deep" ->
+    Ok
+      ( "aes-deep",
+        Aqed.Check.prepare_fc ~max_depth:depth
+          ~shared:Accel.Aes.shared_key (fun () -> Accel.Aes.build ()) )
+  | d -> Error (Printf.sprintf "unknown design %s" d)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> (try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let tmp_path label =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "aqed_serve_%d_%s" (Unix.getpid ()) label)
+
+(* Start a daemon, run [f], drain, return [f]'s value and the drain
+   summary. *)
+let with_server ?store ?journal ?(capacity = 4) ?(job_timeout_s = 120.)
+    label f =
+  let sock = tmp_path (label ^ ".sock") in
+  let cfg =
+    Serve.config ?store ?journal ~workers:2 ~capacity ~job_timeout_s
+      ~idle_timeout_s:10. ~resolve sock
+  in
+  let srv = Serve.start cfg in
+  let finish () =
+    Serve.stop srv;
+    Serve.wait srv
+  in
+  match f sock with
+  | v ->
+    let summary = finish () in
+    (v, summary)
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let with_client sock f =
+  let c = Serve.Client.connect sock in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let submit_ok c spec =
+  match Serve.Client.submit c spec with
+  | Serve.Client.Completed (_, _, o) -> o
+  | Serve.Client.Timed_out (j, w) ->
+    Alcotest.failf "job %d unexpectedly timed out after %.3fs" j w
+  | Serve.Client.Busy (a, cap) ->
+    Alcotest.failf "unexpectedly busy (%d/%d)" a cap
+  | Serve.Client.Refused m -> Alcotest.failf "refused: %s" m
+
+(* ---- submit/complete parity against a direct solve ---- *)
+
+let test_submit_parity () =
+  let direct =
+    Aqed.Check.run_obligation ~certify:true (ob_fc ~twist:true ~depth:10 ())
+  in
+  let (o : Report.Journal.obligation), summary =
+    with_server "parity" (fun sock ->
+        with_client sock (fun c ->
+            submit_ok c
+              (Serve.job_spec ~check:"fc" ~depth:10 ~certify:true
+                 "echo-twist")))
+  in
+  Alcotest.(check string) "verdict" "bug" o.Report.Journal.ob_verdict;
+  (match direct.Aqed.Check.verdict with
+   | Aqed.Check.Bug t ->
+     Alcotest.(check int) "depth parity" (Bmc.Trace.length t)
+       o.Report.Journal.ob_depth
+   | _ -> Alcotest.fail "direct solve should find the twist bug");
+  Alcotest.(check string) "structural key parity" direct.Aqed.Check.key
+    o.Report.Journal.ob_key;
+  (match direct.Aqed.Check.certificate with
+   | Aqed.Check.Replayed k ->
+     Alcotest.(check string) "certificate parity"
+       (Printf.sprintf "replayed:%d" k)
+       o.Report.Journal.ob_certificate
+   | _ -> Alcotest.fail "direct certified bug must carry a replay cert");
+  Alcotest.(check int) "one accepted" 1 summary.Serve.sm_accepted;
+  Alcotest.(check int) "one completed" 1 summary.Serve.sm_completed;
+  Alcotest.(check int) "no timeouts" 0 summary.Serve.sm_timeouts
+
+(* ---- per-job timeout: typed reply, daemon and pool survive ---- *)
+
+let test_timeout_keeps_pool_usable () =
+  let (), summary =
+    with_server "timeout" (fun sock ->
+        with_client sock (fun c ->
+            (match
+               Serve.Client.submit c
+                 (Serve.job_spec ~depth:24 ~timeout_s:0.3 "aes-deep")
+             with
+             | Serve.Client.Timed_out (_, wall) ->
+               Alcotest.(check bool) "took at least its deadline" true
+                 (wall >= 0.3)
+             | Serve.Client.Completed _ ->
+               Alcotest.fail "deep AES cannot finish in 0.3s"
+             | Serve.Client.Busy _ | Serve.Client.Refused _ ->
+               Alcotest.fail "expected a typed timeout frame");
+            (* Same daemon, same connection: the pool must still solve. *)
+            let o = submit_ok c (Serve.job_spec ~depth:8 "echo") in
+            Alcotest.(check string) "clean after timeout" "clean"
+              o.Report.Journal.ob_verdict))
+  in
+  Alcotest.(check int) "two accepted" 2 summary.Serve.sm_accepted;
+  Alcotest.(check int) "one timeout" 1 summary.Serve.sm_timeouts;
+  Alcotest.(check int) "one completed" 1 summary.Serve.sm_completed
+
+(* ---- malformed frame: that connection dies, the daemon does not ---- *)
+
+let test_malformed_frame_isolation () =
+  let (), _summary =
+    with_server "malformed" (fun sock ->
+        (* Raw socket, bypassing the typed client. *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            let garbage = Bytes.of_string "this is not json\n" in
+            ignore (Unix.write fd garbage 0 (Bytes.length garbage));
+            let buf = Bytes.create 4096 in
+            let n = Unix.read fd buf 0 (Bytes.length buf) in
+            let reply = Bytes.sub_string buf 0 n in
+            let j = Report.Json.of_string (String.trim reply) in
+            Alcotest.(check string) "typed error frame" "error"
+              (Report.Json.str_or "" (Report.Json.member "frame" j));
+            (* The server closes this connection... *)
+            Alcotest.(check int) "connection closed" 0
+              (Unix.read fd buf 0 (Bytes.length buf)));
+        (* ...but keeps serving new ones. *)
+        with_client sock (fun c ->
+            let o = submit_ok c (Serve.job_spec ~depth:8 "echo") in
+            Alcotest.(check string) "daemon survived" "clean"
+              o.Report.Journal.ob_verdict))
+  in
+  ()
+
+(* ---- SIGTERM drain: store and journal are flushed, nothing is lost ---- *)
+
+let test_sigterm_drain_flushes () =
+  let dir = tmp_path "drain_store" in
+  let journal_path = tmp_path "drain.jsonl" in
+  rm_rf dir;
+  rm_rf journal_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      rm_rf dir;
+      rm_rf journal_path)
+    (fun () ->
+      let meta =
+        {
+          Report.Journal.created_s = 0.;
+          command = "serve";
+          design = "serve";
+          git_rev = "";
+          jobs = 2;
+          seed = 0;
+          flags = [];
+          fingerprint = "test;serve";
+        }
+      in
+      let sock = tmp_path "drain.sock" in
+      let cfg =
+        Serve.config ~store:(Store.open_store dir)
+          ~journal:(journal_path, meta) ~workers:2 ~capacity:4
+          ~job_timeout_s:120. ~idle_timeout_s:10. ~resolve sock
+      in
+      let srv = Serve.start cfg in
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Serve.stop srv));
+      let o =
+        with_client sock (fun c ->
+            submit_ok c (Serve.job_spec ~depth:10 "echo-twist"))
+      in
+      Alcotest.(check string) "bug via service" "bug"
+        o.Report.Journal.ob_verdict;
+      (* The real drain path: the signal, not a direct call. *)
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      let summary = Serve.wait srv in
+      Alcotest.(check int) "accepted" 1 summary.Serve.sm_accepted;
+      Alcotest.(check int) "completed — drain lost nothing" 1
+        summary.Serve.sm_completed;
+      (* Store flushed: a fresh open (the "restart") sees the entry. *)
+      let stats = Store.stats (Store.open_store dir) in
+      Alcotest.(check int) "store holds the solved entry" 1
+        stats.Store.n_entries;
+      (* Journal flushed as one well-formed run. *)
+      let j = Report.Journal.load journal_path in
+      Alcotest.(check int) "one run" 1 (List.length j.Report.Journal.runs);
+      Alcotest.(check int) "one obligation" 1
+        (List.length j.Report.Journal.obligations);
+      (match j.Report.Journal.meta with
+       | [ m ] ->
+         Alcotest.(check string) "serve meta" "serve"
+           m.Report.Journal.command
+       | _ -> Alcotest.fail "expected exactly one meta line"))
+
+(* ---- backpressure: typed busy at capacity, recovery after release ---- *)
+
+let test_backpressure_busy () =
+  let (), summary =
+    with_server ~capacity:1 "busy" (fun sock ->
+        with_client sock (fun c1 ->
+            with_client sock (fun c2 ->
+                (* Occupy the single slot with a job that will run for a
+                   couple of seconds before its deadline cancels it. *)
+                Serve.Client.send c1
+                  (Serve.json_of_job_spec
+                     (Serve.job_spec ~depth:24 ~timeout_s:2.0 "aes-deep"));
+                let accepted = Serve.Client.recv c1 in
+                Alcotest.(check string) "slot taken" "accepted"
+                  (Report.Json.str_or ""
+                     (Report.Json.member "frame" accepted));
+                (* Second client is shed with a typed busy reply. *)
+                (match
+                   Serve.Client.submit c2 (Serve.job_spec ~depth:8 "echo")
+                 with
+                 | Serve.Client.Busy (active, capacity) ->
+                   Alcotest.(check int) "capacity reported" 1 capacity;
+                   Alcotest.(check int) "slot accounted" 1 active
+                 | _ -> Alcotest.fail "expected busy at capacity");
+                (* The occupying job ends in a timeout frame... *)
+                let terminal = Serve.Client.recv c1 in
+                Alcotest.(check string) "occupier timed out" "timeout"
+                  (Report.Json.str_or ""
+                     (Report.Json.member "frame" terminal));
+                (* ...which frees the slot for the shed client. *)
+                let o = submit_ok c2 (Serve.job_spec ~depth:8 "echo") in
+                Alcotest.(check string) "recovered" "clean"
+                  o.Report.Journal.ob_verdict)))
+  in
+  Alcotest.(check int) "one rejected" 1 summary.Serve.sm_rejected;
+  Alcotest.(check int) "two accepted" 2 summary.Serve.sm_accepted
+
+let suite =
+  ( "serve",
+    [
+    Alcotest.test_case "submit/complete parity vs direct solve" `Quick
+      test_submit_parity;
+    Alcotest.test_case "job timeout is typed and pool survives" `Quick
+      test_timeout_keeps_pool_usable;
+    Alcotest.test_case "malformed frame closes one connection only" `Quick
+      test_malformed_frame_isolation;
+    Alcotest.test_case "SIGTERM drain flushes store and journal" `Quick
+      test_sigterm_drain_flushes;
+    Alcotest.test_case "backpressure: typed busy at capacity" `Quick
+      test_backpressure_busy;
+  ] )

@@ -398,6 +398,44 @@ let test_gc_bounds () =
       Alcotest.(check int) "byte bound empties the store" 0 r.Store.gc_bytes;
       Alcotest.(check int) "empty" 0 (Store.stats store).Store.n_entries)
 
+let test_tmp_orphan_invisible_and_collected () =
+  (* A writer that crashes between creating <key>.entry.tmp.<pid>.<n> and
+     the atomic rename leaves the temp file behind. It must be invisible
+     to stats/scan/gc entry accounting, and gc reclaims it once it is
+     older than the grace period. *)
+  with_store "tmp_orphan" (fun store ->
+      let _ = Aqed.Check.run_obligation ~store (ob_fc ~depth:6 ()) in
+      let orphan =
+        Filename.concat (Store.dir store)
+          "deadbeefdeadbeefdeadbeefdeadbeef.entry.tmp.99999.0"
+      in
+      let oc = open_out_bin orphan in
+      output_string oc "torn half-written entry";
+      close_out oc;
+      Alcotest.(check int) "stats ignore the orphan" 1
+        (Store.stats store).Store.n_entries;
+      List.iter
+        (fun (i : Store.scan_item) ->
+          if i.Store.s_file = Filename.basename orphan then
+            Alcotest.fail "scan picked up the orphan";
+          match i.Store.s_entry with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("orphan corrupted a scan: " ^ e))
+        (Store.scan store);
+      (* Under the default grace period the file may belong to a live
+         writer mid-rename: kept. *)
+      let r = Store.gc ~max_entries:10 store in
+      Alcotest.(check int) "fresh tmp kept" 0 r.Store.gc_tmp_removed;
+      Alcotest.(check bool) "still on disk" true (Sys.file_exists orphan);
+      (* Past the grace period it is garbage, and collecting it does not
+         touch real entries. *)
+      let r = Store.gc ~max_entries:10 ~tmp_grace_s:0. store in
+      Alcotest.(check int) "orphan collected" 1 r.Store.gc_tmp_removed;
+      Alcotest.(check int) "entries untouched" 0 r.Store.gc_removed;
+      Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan);
+      Alcotest.(check int) "entry still answers stats" 1
+        (Store.stats store).Store.n_entries)
+
 let suite =
   ( "store",
     [
@@ -430,4 +468,6 @@ let suite =
       Alcotest.test_case "batch driver: warm run is all hits" `Quick
         test_batch_warm_all_hits;
       Alcotest.test_case "gc enforces size bounds" `Quick test_gc_bounds;
+      Alcotest.test_case "orphaned writer tmp files are invisible and collected"
+        `Quick test_tmp_orphan_invisible_and_collected;
     ] )

@@ -492,6 +492,27 @@ let test_series_rate_limit () =
         Alcotest.(check (float 1e-12)) "single point" 1. p.T.Series.value
       | _ -> Alcotest.fail "expected one point in series x")
 
+let test_series_forced_sample () =
+  quiesced (fun () ->
+      (* ~force bypasses the interval — the mechanism behind the
+         guaranteed first+last sample per solve — but stays inert while
+         unconfigured. *)
+      T.Series.disable ();
+      T.Series.sample ~force:true (fun () ->
+          Alcotest.fail "forced sample while disabled");
+      T.Series.configure ~interval:3600.0 ();
+      T.Series.mark ();
+      T.Series.sample ~force:true (fun () -> [ ("x", 1.) ]);
+      T.Series.sample (fun () ->
+          Alcotest.fail "rate-limited sample evaluated its thunk");
+      T.Series.sample ~force:true (fun () -> [ ("x", 2.) ]);
+      match T.Series.collect () with
+      | [ ("x", pts) ] ->
+        Alcotest.(check (list (float 1e-12))) "first and last point"
+          [ 1.; 2. ]
+          (List.map (fun p -> p.T.Series.value) pts)
+      | _ -> Alcotest.fail "expected two points in series x")
+
 let suite =
   ( "telemetry",
     [
@@ -519,4 +540,6 @@ let suite =
       Alcotest.test_case "series ring wraparound" `Quick
         test_series_ring_wraparound;
       Alcotest.test_case "series rate limit" `Quick test_series_rate_limit;
+      Alcotest.test_case "series forced first/last sample" `Quick
+        test_series_forced_sample;
     ] )
