@@ -106,9 +106,10 @@ type t = {
   mutants : mutant list;
   runs : run list;
       (* file-order run grouping. [load] fills it whenever the file holds
-         at least one meta record (and errors on records before the first
-         one); hand-built journals and meta-less legacy files leave it
-         empty, in which case consumers fall back to the flat lists. *)
+         at least one meta record; hand-built journals, meta-less legacy
+         files and files whose records precede their first meta (grouping
+         disabled with a warning) leave it empty, in which case consumers
+         fall back to the flat lists. *)
 }
 
 (* ---- to JSON ---- *)
@@ -342,25 +343,21 @@ let write path records =
 
 (* Group numbered records into runs, each keyed to its preceding meta. A
    record before the first meta of a file that *does* carry metas is a
-   truncated or corrupted prefix — there is no way to tell which run it
-   belongs to — and is refused with its line number. Files with no meta at
-   all (hand-built or legacy) have no association to get wrong and group
-   to nothing. *)
+   truncated or concatenated prefix — there is no way to tell which run
+   it belongs to — so per-run grouping is disabled for that file with a
+   warning rather than refusing the load: the flat lists still carry
+   every record, and run-aware consumers fall back to them exactly as
+   they do for meta-less files. Files with no meta at all (hand-built or
+   legacy) have no association to get wrong and group to nothing. *)
 let group_runs path numbered =
   if not (List.exists (function _, Meta _ -> true | _ -> false) numbered)
   then []
   else begin
+    let exception Orphan of int * string in
     let finish (m, obs, mus) =
       { run_meta = m;
         run_obligations = List.rev obs;
         run_mutants = List.rev mus }
-    in
-    let orphan n kind =
-      failwith
-        (Printf.sprintf
-           "%s:%d: %s record before the first meta — cannot attribute it \
-            to a run (truncated or meta-less prefix)"
-           path n kind)
     in
     let rec go cur acc = function
       | [] ->
@@ -370,14 +367,22 @@ let group_runs path numbered =
         go (Some (m, [], [])) acc rest
       | (n, Obligation o) :: rest -> (
         match cur with
-        | None -> orphan n "obligation"
+        | None -> raise (Orphan (n, "obligation"))
         | Some (m, obs, mus) -> go (Some (m, o :: obs, mus)) acc rest)
       | (n, Mutant mu) :: rest -> (
         match cur with
-        | None -> orphan n "mutant"
+        | None -> raise (Orphan (n, "mutant"))
         | Some (m, obs, mus) -> go (Some (m, obs, mu :: mus)) acc rest)
     in
-    go None [] numbered
+    match go None [] numbered with
+    | runs -> runs
+    | exception Orphan (n, kind) ->
+      Printf.eprintf
+        "%s:%d: warning: %s record before the first meta (truncated or \
+         concatenated prefix) — cannot attribute records to runs; \
+         per-run grouping disabled for this file\n%!"
+        path n kind;
+      []
   end
 
 let load path =

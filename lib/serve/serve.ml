@@ -29,6 +29,10 @@
    - each connection is handled on its own systhread; a malformed frame
      gets an [error] reply and closes that connection only — the daemon
      and every other connection keep running;
+   - a client that disconnects mid-job cannot hurt the daemon: SIGPIPE
+     is ignored at [start], so frame writes to the dead socket fail with
+     [EPIPE] and are dropped, while the job still runs to its terminal
+     state — its capacity slot is released and accounting holds;
    - admission is bounded: at [capacity] accepted-but-unfinished jobs, a
      submit gets a typed [busy] frame instead of queueing without bound;
    - every job has a wall-clock deadline; a watchdog thread trips the
@@ -37,11 +41,14 @@
      worker survives and takes the next job;
    - reads are idle-bounded: a client that connects and goes silent is
      closed after [idle_timeout_s];
+   - the [--journal] is appended incrementally — the meta once, before
+     the first completed obligation, then one record per completion — so
+     a long-lived daemon retains no per-job state after the terminal
+     frame;
    - [stop] (wired to SIGTERM/SIGINT by the CLI) drains: the listener
      closes, in-flight jobs run to completion and stream their frames,
-     then the journal is flushed and [wait] returns. Accepted jobs are
-     never dropped — each ends in exactly one [done]/[timeout]/[error]
-     frame. *)
+     then [wait] returns. Accepted jobs are never dropped — each ends in
+     exactly one [done]/[timeout]/[error] frame. *)
 
 module Json = Report.Json
 module Journal = Report.Journal
@@ -118,8 +125,9 @@ type config = {
   job_timeout_s : float;
   idle_timeout_s : float;
   journal : (string * Journal.meta) option;
-      (* flushed once on drain; the meta is mandatory so the appended run
-         always groups (a meta-less suffix would poison later loads) *)
+      (* appended incrementally: the meta once, before the first
+         completed obligation, then one record per completion — the meta
+         is mandatory so the appended run always groups *)
 }
 
 let config ?store ?workers ?(capacity = 32) ?(job_timeout_s = 300.)
@@ -164,8 +172,11 @@ type server = {
   mutable rejected : int;
   mutable errors : int;
   mutable jobs : (int * float * bool Atomic.t) list;  (* id, deadline, cancel *)
-  mutable done_obs : Journal.obligation list;         (* newest first *)
-  mutable conns : Thread.t list;
+  jlock : Mutex.t;  (* serializes journal appends, apart from [lock] so
+                       disk I/O never blocks status frames *)
+  mutable journal_started : bool;  (* meta record already appended *)
+  mutable conns : Thread.t list;   (* live connection threads only:
+                                      each prunes itself on exit *)
   mutable accept_th : Thread.t option;
   mutable watchdog_th : Thread.t option;
 }
@@ -199,6 +210,13 @@ let send_all fd s =
   go 0
 
 let send_frame fd j = send_all fd (Json.to_string j ^ "\n")
+
+(* Frames whose failure must not unwind the job that emits them: the
+   client may vanish at any time, and with SIGPIPE ignored (see [start])
+   the write raises [EPIPE]/[ECONNRESET] instead of killing the process.
+   The frame is dropped; the job and its accounting proceed. *)
+let send_frame_safe fd j =
+  try send_frame fd j with Unix.Unix_error _ -> ()
 
 type conn = {
   fd : Unix.file_descr;
@@ -275,6 +293,25 @@ let status_frame srv =
 
 (* ---- job execution ---- *)
 
+(* Incremental journal: the meta heads the run (so multi-run grouping
+   stays well-formed) and each completed obligation is appended as it
+   finishes — the daemon holds no per-job state for its lifetime. An
+   append failure is reported on stderr but never unwinds the job. *)
+let journal_append srv oblig =
+  match srv.cfg.journal with
+  | None -> ()
+  | Some (path, meta) ->
+    Mutex.lock srv.jlock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock srv.jlock) @@ fun () ->
+    let records =
+      if srv.journal_started then [ Journal.Obligation oblig ]
+      else [ Journal.Meta meta; Journal.Obligation oblig ]
+    in
+    (match Journal.append path records with
+     | () -> srv.journal_started <- true
+     | exception Sys_error m ->
+       Printf.eprintf "serve: journal append failed: %s\n%!" m)
+
 (* Run one admitted job on the shared pool and stream its terminal frame.
    The solve goes through the exact batch path a direct CLI run uses
    (store + single-flight cache + certification), so verdict payloads are
@@ -284,39 +321,54 @@ let run_job srv fd job design ob ~certify timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
   locked srv (fun () -> srv.jobs <- (job, deadline, cancel) :: srv.jobs);
   let t0 = Unix.gettimeofday () in
+  (* Admission bookkeeping must survive anything the solve throws — an
+     escaped exception would otherwise leak this job's capacity slot
+     forever. The slot is released in [~finally], *before* the terminal
+     frame below, so a client reacting to that frame finds it free; the
+     post-release path is throw-safe by construction (locked counter
+     bumps, [journal_append] catches its own I/O errors,
+     [send_frame_safe] swallows a dead peer). *)
   let outcome =
-    Telemetry.Span.with_ "serve.job"
-      ~args:[ ("job", Telemetry.Int job); ("design", Telemetry.Str design) ]
+    Fun.protect
+      ~finally:(fun () ->
+        locked srv (fun () ->
+            srv.jobs <- List.filter (fun (id, _, _) -> id <> job) srv.jobs;
+            srv.active <- srv.active - 1;
+            Telemetry.Gauge.set g_active srv.active))
     @@ fun () ->
-    match
-      Aqed.Check.run_batch ~pool:srv.pool ~cache:srv.cache
-        ?store:srv.cfg.store ~certify ~cancel [ ob ]
-    with
-    | b -> (
-        match b.Aqed.Check.entries with
-        | [ e ] -> `Done e
-        | _ -> `Error "internal: batch returned no entry")
-    | exception Sat.Solver.Cancelled -> `Timeout
-    | exception Bmc.Engine.Certification_failed m ->
-      `Error ("certification failed: " ^ m)
-    | exception Failure m -> `Error m
+    try
+      Telemetry.Span.with_ "serve.job"
+        ~args:[ ("job", Telemetry.Int job); ("design", Telemetry.Str design) ]
+      @@ fun () ->
+      match
+        Aqed.Check.run_batch ~pool:srv.pool ~cache:srv.cache
+          ?store:srv.cfg.store ~certify ~cancel [ ob ]
+      with
+      | b -> (
+          match b.Aqed.Check.entries with
+          | [ e ] ->
+            `Done
+              (Journal.of_report ~design ~name:e.Aqed.Check.entry_name
+                 ~cached:e.Aqed.Check.entry_cached
+                 e.Aqed.Check.entry_report)
+          | _ -> `Error "internal: batch returned no entry")
+      | exception Sat.Solver.Cancelled -> `Timeout
+      | exception Bmc.Engine.Certification_failed m ->
+        `Error ("certification failed: " ^ m)
+      | exception Failure m -> `Error m
+    with e ->
+      (* Catch-all: every admitted job reaches exactly one terminal frame
+         and exactly one of completed/timeouts/errors, whatever the solve
+         threw (Invalid_argument, Out_of_memory, ...). *)
+      `Error ("uncaught: " ^ Printexc.to_string e)
   in
   let wall = Unix.gettimeofday () -. t0 in
-  locked srv (fun () ->
-      srv.jobs <- List.filter (fun (id, _, _) -> id <> job) srv.jobs;
-      srv.active <- srv.active - 1;
-      Telemetry.Gauge.set g_active srv.active);
   match outcome with
-  | `Done (e : Aqed.Check.batch_entry) ->
-    let oblig =
-      Journal.of_report ~design ~name:e.Aqed.Check.entry_name
-        ~cached:e.Aqed.Check.entry_cached e.Aqed.Check.entry_report
-    in
-    locked srv (fun () ->
-        srv.completed <- srv.completed + 1;
-        srv.done_obs <- oblig :: srv.done_obs);
+  | `Done oblig ->
+    locked srv (fun () -> srv.completed <- srv.completed + 1);
     Telemetry.Counter.incr m_completed;
-    send_frame fd
+    journal_append srv oblig;
+    send_frame_safe fd
       (Json.Obj
          [ ("frame", Json.Str "done");
            ("job", Json.Int job);
@@ -325,14 +377,14 @@ let run_job srv fd job design ob ~certify timeout_s =
   | `Timeout ->
     locked srv (fun () -> srv.timeouts <- srv.timeouts + 1);
     Telemetry.Counter.incr m_timeouts;
-    send_frame fd
+    send_frame_safe fd
       (Json.Obj
          [ ("frame", Json.Str "timeout");
            ("job", Json.Int job);
            ("wall_s", Json.Float wall) ])
   | `Error msg ->
     locked srv (fun () -> srv.errors <- srv.errors + 1);
-    send_frame fd
+    send_frame_safe fd
       (Json.Obj
          [ ("frame", Json.Str "error");
            ("job", Json.Int job);
@@ -373,7 +425,11 @@ let handle_submit srv fd j =
            send_frame fd (busy_frame srv)
          | Some job ->
            Telemetry.Counter.incr m_accepted;
-           send_frame fd
+           (* The job is admitted: even if this client already vanished
+              (failed accepted-frame write), it must still run to a
+              terminal state so its slot is released and accounting
+              holds. *)
+           send_frame_safe fd
              (Json.Obj
                 [ ("frame", Json.Str "accepted"); ("job", Json.Int job) ]);
            let timeout_s =
@@ -413,7 +469,14 @@ let handle_conn srv fd =
       end
   in
   (try loop () with _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* Self-prune: a long-lived daemon must not retain one Thread.t per
+     connection ever accepted. If the acceptor has not registered this
+     thread yet (create/registration race) the handle stays until drain,
+     where joining an already-finished thread returns immediately. *)
+  let self = Thread.id (Thread.self ()) in
+  locked srv (fun () ->
+      srv.conns <- List.filter (fun t -> Thread.id t <> self) srv.conns)
 
 (* ---- lifecycle ---- *)
 
@@ -446,6 +509,13 @@ let accept_loop srv () =
   go ()
 
 let start cfg =
+  (* A client that disconnects mid-job must not take the daemon with it:
+     with the default disposition, the next frame write to its socket
+     raises SIGPIPE and kills the whole process. Ignored here so writes
+     fail with [Unix_error (EPIPE, _, _)] instead, which
+     [send_frame_safe] drops. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   (try
@@ -471,7 +541,8 @@ let start cfg =
       rejected = 0;
       errors = 0;
       jobs = [];
-      done_obs = [];
+      jlock = Mutex.create ();
+      journal_started = false;
       conns = [];
       accept_th = None;
       watchdog_th = None;
@@ -485,29 +556,22 @@ let start cfg =
    handler (the CLI wires SIGTERM/SIGINT here). *)
 let stop srv = Atomic.set srv.stop_flag true
 
-let flush_journal srv =
-  match srv.cfg.journal with
-  | None -> ()
-  | Some (path, meta) ->
-    let obs = locked srv (fun () -> List.rev srv.done_obs) in
-    if obs <> [] then
-      Journal.append path
-        (Journal.Meta meta
-         :: List.map (fun o -> Journal.Obligation o) obs)
-
 let wait srv =
   Option.iter Thread.join srv.accept_th;
   (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink srv.cfg.socket_path with Unix.Unix_error _ -> ());
-  (* The accept thread has stopped, so [conns] is final; in-flight jobs
-     finish inside their connection threads (drain loses no accepted
-     job). *)
+  (* The accept thread has stopped, so no new entries land in [conns];
+     in-flight jobs finish inside their connection threads (drain loses
+     no accepted job). Threads prune themselves on exit, so a snapshot
+     joined here covers every still-running connection, and a thread
+     finishing concurrently just makes its join immediate. The journal
+     needs no drain-time flush: records were appended as jobs
+     completed. *)
   let conns = locked srv (fun () -> srv.conns) in
   List.iter Thread.join conns;
   Atomic.set srv.wd_stop true;
   Option.iter Thread.join srv.watchdog_th;
   Parallel.Pool.shutdown srv.pool;
-  flush_journal srv;
   locked srv (fun () ->
       {
         sm_accepted = srv.accepted;

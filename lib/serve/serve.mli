@@ -12,10 +12,13 @@
     per-job wall-clock deadlines enforced through the solver's
     cooperative cancellation ({!Sat.Solver.Cancelled} becomes a typed
     [timeout] frame; the worker pool survives), per-connection crash
-    isolation (a malformed frame closes that connection only),
-    idle-client read timeouts, and graceful drain: {!stop} (wired to
-    SIGTERM/SIGINT by the CLI) stops accepting, in-flight jobs finish and
-    stream their frames, the journal is flushed, {!wait} returns. *)
+    isolation (a malformed frame closes that connection only; a client
+    that disconnects mid-job costs nothing — SIGPIPE is ignored, the
+    failed frame writes are dropped and the job still runs to a terminal
+    state), idle-client read timeouts, incremental journal appends (one
+    record per completed job; no per-job state retained), and graceful
+    drain: {!stop} (wired to SIGTERM/SIGINT by the CLI) stops accepting,
+    in-flight jobs finish and stream their frames, {!wait} returns. *)
 
 (** {1 Job specs} *)
 
@@ -55,8 +58,10 @@ type config = {
   job_timeout_s : float;        (** default per-job wall-clock deadline *)
   idle_timeout_s : float;       (** silent-connection read timeout *)
   journal : (string * Report.Journal.meta) option;
-      (** appended once on drain — the meta heads the run so multi-run
-          journal grouping stays well-formed *)
+      (** appended incrementally: the meta once, before the first
+          completed obligation, then one record per completion — the
+          meta heads the run so multi-run journal grouping stays
+          well-formed, and the daemon holds no per-job state *)
 }
 
 val config :
@@ -82,18 +87,21 @@ type server
 
 val start : config -> server
 (** Binds the socket (unlinking a stale one), spawns the acceptor and the
-    deadline watchdog, and returns immediately. Raises [Unix.Unix_error]
-    when the socket cannot be bound. *)
+    deadline watchdog, and returns immediately. Also ignores SIGPIPE
+    process-wide so a client disconnect surfaces as [EPIPE] on the write
+    instead of killing the daemon. Raises [Unix.Unix_error] when the
+    socket cannot be bound. *)
 
 val stop : server -> unit
 (** Begins the drain: stop accepting, let in-flight jobs finish. Only
     flips an atomic, so it is safe from a signal handler. Idempotent. *)
 
 val wait : server -> summary
-(** Blocks until the drain completes: joins the acceptor, every
-    connection thread and the watchdog, shuts the pool down, flushes the
-    journal, removes the socket file. Call {!stop} first (or from a
-    signal handler / another thread) — [wait] alone never returns. *)
+(** Blocks until the drain completes: joins the acceptor, every live
+    connection thread and the watchdog, shuts the pool down, removes the
+    socket file (journal records were already appended as jobs
+    completed). Call {!stop} first (or from a signal handler / another
+    thread) — [wait] alone never returns. *)
 
 (** {1 Client} *)
 

@@ -217,18 +217,24 @@ let test_journal_two_run_roundtrip () =
                p.C.p_config_mismatch
            | _ -> Alcotest.fail "expected one pair");
           Alcotest.(check int) "no findings" 0 (List.length r.C.findings));
-      (* A truncated prefix — records before the first meta — errors with
-         the offending line. *)
+      (* A truncated prefix — records before the first meta — cannot be
+         attributed to a run, but must not refuse the whole load (legacy
+         concatenated files): grouping is disabled with a warning and the
+         flat lists still carry every record. *)
       let oc = open_out path in
       output_string oc (Jr.to_line (obl "FC" 0.1 false) ^ "\n");
       output_string oc (Jr.to_line (meta "v1;x") ^ "\n");
       close_out oc;
-      match Jr.load path with
-      | _ -> Alcotest.fail "meta-less prefix accepted"
-      | exception Failure msg ->
-        Alcotest.(check bool) "names the line" true (contains msg ":1:");
-        Alcotest.(check bool) "explains the prefix" true
-          (contains msg "before the first meta"))
+      let jt = Jr.load path in
+      Alcotest.(check int) "grouping disabled on a meta-less prefix" 0
+        (List.length jt.Jr.runs);
+      Alcotest.(check int) "flat obligations survive" 1
+        (List.length jt.Jr.obligations);
+      Alcotest.(check int) "flat metas survive" 1
+        (List.length jt.Jr.meta);
+      match Jr.meta_for jt (List.hd jt.Jr.obligations) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "orphan obligation attributed to a run")
 
 (* ---- compare ---- *)
 

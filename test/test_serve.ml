@@ -185,6 +185,40 @@ let test_malformed_frame_isolation () =
   in
   ()
 
+(* ---- client disconnect mid-job: EPIPE, not SIGPIPE; slots freed ---- *)
+
+let test_client_disconnect_mid_job () =
+  let (), summary =
+    with_server "disconnect" (fun sock ->
+        (* Two clients vanish right after submitting — one job that will
+           complete, one that will time out. Every later frame write to
+           their sockets (accepted, done, timeout) hits a dead peer: it
+           must surface as a swallowed EPIPE, not a SIGPIPE that kills
+           the daemon, and both jobs must still release their capacity
+           slots and be accounted. *)
+        let c1 = Serve.Client.connect sock in
+        Serve.Client.send c1
+          (Serve.json_of_job_spec (Serve.job_spec ~depth:10 "echo-twist"));
+        Serve.Client.close c1;
+        let c2 = Serve.Client.connect sock in
+        Serve.Client.send c2
+          (Serve.json_of_job_spec
+             (Serve.job_spec ~depth:24 ~timeout_s:1.0 "aes-deep"));
+        Serve.Client.close c2;
+        (* Let the daemon admit both before racing it with a live one. *)
+        Thread.delay 0.3;
+        with_client sock (fun c ->
+            let o = submit_ok c (Serve.job_spec ~depth:8 "echo") in
+            Alcotest.(check string) "daemon survived the disconnects"
+              "clean" o.Report.Journal.ob_verdict))
+  in
+  Alcotest.(check int) "all three admitted" 3 summary.Serve.sm_accepted;
+  Alcotest.(check int) "orphaned completion still accounted" 2
+    summary.Serve.sm_completed;
+  Alcotest.(check int) "orphaned timeout still accounted" 1
+    summary.Serve.sm_timeouts;
+  Alcotest.(check int) "no errors" 0 summary.Serve.sm_errors
+
 (* ---- SIGTERM drain: store and journal are flushed, nothing is lost ---- *)
 
 let test_sigterm_drain_flushes () =
@@ -292,6 +326,8 @@ let suite =
       test_timeout_keeps_pool_usable;
     Alcotest.test_case "malformed frame closes one connection only" `Quick
       test_malformed_frame_isolation;
+    Alcotest.test_case "client disconnect mid-job cannot kill the daemon"
+      `Quick test_client_disconnect_mid_job;
     Alcotest.test_case "SIGTERM drain flushes store and journal" `Quick
       test_sigterm_drain_flushes;
     Alcotest.test_case "backpressure: typed busy at capacity" `Quick
